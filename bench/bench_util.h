@@ -1,0 +1,104 @@
+#ifndef MSOPDS_BENCH_BENCH_UTIL_H_
+#define MSOPDS_BENCH_BENCH_UTIL_H_
+
+// Shared flag parsing and table formatting for the experiment benches.
+// Every table/figure binary accepts:
+//   --scale=F      synthetic dataset scale (default 0.12; paper size = 1.0)
+//   --repeats=N    games averaged per cell (default 1)
+//   --seed=N       base RNG seed (default 7)
+//   --datasets=a,b comma list from {ciao, epinions, librarything}
+//   --budgets=2,3  attacker budget levels b
+//   --opponents=1,2 opponent counts (fig6) / opponent budgets (fig7)
+//   --methods=a,b  override the method list
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/string_util.h"
+
+namespace msopds {
+
+struct BenchFlags {
+  double scale = 0.12;
+  /// 0 = "use the bench's own default" (see ResolveRepeats).
+  int repeats = 0;
+  uint64_t seed = 7;
+  std::vector<std::string> datasets = {"ciao", "epinions", "librarything"};
+  std::vector<int> budgets = {2, 3, 4, 5};
+  std::vector<int> opponents = {1, 2, 3, 4};
+  std::vector<std::string> methods;
+
+  static BenchFlags Parse(int argc, char** argv) {
+    BenchFlags flags;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value_of = [&](const char* prefix) -> const char* {
+        const size_t n = std::string(prefix).size();
+        if (arg.rfind(prefix, 0) == 0) return arg.c_str() + n;
+        return nullptr;
+      };
+      if (const char* v = value_of("--scale=")) {
+        flags.scale = std::atof(v);
+      } else if (const char* v = value_of("--repeats=")) {
+        flags.repeats = std::atoi(v);
+      } else if (const char* v = value_of("--seed=")) {
+        flags.seed = static_cast<uint64_t>(std::atoll(v));
+      } else if (const char* v = value_of("--datasets=")) {
+        flags.datasets.clear();
+        for (auto& part : StrSplit(v, ',')) flags.datasets.push_back(part);
+      } else if (const char* v = value_of("--budgets=")) {
+        flags.budgets.clear();
+        for (auto& part : StrSplit(v, ','))
+          flags.budgets.push_back(std::atoi(part.c_str()));
+      } else if (const char* v = value_of("--opponents=")) {
+        flags.opponents.clear();
+        for (auto& part : StrSplit(v, ','))
+          flags.opponents.push_back(std::atoi(part.c_str()));
+      } else if (const char* v = value_of("--methods=")) {
+        flags.methods.clear();
+        for (auto& part : StrSplit(v, ',')) flags.methods.push_back(part);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    return flags;
+  }
+
+  /// Repeats to use given this bench's default.
+  int ResolveRepeats(int bench_default) const {
+    return repeats > 0 ? repeats : bench_default;
+  }
+};
+
+/// Prints one table row: method name then (rbar, hr) pairs per column.
+inline void PrintRow(const std::string& label,
+                     const std::vector<CellStats>& cells) {
+  std::printf("%-22s", label.c_str());
+  for (const CellStats& cell : cells) {
+    std::printf("  %6.4f %6.4f", cell.mean_average_rating,
+                cell.mean_hit_rate);
+  }
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& first,
+                        const std::vector<std::string>& columns) {
+  std::printf("%-22s", first.c_str());
+  for (const std::string& column : columns) {
+    std::printf("  %13s", column.c_str());
+  }
+  std::printf("\n%-22s", "");
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("  %6s %6s", "rbar", "HR@3");
+  }
+  std::printf("\n");
+}
+
+}  // namespace msopds
+
+#endif  // MSOPDS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// Dataset tour: the data substrate on its own.
+//
+// Generates the three synthetic profiles calibrated to the paper's
+// datasets (Ciao / Epinions / LibraryThing), prints their structural
+// statistics, demonstrates the core-user preprocessing filter, and round
+// trips one dataset through the TSV loader (the path for plugging in the
+// real public dumps).
+//
+// Build & run:  ./build/examples/dataset_tour [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/synthetic.h"
+#include "data/tsv_loader.h"
+#include "graph/graph_stats.h"
+
+using msopds::ComputeGraphStats;
+using msopds::Dataset;
+using msopds::GraphStats;
+using msopds::Rng;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.15;
+
+  for (const auto& config :
+       {msopds::CiaoProfile(scale), msopds::EpinionsProfile(scale),
+        msopds::LibraryThingProfile(scale)}) {
+    Rng rng(99);
+    const Dataset d = msopds::GenerateSynthetic(config, &rng);
+    std::printf("%s\n", d.Summary().c_str());
+    std::printf("  social: %s\n",
+                ComputeGraphStats(d.social).ToString().c_str());
+    std::printf("  items:  %s\n",
+                ComputeGraphStats(d.items).ToString().c_str());
+
+    const Dataset core = msopds::FilterCoreUsers(d, /*min_friends=*/5,
+                                                 /*min_ratings=*/1);
+    std::printf("  core filter (>=5 friends, >=1 rating): %lld -> %lld "
+                "users\n\n",
+                static_cast<long long>(d.num_users),
+                static_cast<long long>(core.num_users));
+  }
+
+  // TSV round trip: this is how the real Ciao/Epinions/LibraryThing dumps
+  // are ingested ("user item rating" + "user user" files).
+  Rng rng(123);
+  const Dataset sample =
+      msopds::GenerateSynthetic(msopds::CiaoProfile(0.03), &rng);
+  const char* ratings_path = "/tmp/msopds_ratings.tsv";
+  const char* trust_path = "/tmp/msopds_trust.tsv";
+  if (msopds::SaveTsv(sample, ratings_path, trust_path).ok()) {
+    auto loaded = msopds::LoadTsv(ratings_path, trust_path);
+    if (loaded.ok()) {
+      std::printf("TSV round trip: wrote %zu ratings, read back %zu (%s)\n",
+                  sample.ratings.size(), loaded.value().ratings.size(),
+                  loaded.value().Summary().c_str());
+    }
+  }
+  std::printf(
+      "\nTo run the suite on the real public dumps, convert them to the\n"
+      "two-file TSV format above and load with msopds::LoadTsv, then\n"
+      "apply msopds::FilterCoreUsers(d, 15, 1) as in the paper.\n");
+  return 0;
+}

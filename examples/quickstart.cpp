@@ -1,0 +1,58 @@
+// Quickstart: the MSOPDS pipeline end to end in ~80 lines.
+//
+//  1. Generate a heterogeneous dataset (ratings + social network + item
+//     graph) with the Epinions-like synthetic profile.
+//  2. Sample the market demographics (target audience, competing items,
+//     the attacker's target item, customer bases).
+//  3. Plan a Multiplayer Comprehensive Attack with MSOPDS, anticipating
+//     one subsequent opponent.
+//  4. Let the opponent react (BOPDS 1-star demotion), train the victim
+//     Het-RecSys on the poisoned data, and report the paper's metrics.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/experiment.h"
+
+using msopds::AttackFactory;
+using msopds::Dataset;
+using msopds::GameConfig;
+using msopds::GameResult;
+using msopds::MultiplayerGame;
+
+int main() {
+  // --- 1. Data. `scale` shrinks the published dataset sizes so this
+  // demo finishes in seconds on one core; raise it for fidelity.
+  const Dataset base = msopds::MakeExperimentDataset("epinions",
+                                                     /*scale=*/0.1,
+                                                     /*seed=*/42);
+  std::printf("dataset: %s\n", base.Summary().c_str());
+
+  // --- 2 + 3 + 4. The MultiplayerGame runs the paper's protocol:
+  // attacker first, then each opponent reacts to everything injected so
+  // far, then the ConsisRec-like victim is trained on the poisoned data.
+  GameConfig config = msopds::DefaultGameConfig();
+  config.num_opponents = 1;        // one rival seller reacts after us
+  config.opponent_budget_level = 2;  // his budget b_op (paper default)
+  MultiplayerGame game(base, config);
+
+  const int budget = 5;  // attacker budget level b (paper: 2..5)
+  std::printf("\n%-10s %8s %8s   (attacker budget b=%d, 1 opponent)\n",
+              "method", "rbar", "HR@3", budget);
+  for (const char* method : {"None", "Random", "RevAdv", "MSOPDS"}) {
+    const AttackFactory factory = msopds::MakeAttackFactory(method);
+    const GameResult result = game.Run(factory, budget, /*seed=*/7);
+    std::printf("%-10s %8.4f %8.4f   attacker plan: %s\n", method,
+                result.average_rating, result.hit_rate_at_3,
+                result.attacker_plan.Summary().c_str());
+  }
+
+  std::printf(
+      "\nReading the table: rbar is the victim's average predicted rating\n"
+      "of the attacker's target item over the target audience; HR@3 is\n"
+      "how often the target cracks the audience's top-3 against 49\n"
+      "competitors. MSOPDS should clearly lead both: it planned against\n"
+      "the opponent's demotion campaign instead of being blindsided.\n");
+  return 0;
+}

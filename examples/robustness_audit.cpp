@@ -1,0 +1,87 @@
+// Robustness audit: the defender's view of this library.
+//
+// A RecSys operator wants to know: which poisoning strategy moves my
+// recommendations the most, how much collateral damage does it cause to
+// overall accuracy, and how visible is it in the data? This example runs
+// every implemented attack against the same platform snapshot and prints
+// an audit report: target uplift, HitRate@3, victim RMSE change on the
+// clean ratings (quality collateral), and the injected footprint.
+//
+// Build & run:  ./build/examples/robustness_audit
+
+#include <cstdio>
+
+#include "attack/attack.h"
+#include "core/experiment.h"
+#include "recsys/metrics.h"
+#include "recsys/trainer.h"
+
+using msopds::AttackBudget;
+using msopds::Dataset;
+using msopds::Demographics;
+using msopds::GameContext;
+using msopds::HetRecSys;
+using msopds::MultiplayerGame;
+using msopds::Rng;
+
+int main() {
+  const Dataset base = msopds::MakeExperimentDataset("ciao", 0.1, 23);
+  std::printf("auditing platform snapshot: %s\n\n", base.Summary().c_str());
+
+  // Reference model trained on clean data.
+  Rng clean_rng(1);
+  HetRecSys clean_model(base, msopds::HetRecSysConfig{}, &clean_rng);
+  msopds::TrainOptions training = msopds::DefaultGameConfig().victim_training;
+  msopds::TrainModel(&clean_model, base.ratings, training);
+  const double clean_rmse = msopds::Rmse(&clean_model, base.ratings);
+
+  Rng demo_rng(2);
+  const std::vector<Demographics> demos =
+      msopds::SampleDemographics(base, 2, &demo_rng);
+  const double clean_target = msopds::AverageTargetRating(
+      &clean_model, demos[0].target_audience, demos[0].target_item);
+
+  std::printf("clean model: rmse=%.4f, target item rbar=%.4f\n\n", clean_rmse,
+              clean_target);
+  std::printf("%-10s %8s %8s %10s %10s  %s\n", "attack", "rbar", "HR@3",
+              "uplift", "rmse-drift", "injected footprint");
+
+  GameContext context;
+  context.base = &base;
+  context.demos = demos;
+  context.config = msopds::DefaultGameConfig();
+  context.attacker_budget = AttackBudget::FromLevel(4, base);
+
+  for (const char* method :
+       {"Random", "Popular", "PGA", "S-attack", "RevAdv", "Trial", "BOPDS",
+        "MSOPDS"}) {
+    Dataset world = base;
+    Rng rng(33);
+    auto attack = msopds::MakeAttackFactory(method)(context);
+    const msopds::PoisonPlan plan =
+        attack->Execute(&world, demos[0], context.attacker_budget, &rng);
+
+    Rng victim_rng(5);
+    HetRecSys victim(world, msopds::HetRecSysConfig{}, &victim_rng);
+    msopds::TrainModel(&victim, world.ratings, training);
+
+    const double rbar = msopds::AverageTargetRating(
+        &victim, demos[0].target_audience, demos[0].target_item);
+    const double hr = msopds::HitRateAtK(&victim, demos[0].target_audience,
+                                         demos[0].target_item,
+                                         demos[0].compete_items, 3);
+    // Collateral: RMSE of the poisoned model on the *clean* ratings.
+    const double drift = msopds::Rmse(&victim, base.ratings) - clean_rmse;
+    std::printf("%-10s %8.4f %8.4f %10.4f %10.4f  %s\n", method, rbar, hr,
+                rbar - clean_target, drift, plan.Summary().c_str());
+  }
+
+  std::printf(
+      "\nAudit reading guide: 'uplift' is how far the attacker moved his\n"
+      "target; 'rmse-drift' is the recommendation-quality damage visible\n"
+      "to the operator; the footprint shows what moderation would need to\n"
+      "find. Graph-channel attacks (BOPDS/MSOPDS) achieve large uplift\n"
+      "with far fewer fake ratings than injection attacks - exactly the\n"
+      "monitoring blind spot the paper warns Het-RecSys operators about.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Transfer study: does a poisoning plan optimized against the PDS
+// surrogate transfer to a victim with a *different* architecture?
+//
+// The paper evaluates on a ConsisRec-like victim; its surrogate (PDS) is
+// a simplified mean-aggregation GNN. A natural robustness question for a
+// defender is whether the attack is architecture-specific. Here the same
+// injected worlds are evaluated on two victims:
+//   - HetRecSys  (attention GNN, the paper's threat model), and
+//   - LightGcn   (layer-averaged propagation, no attention, no projections)
+// and we report the attacker's metrics on both.
+//
+// Build & run:  ./build/examples/transfer_study
+
+#include <cstdio>
+
+#include "core/bopds.h"
+#include "core/experiment.h"
+#include "recsys/lightgcn.h"
+#include "recsys/metrics.h"
+#include "recsys/trainer.h"
+
+using msopds::AttackBudget;
+using msopds::Dataset;
+using msopds::Demographics;
+using msopds::GameContext;
+using msopds::Rng;
+
+int main() {
+  const Dataset base = msopds::MakeExperimentDataset("epinions", 0.1, 31);
+  std::printf("world: %s\n\n", base.Summary().c_str());
+
+  Rng demo_rng(3);
+  const std::vector<Demographics> demos =
+      msopds::SampleDemographics(base, 2, &demo_rng);
+
+  GameContext context;
+  context.base = &base;
+  context.demos = demos;
+  context.config = msopds::DefaultGameConfig();
+  context.attacker_budget = AttackBudget::FromLevel(5, base);
+
+  std::printf("%-10s | %28s | %28s\n", "", "HetRecSys (paper victim)",
+              "LightGCN (transfer victim)");
+  std::printf("%-10s | %13s %13s | %13s %13s\n", "method", "rbar", "HR@3",
+              "rbar", "HR@3");
+
+  for (const char* method : {"None", "Random", "RevAdv", "MSOPDS"}) {
+    // Build the poisoned world once (attacker + reacting opponent).
+    Dataset world = base;
+    Rng rng(77);
+    auto attack = msopds::MakeAttackFactory(method)(context);
+    attack->Execute(&world, demos[0], context.attacker_budget, &rng);
+    {
+      msopds::BopdsConfig opponent_config;
+      opponent_config.pds = context.config.opponent_pds;
+      opponent_config.comprehensive = false;
+      opponent_config.demote = true;
+      opponent_config.preset_rating = msopds::kMinRating;
+      opponent_config.iterations = context.config.opponent_iterations;
+      msopds::Bopds opponent(opponent_config);
+      AttackBudget opponent_budget = AttackBudget::FromLevel(
+          context.config.opponent_budget_level, world);
+      opponent_budget.promote_rating = msopds::kMinRating;
+      Rng opponent_rng(78);
+      opponent.Execute(&world, demos[1], opponent_budget, &opponent_rng);
+    }
+
+    // Victim A: the paper's attention Het-RecSys.
+    Rng rng_a(5);
+    msopds::HetRecSys victim_a(world, context.config.victim, &rng_a);
+    msopds::TrainModel(&victim_a, world.ratings,
+                       context.config.victim_training);
+    // Victim B: LightGCN with social propagation.
+    Rng rng_b(6);
+    msopds::LightGcn victim_b(world, msopds::LightGcnConfig{}, &rng_b);
+    msopds::TrainModel(&victim_b, world.ratings,
+                       context.config.victim_training);
+
+    const auto& market = demos[0];
+    const double rbar_a = msopds::AverageTargetRating(
+        &victim_a, market.target_audience, market.target_item);
+    const double hr_a =
+        msopds::HitRateAtK(&victim_a, market.target_audience,
+                           market.target_item, market.compete_items, 3);
+    const double rbar_b = msopds::AverageTargetRating(
+        &victim_b, market.target_audience, market.target_item);
+    const double hr_b =
+        msopds::HitRateAtK(&victim_b, market.target_audience,
+                           market.target_item, market.compete_items, 3);
+    std::printf("%-10s | %13.4f %13.4f | %13.4f %13.4f\n", method, rbar_a,
+                hr_a, rbar_b, hr_b);
+  }
+
+  std::printf(
+      "\nIf the MSOPDS row dominates on both victims, the plan exploits\n"
+      "the *data* (ratings + graph structure), not quirks of one\n"
+      "architecture — the uncomfortable takeaway for defenders that the\n"
+      "paper's Het-RecSys analysis implies.\n");
+  return 0;
+}

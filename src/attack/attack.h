@@ -1,0 +1,58 @@
+#ifndef MSOPDS_ATTACK_ATTACK_H_
+#define MSOPDS_ATTACK_ATTACK_H_
+
+#include <memory>
+#include <string>
+
+#include "attack/poison_plan.h"
+#include "data/demographics.h"
+#include "util/rng.h"
+
+namespace msopds {
+
+/// Budget derived from the paper's common parameter b (§VI-A3).
+///
+/// Both IA and MCA inject fake users amounting to b% of |U|, each giving a
+/// 5-star rating to the target item. IA additionally rates filler items
+/// with each fake user; MCA instead spends N = b * 5% * |U| on hiring real
+/// raters, fake-account social links (N per fake account), and item-graph
+/// links. All counts are clamped to the available capacity downstream.
+struct AttackBudget {
+  int64_t num_fake_users = 0;
+  /// IA: filler items rated by each fake user (paper: 100).
+  int64_t filler_items_per_fake = 0;
+  /// CA/MCA: hired customer-base raters (N).
+  int64_t hired_raters = 0;
+  /// CA/MCA: total fake-base social links (N per fake account).
+  int64_t social_links = 0;
+  /// CA/MCA: product-to-target item-graph links (N).
+  int64_t item_links = 0;
+  /// Rating given to promoted items (r-hat; 5 promotes, 1 demotes).
+  double promote_rating = 5.0;
+
+  /// Instantiates the paper's formulas for budget level b on a dataset.
+  static AttackBudget FromLevel(int level, const Dataset& dataset);
+
+  /// Budget struct for binarizing a CapacitySet under this budget.
+  Budget ToCapacityBudget() const {
+    return Budget{hired_raters, social_links, item_links};
+  }
+};
+
+/// A poisoning attack strategy. Execute() plans against the *current*
+/// public state of the data (which may already contain other players'
+/// poison) and injects its poison into `world` (fake accounts, ratings,
+/// and/or graph edges). Returns the applied plan for reporting.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual PoisonPlan Execute(Dataset* world, const Demographics& demo,
+                             const AttackBudget& budget, Rng* rng) = 0;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_ATTACK_ATTACK_H_

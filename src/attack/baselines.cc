@@ -1,0 +1,140 @@
+#include "attack/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace msopds {
+
+AttackBudget AttackBudget::FromLevel(int level, const Dataset& dataset) {
+  MSOPDS_CHECK_GT(level, 0);
+  AttackBudget budget;
+  const double users = static_cast<double>(dataset.num_users);
+  budget.num_fake_users = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(users * level / 100.0)));
+  budget.filler_items_per_fake =
+      std::min<int64_t>(100, std::max<int64_t>(5, dataset.num_items / 10));
+  const int64_t n = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(users * level * 0.05)));
+  budget.hired_raters = n;
+  budget.social_links = n * budget.num_fake_users;
+  budget.item_links = n;
+  budget.promote_rating = kMaxRating;
+  return budget;
+}
+
+RatingDistribution FitRatingDistribution(const Dataset& dataset) {
+  RatingDistribution dist;
+  if (dataset.ratings.empty()) return dist;
+  double sum = 0.0;
+  for (const Rating& r : dataset.ratings) sum += r.value;
+  dist.mean = sum / static_cast<double>(dataset.ratings.size());
+  double var = 0.0;
+  for (const Rating& r : dataset.ratings) {
+    const double d = r.value - dist.mean;
+    var += d * d;
+  }
+  dist.stddev =
+      std::sqrt(var / static_cast<double>(dataset.ratings.size()));
+  if (dist.stddev < 0.25) dist.stddev = 0.25;
+  return dist;
+}
+
+double SampleRating(const RatingDistribution& dist, Rng* rng) {
+  const double raw = rng->Normal(dist.mean, dist.stddev);
+  return std::round(std::min(kMaxRating, std::max(kMinRating, raw)));
+}
+
+std::pair<std::vector<int64_t>, PoisonPlan> InjectFakeUsers(
+    Dataset* world, const Demographics& demo, const AttackBudget& budget) {
+  PoisonPlan plan;
+  std::vector<int64_t> fakes = AddFakeUsers(world, budget.num_fake_users);
+  for (int64_t fake : fakes) {
+    plan.actions.push_back(
+        {ActionType::kRating, fake, demo.target_item, budget.promote_rating});
+  }
+  return {std::move(fakes), std::move(plan)};
+}
+
+PoisonPlan NoneAttack::Execute(Dataset* /*world*/,
+                               const Demographics& /*demo*/,
+                               const AttackBudget& /*budget*/, Rng* /*rng*/) {
+  return PoisonPlan{};
+}
+
+namespace {
+
+// Completes an injection attack given a filler-item chooser: rates the
+// chosen fillers with distribution-fitted values and applies everything.
+PoisonPlan FinishInjection(
+    Dataset* world, const Demographics& demo, const AttackBudget& budget,
+    Rng* rng,
+    const std::function<std::vector<int64_t>(int64_t fake, Rng* rng)>&
+        choose_fillers) {
+  auto [fakes, plan] = InjectFakeUsers(world, demo, budget);
+  const RatingDistribution dist = FitRatingDistribution(*world);
+  for (int64_t fake : fakes) {
+    const std::vector<int64_t> fillers = choose_fillers(fake, rng);
+    for (int64_t item : fillers) {
+      if (item == demo.target_item) continue;
+      plan.actions.push_back(
+          {ActionType::kRating, fake, item, SampleRating(dist, rng)});
+    }
+  }
+  plan.ApplyTo(world);
+  return plan;
+}
+
+}  // namespace
+
+PoisonPlan RandomAttack::Execute(Dataset* world, const Demographics& demo,
+                                 const AttackBudget& budget, Rng* rng) {
+  const int64_t num_items = world->num_items;
+  return FinishInjection(
+      world, demo, budget, rng, [&](int64_t /*fake*/, Rng* r) {
+        return r->SampleWithoutReplacement(
+            num_items,
+            std::min<int64_t>(budget.filler_items_per_fake, num_items));
+      });
+}
+
+PoisonPlan PopularAttack::Execute(Dataset* world, const Demographics& demo,
+                                  const AttackBudget& budget, Rng* rng) {
+  // Popularity ranking of items by rating count.
+  const std::vector<int64_t> counts = world->ItemRatingCounts();
+  std::vector<int64_t> by_popularity(static_cast<size_t>(world->num_items));
+  std::iota(by_popularity.begin(), by_popularity.end(), 0);
+  std::sort(by_popularity.begin(), by_popularity.end(),
+            [&](int64_t a, int64_t b) {
+              if (counts[static_cast<size_t>(a)] !=
+                  counts[static_cast<size_t>(b)]) {
+                return counts[static_cast<size_t>(a)] >
+                       counts[static_cast<size_t>(b)];
+              }
+              return a < b;
+            });
+  const int64_t num_items = world->num_items;
+  return FinishInjection(
+      world, demo, budget, rng, [&](int64_t /*fake*/, Rng* r) {
+        const int64_t total =
+            std::min<int64_t>(budget.filler_items_per_fake, num_items);
+        const int64_t popular = std::min<int64_t>(total / 10, num_items);
+        std::unordered_set<int64_t> chosen;
+        std::vector<int64_t> fillers;
+        for (int64_t i = 0; i < popular; ++i) {
+          fillers.push_back(by_popularity[static_cast<size_t>(i)]);
+          chosen.insert(fillers.back());
+        }
+        while (static_cast<int64_t>(fillers.size()) < total) {
+          const int64_t item = r->UniformInt(num_items);
+          if (chosen.insert(item).second) fillers.push_back(item);
+        }
+        return fillers;
+      });
+}
+
+}  // namespace msopds

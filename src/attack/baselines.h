@@ -1,0 +1,58 @@
+#ifndef MSOPDS_ATTACK_BASELINES_H_
+#define MSOPDS_ATTACK_BASELINES_H_
+
+#include <utility>
+#include <vector>
+
+#include "attack/attack.h"
+
+namespace msopds {
+
+/// Mean/stddev of the observed rating values, used by several baselines to
+/// produce filler ratings "matching the real distribution" (paper §VI-A5,
+/// following Fang et al. [49]).
+struct RatingDistribution {
+  double mean = 3.5;
+  double stddev = 1.0;
+};
+
+RatingDistribution FitRatingDistribution(const Dataset& dataset);
+
+/// Draws a discretized in-range rating from the fitted distribution.
+double SampleRating(const RatingDistribution& dist, Rng* rng);
+
+/// Shared Injection-Attack scaffolding: appends the fake accounts and
+/// their unconditional 5-star rating on the target item (paper §VI-A3),
+/// returning the fake ids and the partially-built plan.
+std::pair<std::vector<int64_t>, PoisonPlan> InjectFakeUsers(
+    Dataset* world, const Demographics& demo, const AttackBudget& budget);
+
+/// "None": the attacker does nothing (clean-model reference row).
+class NoneAttack : public Attack {
+ public:
+  std::string name() const override { return "None"; }
+  PoisonPlan Execute(Dataset* world, const Demographics& demo,
+                     const AttackBudget& budget, Rng* rng) override;
+};
+
+/// "Random": fake users rate random filler items with distribution-fitted
+/// values (classic random shilling).
+class RandomAttack : public Attack {
+ public:
+  std::string name() const override { return "Random"; }
+  PoisonPlan Execute(Dataset* world, const Demographics& demo,
+                     const AttackBudget& budget, Rng* rng) override;
+};
+
+/// "Popular" [49], [84]: 90% random + 10% most-popular filler items, which
+/// couples the fake profiles to well-connected items.
+class PopularAttack : public Attack {
+ public:
+  std::string name() const override { return "Popular"; }
+  PoisonPlan Execute(Dataset* world, const Demographics& demo,
+                     const AttackBudget& budget, Rng* rng) override;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_ATTACK_BASELINES_H_

@@ -1,0 +1,117 @@
+#include "attack/capacity.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace msopds {
+namespace {
+
+std::unordered_set<uint64_t> RatedPairs(const Dataset& dataset) {
+  std::unordered_set<uint64_t> rated;
+  rated.reserve(dataset.ratings.size() * 2);
+  for (const Rating& r : dataset.ratings) {
+    rated.insert((static_cast<uint64_t>(r.user) << 32) |
+                 static_cast<uint64_t>(r.item));
+  }
+  return rated;
+}
+
+bool AlreadyRated(const std::unordered_set<uint64_t>& rated, int64_t user,
+                  int64_t item) {
+  return rated.count((static_cast<uint64_t>(user) << 32) |
+                     static_cast<uint64_t>(item)) > 0;
+}
+
+}  // namespace
+
+void CapacitySet::Append(PoisonAction action) {
+  switch (action.type) {
+    case ActionType::kRating:
+      // Grouped layout invariant: ratings must precede edges.
+      MSOPDS_CHECK_EQ(num_social_edges_, 0);
+      MSOPDS_CHECK_EQ(num_item_edges_, 0);
+      ++num_ratings_;
+      break;
+    case ActionType::kSocialEdge:
+      MSOPDS_CHECK_EQ(num_item_edges_, 0);
+      ++num_social_edges_;
+      break;
+    case ActionType::kItemEdge:
+      ++num_item_edges_;
+      break;
+  }
+  actions_.push_back(action);
+}
+
+CapacitySet CapacitySet::MakeComprehensive(
+    const Dataset& dataset, const Demographics& demo,
+    const std::vector<int64_t>& fake_users, double preset_rating) {
+  CapacitySet capacity;
+  const std::unordered_set<uint64_t> rated = RatedPairs(dataset);
+
+  // Hire base users to rate the target item with the preset value.
+  for (int64_t user : demo.customer_base) {
+    if (AlreadyRated(rated, user, demo.target_item)) continue;
+    capacity.Append(
+        {ActionType::kRating, user, demo.target_item, preset_rating});
+  }
+  // Connect base users to fake accounts on the social network.
+  for (int64_t user : demo.customer_base) {
+    for (int64_t fake : fake_users) {
+      if (dataset.social.HasEdge(user, fake)) continue;
+      capacity.Append({ActionType::kSocialEdge, user, fake, 0.0});
+    }
+  }
+  // Link company products to the target item on the item graph.
+  for (int64_t product : demo.product_items) {
+    if (product == demo.target_item) continue;
+    if (dataset.items.HasEdge(product, demo.target_item)) continue;
+    capacity.Append({ActionType::kItemEdge, product, demo.target_item, 0.0});
+  }
+  return capacity;
+}
+
+CapacitySet CapacitySet::MakeRatingOnly(const Dataset& dataset,
+                                        const Demographics& demo,
+                                        double preset_rating) {
+  CapacitySet capacity;
+  const std::unordered_set<uint64_t> rated = RatedPairs(dataset);
+  for (int64_t user : demo.customer_base) {
+    if (AlreadyRated(rated, user, demo.target_item)) continue;
+    capacity.Append(
+        {ActionType::kRating, user, demo.target_item, preset_rating});
+  }
+  return capacity;
+}
+
+Budget CapacitySet::ClampBudget(const Budget& requested) const {
+  Budget clamped;
+  clamped.max_ratings = std::min(requested.max_ratings, num_ratings_);
+  clamped.max_social_edges =
+      std::min(requested.max_social_edges, num_social_edges_);
+  clamped.max_item_edges = std::min(requested.max_item_edges, num_item_edges_);
+  return clamped;
+}
+
+CapacitySet CapacitySet::FilterTypes(bool keep_ratings, bool keep_social,
+                                     bool keep_item) const {
+  CapacitySet filtered;
+  for (const PoisonAction& action : actions_) {
+    const bool keep = (action.type == ActionType::kRating && keep_ratings) ||
+                      (action.type == ActionType::kSocialEdge && keep_social) ||
+                      (action.type == ActionType::kItemEdge && keep_item);
+    if (keep) filtered.Append(action);
+  }
+  return filtered;
+}
+
+std::string CapacitySet::Summary() const {
+  return StrFormat("capacity: %lld ratings, %lld social edges, %lld item edges",
+                   static_cast<long long>(num_ratings_),
+                   static_cast<long long>(num_social_edges_),
+                   static_cast<long long>(num_item_edges_));
+}
+
+}  // namespace msopds

@@ -1,0 +1,96 @@
+#ifndef MSOPDS_ATTACK_CAPACITY_H_
+#define MSOPDS_ATTACK_CAPACITY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/demographics.h"
+
+namespace msopds {
+
+/// The three kinds of candidate poisoning actions a Het-RecSys attacker
+/// can take (paper Fig. 2, bottom left).
+enum class ActionType {
+  /// Add a rating (u, i, r) — real hired user or fake account.
+  kRating = 0,
+  /// Add a social-network edge {u, v} to G_U.
+  kSocialEdge = 1,
+  /// Add an item-graph edge {i, j} to G_I.
+  kItemEdge = 2,
+};
+
+/// One candidate poisoning action.
+struct PoisonAction {
+  ActionType type = ActionType::kRating;
+  /// kRating: the rating user. kSocialEdge: first endpoint (base user).
+  /// kItemEdge: first endpoint (product item).
+  int64_t a = 0;
+  /// kRating: the rated item. kSocialEdge: second endpoint (fake user).
+  /// kItemEdge: second endpoint (target item).
+  int64_t b = 0;
+  /// Rating value (kRating only; the paper's preset r-hat).
+  double rating = 0.0;
+};
+
+/// Per-action-type selection budget applied at binarization.
+struct Budget {
+  int64_t max_ratings = 0;
+  int64_t max_social_edges = 0;
+  int64_t max_item_edges = 0;
+};
+
+/// A player's capacity set C: the ordered list of candidate actions the
+/// importance vector indexes into (paper §IV-A). Actions are grouped by
+/// type: [ratings | social edges | item edges].
+class CapacitySet {
+ public:
+  CapacitySet() = default;
+
+  /// C_CA (paper Eq. (6)): hire customer-base users to rate the target
+  /// item with `preset_rating`; connect base users to fake accounts on
+  /// G_U; link company products to the target item on G_I. Candidates
+  /// that already exist in `dataset` (prior rating / edge) are skipped.
+  static CapacitySet MakeComprehensive(const Dataset& dataset,
+                                       const Demographics& demo,
+                                       const std::vector<int64_t>& fake_users,
+                                       double preset_rating);
+
+  /// A ratings-only capacity (used by the simplified opponents of
+  /// §VI-A4: base users give 1-star ratings to the attacker's target).
+  static CapacitySet MakeRatingOnly(const Dataset& dataset,
+                                    const Demographics& demo,
+                                    double preset_rating);
+
+  const std::vector<PoisonAction>& actions() const { return actions_; }
+  int64_t size() const { return static_cast<int64_t>(actions_.size()); }
+
+  /// Index ranges per type within actions(): ratings occupy
+  /// [0, num_ratings), social edges [num_ratings, num_ratings +
+  /// num_social), item edges the rest.
+  int64_t num_ratings() const { return num_ratings_; }
+  int64_t num_social_edges() const { return num_social_edges_; }
+  int64_t num_item_edges() const { return num_item_edges_; }
+
+  /// Clamps a requested budget to the actually-available candidates.
+  Budget ClampBudget(const Budget& requested) const;
+
+  /// Restricts the capacity to a subset of action types (for the
+  /// category-ablation experiments of paper Fig. 8/9).
+  CapacitySet FilterTypes(bool keep_ratings, bool keep_social,
+                          bool keep_item) const;
+
+  std::string Summary() const;
+
+ private:
+  void Append(PoisonAction action);
+
+  std::vector<PoisonAction> actions_;
+  int64_t num_ratings_ = 0;
+  int64_t num_social_edges_ = 0;
+  int64_t num_item_edges_ = 0;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_ATTACK_CAPACITY_H_

@@ -1,0 +1,77 @@
+#include "attack/importance_vector.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace msopds {
+namespace {
+
+// Marks the top-`budget` indices of values[lo, hi) in `mask`.
+void MarkTopK(const Tensor& values, int64_t lo, int64_t hi, int64_t budget,
+              Tensor* mask) {
+  const int64_t count = hi - lo;
+  if (budget <= 0 || count <= 0) return;
+  std::vector<int64_t> order(static_cast<size_t>(count));
+  std::iota(order.begin(), order.end(), lo);
+  const int64_t k = std::min(budget, count);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](int64_t a, int64_t b) {
+                      const double va = values.at(a);
+                      const double vb = values.at(b);
+                      if (va != vb) return va > vb;
+                      return a < b;
+                    });
+  for (int64_t i = 0; i < k; ++i) mask->at(order[static_cast<size_t>(i)]) = 1.0;
+}
+
+}  // namespace
+
+ImportanceVector::ImportanceVector(const CapacitySet* capacity, Rng* rng,
+                                   double init_scale)
+    : capacity_(capacity) {
+  MSOPDS_CHECK(capacity != nullptr);
+  MSOPDS_CHECK(rng != nullptr);
+  values_ = Tensor::Zeros({capacity->size()});
+  for (int64_t i = 0; i < values_.size(); ++i) {
+    values_.at(i) = rng->Uniform(0.0, init_scale);
+  }
+}
+
+Tensor ImportanceVector::Binarize(const Budget& budget) const {
+  Tensor mask = Tensor::Zeros({values_.size()});
+  const Budget clamped = capacity_->ClampBudget(budget);
+  const int64_t r = capacity_->num_ratings();
+  const int64_t s = capacity_->num_social_edges();
+  const int64_t t = capacity_->num_item_edges();
+  MarkTopK(values_, 0, r, clamped.max_ratings, &mask);
+  MarkTopK(values_, r, r + s, clamped.max_social_edges, &mask);
+  MarkTopK(values_, r + s, r + s + t, clamped.max_item_edges, &mask);
+  return mask;
+}
+
+Variable ImportanceVector::BinarizedParam(const Budget& budget) const {
+  return Param(Binarize(budget));
+}
+
+void ImportanceVector::ApplyUpdate(const Tensor& gradient, double step) {
+  MSOPDS_CHECK(gradient.SameShape(values_));
+  MSOPDS_CHECK_GT(step, 0.0);
+  for (int64_t i = 0; i < values_.size(); ++i) {
+    values_.at(i) -= step * gradient.at(i);
+  }
+}
+
+PoisonPlan ImportanceVector::ExtractPlan(const Budget& budget) const {
+  const Tensor mask = Binarize(budget);
+  PoisonPlan plan;
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    if (mask.at(i) != 0.0) {
+      plan.actions.push_back(capacity_->actions()[static_cast<size_t>(i)]);
+    }
+  }
+  return plan;
+}
+
+}  // namespace msopds

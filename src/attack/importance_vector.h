@@ -1,0 +1,48 @@
+#ifndef MSOPDS_ATTACK_IMPORTANCE_VECTOR_H_
+#define MSOPDS_ATTACK_IMPORTANCE_VECTOR_H_
+
+#include <vector>
+
+#include "attack/capacity.h"
+#include "attack/poison_plan.h"
+#include "tensor/variable.h"
+#include "util/rng.h"
+
+namespace msopds {
+
+/// The importance vector X of paper §IV-A: one continuous priority per
+/// candidate action in a CapacitySet. MSO performs gradient updates on X;
+/// PDS consumes the *binarized* copy X-hat (per-type top-k under the
+/// budget) during surrogate training; updates computed w.r.t. X-hat are
+/// applied back to X (the paper's straight-through scheme, Fig. 4).
+class ImportanceVector {
+ public:
+  /// Initializes priorities with small random values (tie-breaking noise).
+  ImportanceVector(const CapacitySet* capacity, Rng* rng,
+                   double init_scale = 1e-3);
+
+  const CapacitySet& capacity() const { return *capacity_; }
+  const Tensor& values() const { return values_; }
+  int64_t size() const { return values_.size(); }
+
+  /// Binarized copy: 1 for the top-budget actions of each type, else 0.
+  /// Ties break toward lower action index (deterministic).
+  Tensor Binarize(const Budget& budget) const;
+
+  /// Binarized copy as a trainable leaf (the X-hat fed into PDS).
+  Variable BinarizedParam(const Budget& budget) const;
+
+  /// Gradient step X <- X - step * gradient (gradient w.r.t. X-hat).
+  void ApplyUpdate(const Tensor& gradient, double step);
+
+  /// The concrete poisoning plan: actions selected by Binarize(budget).
+  PoisonPlan ExtractPlan(const Budget& budget) const;
+
+ private:
+  const CapacitySet* capacity_;  // not owned
+  Tensor values_;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_ATTACK_IMPORTANCE_VECTOR_H_

@@ -1,0 +1,51 @@
+#include "attack/pga_attack.h"
+
+#include <cmath>
+
+#include "attack/baselines.h"
+#include "util/logging.h"
+
+namespace msopds {
+
+PgaAttack::PgaAttack(UnrolledMfOptions options) : options_(options) {}
+
+PoisonPlan PgaAttack::Execute(Dataset* world, const Demographics& demo,
+                              const AttackBudget& budget, Rng* rng) {
+  const int64_t num_real_users = world->num_users;
+  auto [fakes, plan] = InjectFakeUsers(world, demo, budget);
+
+  // Fixed random filler set per fake user.
+  std::vector<std::pair<int64_t, int64_t>> fake_pairs;
+  for (int64_t fake : fakes) {
+    const std::vector<int64_t> fillers = rng->SampleWithoutReplacement(
+        world->num_items,
+        std::min<int64_t>(budget.filler_items_per_fake, world->num_items));
+    for (int64_t item : fillers) {
+      if (item == demo.target_item) continue;
+      fake_pairs.emplace_back(fake, item);
+    }
+  }
+  if (fake_pairs.empty()) {
+    plan.ApplyTo(world);
+    return plan;
+  }
+
+  // Initial values from the fitted rating distribution.
+  const RatingDistribution dist = FitRatingDistribution(*world);
+  Tensor init({static_cast<int64_t>(fake_pairs.size())});
+  for (int64_t i = 0; i < init.size(); ++i)
+    init.at(i) = SampleRating(dist, rng);
+
+  const Tensor optimized = OptimizeFakeRatings(
+      *world, demo, fake_pairs, init, num_real_users, options_, rng);
+
+  for (size_t i = 0; i < fake_pairs.size(); ++i) {
+    plan.actions.push_back(
+        {ActionType::kRating, fake_pairs[i].first, fake_pairs[i].second,
+         std::round(optimized.at(static_cast<int64_t>(i)))});
+  }
+  plan.ApplyTo(world);
+  return plan;
+}
+
+}  // namespace msopds

@@ -1,0 +1,28 @@
+#ifndef MSOPDS_ATTACK_PGA_ATTACK_H_
+#define MSOPDS_ATTACK_PGA_ATTACK_H_
+
+#include "attack/attack.h"
+#include "attack/unrolled_surrogate.h"
+
+namespace msopds {
+
+/// Projected Gradient Ascent attack (Li et al. [13]): optimizes the fake
+/// users' filler rating values over a matrix-factorization surrogate by
+/// gradient steps projected into the valid rating range. Filler items are
+/// a fixed random set per fake user; values are optimized through a short
+/// recorded training unroll. Operates under the IA scenario.
+class PgaAttack : public Attack {
+ public:
+  explicit PgaAttack(UnrolledMfOptions options = {});
+
+  std::string name() const override { return "PGA"; }
+  PoisonPlan Execute(Dataset* world, const Demographics& demo,
+                     const AttackBudget& budget, Rng* rng) override;
+
+ private:
+  UnrolledMfOptions options_;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_ATTACK_PGA_ATTACK_H_

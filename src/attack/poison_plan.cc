@@ -1,0 +1,64 @@
+#include "attack/poison_plan.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace msopds {
+
+int64_t PoisonPlan::CountType(ActionType type) const {
+  int64_t count = 0;
+  for (const PoisonAction& action : actions) {
+    if (action.type == type) ++count;
+  }
+  return count;
+}
+
+void PoisonPlan::ApplyTo(Dataset* dataset) const {
+  MSOPDS_CHECK(dataset != nullptr);
+  for (const PoisonAction& action : actions) {
+    switch (action.type) {
+      case ActionType::kRating: {
+        bool replaced = false;
+        for (Rating& r : dataset->ratings) {
+          if (r.user == action.a && r.item == action.b) {
+            r.value = action.rating;
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) {
+          dataset->ratings.push_back({action.a, action.b, action.rating});
+        }
+        break;
+      }
+      case ActionType::kSocialEdge:
+        dataset->social.AddEdge(action.a, action.b);
+        break;
+      case ActionType::kItemEdge:
+        dataset->items.AddEdge(action.a, action.b);
+        break;
+    }
+  }
+}
+
+std::string PoisonPlan::Summary() const {
+  return StrFormat("plan: %lld ratings, %lld social edges, %lld item edges",
+                   static_cast<long long>(CountType(ActionType::kRating)),
+                   static_cast<long long>(CountType(ActionType::kSocialEdge)),
+                   static_cast<long long>(CountType(ActionType::kItemEdge)));
+}
+
+std::vector<int64_t> AddFakeUsers(Dataset* dataset, int64_t count) {
+  MSOPDS_CHECK(dataset != nullptr);
+  MSOPDS_CHECK_GE(count, 0);
+  std::vector<int64_t> ids;
+  ids.reserve(static_cast<size_t>(count));
+  for (int64_t k = 0; k < count; ++k) {
+    ids.push_back(dataset->num_users + k);
+  }
+  dataset->num_users += count;
+  dataset->social.AddNodes(count);
+  return ids;
+}
+
+}  // namespace msopds

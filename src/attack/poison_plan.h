@@ -1,0 +1,33 @@
+#ifndef MSOPDS_ATTACK_POISON_PLAN_H_
+#define MSOPDS_ATTACK_POISON_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "attack/capacity.h"
+#include "data/dataset.h"
+
+namespace msopds {
+
+/// A concrete set of poisoning actions X (paper notation X^p), ready to be
+/// injected into a dataset.
+struct PoisonPlan {
+  std::vector<PoisonAction> actions;
+
+  int64_t CountType(ActionType type) const;
+
+  /// Injects the plan: ratings are appended (existing (u, i) pairs are
+  /// overwritten with the poison value), edges are added to the graphs.
+  void ApplyTo(Dataset* dataset) const;
+
+  std::string Summary() const;
+};
+
+/// Appends `count` fake user accounts to the dataset (isolated nodes in
+/// the social network) and returns their ids. Both IA and MCA inject fake
+/// accounts before planning (paper §VI-A3).
+std::vector<int64_t> AddFakeUsers(Dataset* dataset, int64_t count);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_ATTACK_POISON_PLAN_H_

@@ -1,0 +1,46 @@
+#ifndef MSOPDS_ATTACK_POISONREC_ATTACK_H_
+#define MSOPDS_ATTACK_POISONREC_ATTACK_H_
+
+#include "attack/attack.h"
+#include "recsys/matrix_factorization.h"
+
+namespace msopds {
+
+/// Options of the reinforcement-learning injection attack.
+struct PoisonRecOptions {
+  /// Black-box episodes (each trains a fresh surrogate and queries it).
+  int episodes = 8;
+  /// Policy learning rate for the REINFORCE update.
+  double policy_learning_rate = 2.0;
+  /// Moving-average factor of the reward baseline.
+  double baseline_momentum = 0.7;
+  /// Surrogate used as the black-box system in each episode.
+  MfConfig mf;
+  int surrogate_epochs = 12;
+  double surrogate_learning_rate = 0.05;
+};
+
+/// EXTENSION baseline: PoisonRec (Song et al., ICDE'20 [40]) reduced to
+/// its core mechanism — black-box poisoning by reinforcement learning
+/// under limited information. The attacker maintains softmax propensities
+/// over filler items; each episode samples a filler set, injects it,
+/// trains a black-box surrogate, observes the target item's average
+/// predicted rating as the reward, and reinforces the sampled items with
+/// the advantage over a moving baseline. The final profile takes the
+/// highest-propensity items. Unlike PGA/RevAdv it never differentiates
+/// through the recommender. IA scenario.
+class PoisonRecAttack : public Attack {
+ public:
+  explicit PoisonRecAttack(PoisonRecOptions options = {});
+
+  std::string name() const override { return "PoisonRec"; }
+  PoisonPlan Execute(Dataset* world, const Demographics& demo,
+                     const AttackBudget& budget, Rng* rng) override;
+
+ private:
+  PoisonRecOptions options_;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_ATTACK_POISONREC_ATTACK_H_

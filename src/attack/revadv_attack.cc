@@ -1,0 +1,78 @@
+#include "attack/revadv_attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "attack/baselines.h"
+#include "util/logging.h"
+
+namespace msopds {
+
+UnrolledMfOptions RevAdvAttack::DefaultOptions() {
+  UnrolledMfOptions options;
+  options.unroll_steps = 5;
+  options.outer_iterations = 12;
+  options.outer_learning_rate = 0.4;
+  options.refresh_every = 4;  // "revisit" the lower-level solution
+  return options;
+}
+
+RevAdvAttack::RevAdvAttack(UnrolledMfOptions options) : options_(options) {}
+
+PoisonPlan RevAdvAttack::Execute(Dataset* world, const Demographics& demo,
+                                 const AttackBudget& budget, Rng* rng) {
+  const int64_t num_real_users = world->num_users;
+  auto [fakes, plan] = InjectFakeUsers(world, demo, budget);
+
+  // Popularity-biased filler choice: fake profiles look like real ones.
+  const std::vector<int64_t> counts = world->ItemRatingCounts();
+  std::vector<double> cumulative(static_cast<size_t>(world->num_items), 0.0);
+  double total = 0.0;
+  for (int64_t i = 0; i < world->num_items; ++i) {
+    total += static_cast<double>(counts[static_cast<size_t>(i)]) + 1.0;
+    cumulative[static_cast<size_t>(i)] = total;
+  }
+  auto sample_item = [&](Rng* r) {
+    const double u = r->Uniform(0.0, total);
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    return static_cast<int64_t>(it - cumulative.begin());
+  };
+
+  std::vector<std::pair<int64_t, int64_t>> fake_pairs;
+  for (int64_t fake : fakes) {
+    std::unordered_set<int64_t> chosen;
+    const int64_t want =
+        std::min<int64_t>(budget.filler_items_per_fake, world->num_items - 1);
+    int64_t guard = 0;
+    while (static_cast<int64_t>(chosen.size()) < want &&
+           guard++ < want * 50) {
+      const int64_t item = sample_item(rng);
+      if (item == demo.target_item) continue;
+      if (chosen.insert(item).second) fake_pairs.emplace_back(fake, item);
+    }
+  }
+  if (fake_pairs.empty()) {
+    plan.ApplyTo(world);
+    return plan;
+  }
+
+  const RatingDistribution dist = FitRatingDistribution(*world);
+  Tensor init({static_cast<int64_t>(fake_pairs.size())});
+  for (int64_t i = 0; i < init.size(); ++i)
+    init.at(i) = SampleRating(dist, rng);
+
+  const Tensor optimized = OptimizeFakeRatings(
+      *world, demo, fake_pairs, init, num_real_users, options_, rng);
+
+  for (size_t i = 0; i < fake_pairs.size(); ++i) {
+    plan.actions.push_back(
+        {ActionType::kRating, fake_pairs[i].first, fake_pairs[i].second,
+         std::round(optimized.at(static_cast<int64_t>(i)))});
+  }
+  plan.ApplyTo(world);
+  return plan;
+}
+
+}  // namespace msopds

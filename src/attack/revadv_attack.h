@@ -1,0 +1,32 @@
+#ifndef MSOPDS_ATTACK_REVADV_ATTACK_H_
+#define MSOPDS_ATTACK_REVADV_ATTACK_H_
+
+#include "attack/attack.h"
+#include "attack/unrolled_surrogate.h"
+
+namespace msopds {
+
+/// Revisit Attack (Tang et al. [3]): the state-of-the-art bilevel
+/// adversarially-learned injection attack. Compared to PGA it (a) selects
+/// filler items by popularity-biased sampling (fake profiles mimic real
+/// profile structure), (b) runs more outer iterations with a deeper
+/// recorded unroll, and (c) periodically re-solves the lower-level
+/// (re-trains the surrogate to convergence on the current poison) — the
+/// paper's "revisit" of the exact training trajectory. IA scenario.
+class RevAdvAttack : public Attack {
+ public:
+  explicit RevAdvAttack(UnrolledMfOptions options = DefaultOptions());
+
+  static UnrolledMfOptions DefaultOptions();
+
+  std::string name() const override { return "RevAdv"; }
+  PoisonPlan Execute(Dataset* world, const Demographics& demo,
+                     const AttackBudget& budget, Rng* rng) override;
+
+ private:
+  UnrolledMfOptions options_;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_ATTACK_REVADV_ATTACK_H_

@@ -1,0 +1,67 @@
+#include "attack/sattack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "attack/baselines.h"
+#include "util/logging.h"
+
+namespace msopds {
+
+PoisonPlan SAttack::Execute(Dataset* world, const Demographics& demo,
+                            const AttackBudget& budget, Rng* rng) {
+  auto [fakes, plan] = InjectFakeUsers(world, demo, budget);
+
+  // Influence scores over items: one-hop propagation from items the
+  // target audience rated, via the item co-rating graph, plus a weak
+  // popularity prior (log count).
+  const std::unordered_set<int64_t> audience(demo.target_audience.begin(),
+                                             demo.target_audience.end());
+  std::vector<double> seed(static_cast<size_t>(world->num_items), 0.0);
+  for (const Rating& r : world->ratings) {
+    if (audience.count(r.user) > 0) seed[static_cast<size_t>(r.item)] += 1.0;
+  }
+  const std::vector<int64_t> counts = world->ItemRatingCounts();
+  std::vector<double> score(static_cast<size_t>(world->num_items), 0.0);
+  for (int64_t i = 0; i < world->num_items; ++i) {
+    double propagated = seed[static_cast<size_t>(i)];
+    for (int64_t j : world->items.Neighbors(i)) {
+      const double deg =
+          static_cast<double>(world->items.Degree(j));
+      propagated += seed[static_cast<size_t>(j)] / std::max(1.0, deg);
+    }
+    score[static_cast<size_t>(i)] =
+        propagated +
+        0.1 * std::log(1.0 + static_cast<double>(
+                                 counts[static_cast<size_t>(i)]));
+  }
+
+  std::vector<int64_t> ranked(static_cast<size_t>(world->num_items));
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::sort(ranked.begin(), ranked.end(), [&](int64_t a, int64_t b) {
+    if (score[static_cast<size_t>(a)] != score[static_cast<size_t>(b)]) {
+      return score[static_cast<size_t>(a)] > score[static_cast<size_t>(b)];
+    }
+    return a < b;
+  });
+
+  const RatingDistribution dist = FitRatingDistribution(*world);
+  const int64_t fillers =
+      std::min<int64_t>(budget.filler_items_per_fake, world->num_items - 1);
+  for (int64_t fake : fakes) {
+    int64_t taken = 0;
+    for (int64_t item : ranked) {
+      if (taken >= fillers) break;
+      if (item == demo.target_item) continue;
+      plan.actions.push_back(
+          {ActionType::kRating, fake, item, SampleRating(dist, rng)});
+      ++taken;
+    }
+  }
+  plan.ApplyTo(world);
+  return plan;
+}
+
+}  // namespace msopds

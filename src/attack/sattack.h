@@ -1,0 +1,24 @@
+#ifndef MSOPDS_ATTACK_SATTACK_H_
+#define MSOPDS_ATTACK_SATTACK_H_
+
+#include "attack/attack.h"
+
+namespace msopds {
+
+/// S-attack (Fang et al. [52]): influence-function-based proxy-item
+/// selection against graph-based top-N recommenders. Filler items are
+/// chosen to maximize an influence score that propagates from the target
+/// audience's rated items through the item co-rating graph (one-hop
+/// random-walk proximity plus a popularity prior); each proxy item is
+/// rated from a normal distribution fitted to the real ratings (as in the
+/// original paper). IA scenario.
+class SAttack : public Attack {
+ public:
+  std::string name() const override { return "S-attack"; }
+  PoisonPlan Execute(Dataset* world, const Demographics& demo,
+                     const AttackBudget& budget, Rng* rng) override;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_ATTACK_SATTACK_H_

@@ -1,0 +1,44 @@
+#ifndef MSOPDS_ATTACK_TRIAL_ATTACK_H_
+#define MSOPDS_ATTACK_TRIAL_ATTACK_H_
+
+#include "attack/attack.h"
+#include "recsys/matrix_factorization.h"
+
+namespace msopds {
+
+/// Options for the Trial attack's candidate search.
+struct TrialOptions {
+  /// Candidate fake profiles generated per fake account slot.
+  int candidates_per_fake = 6;
+  /// Weight of the realism (discriminator) term against influence.
+  double realism_weight = 0.5;
+  /// Surrogate used by the influence module.
+  MfConfig mf;
+  int surrogate_epochs = 30;
+  double surrogate_learning_rate = 0.05;
+};
+
+/// Trial Attack (Wu et al. [54]): triple adversarial learning reduced to
+/// its selection objective — a *generator* samples candidate fake
+/// profiles that imitate real rating behaviour, a *discriminator* scores
+/// their realism (log-likelihood under per-item rating statistics), and
+/// an *influence module* estimates each profile's effect on the attack
+/// objective (first-order influence: the inner product of the profile's
+/// training gradient with the gradient of the injection loss on a trained
+/// surrogate). The best-scoring candidate is assigned to each fake
+/// account. IA scenario.
+class TrialAttack : public Attack {
+ public:
+  explicit TrialAttack(TrialOptions options = {});
+
+  std::string name() const override { return "Trial"; }
+  PoisonPlan Execute(Dataset* world, const Demographics& demo,
+                     const AttackBudget& budget, Rng* rng) override;
+
+ private:
+  TrialOptions options_;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_ATTACK_TRIAL_ATTACK_H_

@@ -1,0 +1,58 @@
+#ifndef MSOPDS_CORE_BOPDS_H_
+#define MSOPDS_CORE_BOPDS_H_
+
+#include <string>
+#include <vector>
+
+#include "attack/attack.h"
+#include "core/pds_surrogate.h"
+
+namespace msopds {
+
+/// Configuration of the bi-level ablation attack.
+struct BopdsConfig {
+  PdsConfig pds;
+  /// First-order step size on the importance vector.
+  double step = 0.05;
+  /// Gradient iterations.
+  int iterations = 12;
+  /// true: full Comprehensive capacity C_CA (fake links, item links);
+  /// false: rating-only capacity (the simplified opponents of §VI-A4).
+  bool comprehensive = true;
+  /// true: demote the target below competitors (opponent objective);
+  /// false: promote it (attacker objective).
+  bool demote = false;
+  /// Rating value given by hired raters (5 promotes, 1 demotes).
+  double preset_rating = kMaxRating;
+  /// Whether to inject fake accounts (only meaningful for comprehensive).
+  bool inject_fake_accounts = true;
+  std::string variant_name = "BOPDS";
+};
+
+/// Bi-level Optimization over Progressive Differentiable Surrogate —
+/// the paper's single-player ablation (end of §IV-D): Algorithm 1 with
+/// the opponent machinery removed, i.e. plain gradient descent of the
+/// Comprehensive Attack loss w.r.t. the player's own importance vector.
+/// Also serves as the planning method of the *actual* opponents in every
+/// experiment (§VI-B: "each opponent selects real users from his customer
+/// base by BOPDS").
+class Bopds : public Attack {
+ public:
+  explicit Bopds(BopdsConfig config);
+
+  std::string name() const override { return config_.variant_name; }
+
+  PoisonPlan Execute(Dataset* world, const Demographics& demo,
+                     const AttackBudget& budget, Rng* rng) override;
+
+  /// Loss trajectory of the last Execute.
+  const std::vector<double>& last_losses() const { return losses_; }
+
+ private:
+  BopdsConfig config_;
+  std::vector<double> losses_;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_CORE_BOPDS_H_

@@ -1,0 +1,59 @@
+#ifndef MSOPDS_CORE_EXPERIMENT_H_
+#define MSOPDS_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/multiplayer_game.h"
+#include "core/msopds.h"
+#include "data/synthetic.h"
+
+namespace msopds {
+
+/// The Table III method rows in paper order (IA baselines then MSOPDS).
+std::vector<std::string> StandardMethods();
+
+/// MSOPDS ablation variants of Fig. 8 (action categories; Epinions) and
+/// Fig. 9 (real vs fake accounts; Epinions).
+std::vector<std::string> Fig8Methods();
+std::vector<std::string> Fig9Methods();
+
+/// Maps a method name to an attack factory. Recognized names:
+/// None, Random, Popular, PGA, S-attack, RevAdv, Trial, PoisonRec (RL
+/// extension baseline), BOPDS, MSOPDS, MSOPDS-ratings,
+/// MSOPDS-ratings+item, MSOPDS-ratings+user, MSOPDS-real, MSOPDS-fake.
+/// CHECK-fails on unknown names.
+AttackFactory MakeAttackFactory(const std::string& method);
+
+/// Generates the named synthetic dataset profile ("ciao", "epinions",
+/// "librarything") at `scale`, deterministically from `seed`.
+Dataset MakeExperimentDataset(const std::string& name, double scale,
+                              uint64_t seed);
+
+/// Game configuration tuned so the full benchmark suite runs on one CPU
+/// core (paper hyperparameters where feasible: eta^p = 0.005 < eta^q =
+/// 0.05, L = 5, K = 20 are kept in Msopds defaults; victim/opponent sizes
+/// are reduced).
+GameConfig DefaultGameConfig();
+
+/// Default MSOPDS configuration used by MakeAttackFactory("MSOPDS").
+MsopdsConfig DefaultMsopdsConfig();
+
+/// Mean metrics over `repeats` games with seeds seed, seed+1, ...
+struct CellStats {
+  double mean_average_rating = 0.0;
+  double mean_hit_rate = 0.0;
+  int repeats = 0;
+};
+
+CellStats RunRepeatedCell(const MultiplayerGame& game,
+                          const std::string& method, int budget_level,
+                          uint64_t seed, int repeats);
+
+/// Machine-readable export of one game outcome (method, metrics, plan
+/// composition) for downstream tooling.
+std::string GameResultToJson(const GameResult& result);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_CORE_EXPERIMENT_H_

@@ -1,0 +1,67 @@
+#ifndef MSOPDS_CORE_MSO_OPTIMIZER_H_
+#define MSOPDS_CORE_MSO_OPTIMIZER_H_
+
+#include <functional>
+#include <vector>
+
+#include "attack/importance_vector.h"
+#include "solver/conjugate_gradient.h"
+
+namespace msopds {
+
+/// Hyperparameters of the Multilevel Stackelberg Optimization.
+struct MsoConfig {
+  /// Leader step size eta^p; must be < follower_step (Algorithm 1 assert,
+  /// the push-pull convergence condition of Theorem 3 / Fiez et al.).
+  double leader_step = 0.005;
+  /// Follower step size eta^q.
+  double follower_step = 0.05;
+  /// Outer iterations K.
+  int outer_iterations = 20;
+  /// Conjugate gradient options for the implicit (Hessian) solve.
+  CgOptions cg = {/*max_iterations=*/8, /*relative_tolerance=*/1e-4,
+                  /*damping=*/1e-2};
+};
+
+/// Per-iteration diagnostics.
+struct MsoIterationStats {
+  double leader_loss = 0.0;
+  std::vector<double> follower_losses;
+  double leader_grad_norm = 0.0;
+  double implicit_term_norm = 0.0;
+  int cg_iterations = 0;
+};
+
+/// Multilevel Stackelberg Optimization (paper §IV-B).
+///
+/// Simultaneously updates the leader's importance vector with the total
+/// derivative of Eq. (13)/(14) — the direct term minus the implicit
+/// reaction term obtained by a conjugate-gradient solve of
+/// xi * d^2 L^q / dX^q^2 = dL^p / dX^q followed by a mixed vector-Jacobian
+/// product — and each follower with the partial derivative of Eq. (9).
+class MsoOptimizer {
+ public:
+  /// Evaluates every player's loss given their binarized importance
+  /// Variables (players[0] = leader). Must build a fresh differentiable
+  /// graph per call (e.g. PdsSurrogate::TrainUnrolled + attack losses).
+  using LossFn = std::function<std::vector<Variable>(
+      const std::vector<Variable>& xhats)>;
+
+  explicit MsoOptimizer(const MsoConfig& config);
+
+  /// Runs K simultaneous update iterations, mutating the players'
+  /// importance vectors. `budgets[i]` is player i's binarization budget.
+  /// Returns per-iteration diagnostics.
+  std::vector<MsoIterationStats> Optimize(
+      const LossFn& losses, const std::vector<ImportanceVector*>& players,
+      const std::vector<Budget>& budgets) const;
+
+  const MsoConfig& config() const { return config_; }
+
+ private:
+  MsoConfig config_;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_CORE_MSO_OPTIMIZER_H_

@@ -1,0 +1,144 @@
+#include "core/msopds.h"
+
+#include <memory>
+
+#include "attack/baselines.h"
+#include "core/losses.h"
+#include "util/logging.h"
+
+namespace msopds {
+namespace {
+
+// Target / competitor prediction index lists for a demographics block.
+struct MarketIndices {
+  std::vector<int64_t> target_users;
+  std::vector<int64_t> target_items;
+  std::vector<int64_t> compete_users;
+  std::vector<int64_t> compete_items;
+};
+
+MarketIndices BuildMarketIndices(const Demographics& demo) {
+  MarketIndices indices;
+  for (int64_t user : demo.target_audience) {
+    indices.target_users.push_back(user);
+    indices.target_items.push_back(demo.target_item);
+    for (int64_t item : demo.compete_items) {
+      indices.compete_users.push_back(user);
+      indices.compete_items.push_back(item);
+    }
+  }
+  return indices;
+}
+
+}  // namespace
+
+Msopds::Msopds(MsopdsConfig config, std::vector<OpponentSpec> opponents)
+    : config_(std::move(config)), opponents_(std::move(opponents)) {}
+
+PoisonPlan Msopds::Execute(Dataset* world, const Demographics& demo,
+                           const AttackBudget& budget, Rng* rng) {
+  MSOPDS_CHECK(world != nullptr);
+  MSOPDS_CHECK(rng != nullptr);
+  history_.clear();
+
+  // Fake accounts + their unconditional 5-star target ratings are part of
+  // the attack in both IA and MCA (paper §VI-A3) and enter the surrogate
+  // as public data; the planned actions come on top.
+  PoisonPlan plan;
+  std::vector<int64_t> fakes;
+  if (config_.inject_fake_accounts && budget.num_fake_users > 0) {
+    auto injected = InjectFakeUsers(world, demo, budget);
+    fakes = std::move(injected.first);
+    plan = std::move(injected.second);
+    plan.ApplyTo(world);
+  }
+
+  // Leader capacity (C_CA of Eq. (6)), optionally category-filtered.
+  CapacitySet leader_capacity = CapacitySet::MakeComprehensive(
+      *world, demo, fakes, budget.promote_rating);
+  leader_capacity = leader_capacity.FilterTypes(
+      config_.include_rating_actions, config_.include_social_actions,
+      config_.include_item_actions);
+  if (leader_capacity.size() == 0) {
+    return plan;  // nothing to plan (degenerate ablation)
+  }
+  Budget leader_budget =
+      leader_capacity.ClampBudget(budget.ToCapacityBudget());
+
+  // Anticipated opponents: simplified CA (rating-only demotion, §VI-A4).
+  std::vector<CapacitySet> opponent_capacities;
+  std::vector<Budget> budgets = {leader_budget};
+  opponent_capacities.reserve(opponents_.size());
+  for (const OpponentSpec& spec : opponents_) {
+    opponent_capacities.push_back(CapacitySet::MakeRatingOnly(
+        *world, spec.demo, spec.preset_rating));
+  }
+  for (size_t q = 0; q < opponents_.size(); ++q) {
+    const AttackBudget opp_budget =
+        AttackBudget::FromLevel(opponents_[q].budget_level, *world);
+    budgets.push_back(opponent_capacities[q].ClampBudget(
+        Budget{opp_budget.hired_raters, 0, 0}));
+  }
+
+  std::vector<const CapacitySet*> capacities = {&leader_capacity};
+  for (const CapacitySet& capacity : opponent_capacities) {
+    capacities.push_back(&capacity);
+  }
+
+  // The surrogate over the fully-poisoned world (Algorithm 1 step 2).
+  Rng surrogate_rng = rng->Split();
+  PdsSurrogate surrogate(*world, capacities, config_.pds, &surrogate_rng);
+
+  // Market prediction indices per player.
+  std::vector<MarketIndices> markets;
+  markets.push_back(BuildMarketIndices(demo));
+  for (const OpponentSpec& spec : opponents_) {
+    markets.push_back(BuildMarketIndices(spec.demo));
+  }
+  std::vector<int64_t> compete_counts;
+  compete_counts.push_back(
+      static_cast<int64_t>(demo.compete_items.size()));
+  for (const OpponentSpec& spec : opponents_) {
+    compete_counts.push_back(
+        static_cast<int64_t>(spec.demo.compete_items.size()));
+  }
+
+  MsoOptimizer::LossFn losses = [&](const std::vector<Variable>& xhats) {
+    const PdsSurrogate::Outcome outcome = surrogate.TrainUnrolled(xhats);
+    std::vector<Variable> values;
+    values.reserve(markets.size());
+    for (size_t p = 0; p < markets.size(); ++p) {
+      Variable target_preds = surrogate.Predict(
+          outcome, markets[p].target_users, markets[p].target_items);
+      Variable compete_preds = surrogate.Predict(
+          outcome, markets[p].compete_users, markets[p].compete_items);
+      // Leader promotes the target; opponents demote it.
+      values.push_back(ComprehensiveLossFromPredictions(
+          target_preds, compete_preds, compete_counts[p], /*demote=*/p > 0));
+    }
+    return values;
+  };
+
+  // Importance vectors and the Stackelberg optimization.
+  Rng init_rng = rng->Split();
+  ImportanceVector leader_iv(&leader_capacity, &init_rng);
+  std::vector<std::unique_ptr<ImportanceVector>> opponent_ivs;
+  std::vector<ImportanceVector*> players = {&leader_iv};
+  for (const CapacitySet& capacity : opponent_capacities) {
+    opponent_ivs.push_back(
+        std::make_unique<ImportanceVector>(&capacity, &init_rng));
+    players.push_back(opponent_ivs.back().get());
+  }
+
+  const MsoOptimizer optimizer(config_.mso);
+  history_ = optimizer.Optimize(losses, players, budgets);
+
+  // Extract and inject the leader's plan.
+  PoisonPlan planned = leader_iv.ExtractPlan(leader_budget);
+  planned.ApplyTo(world);
+  plan.actions.insert(plan.actions.end(), planned.actions.begin(),
+                      planned.actions.end());
+  return plan;
+}
+
+}  // namespace msopds

@@ -1,0 +1,63 @@
+#ifndef MSOPDS_CORE_MSOPDS_H_
+#define MSOPDS_CORE_MSOPDS_H_
+
+#include <string>
+#include <vector>
+
+#include "attack/attack.h"
+#include "core/mso_optimizer.h"
+#include "core/pds_surrogate.h"
+
+namespace msopds {
+
+/// What the attacker anticipates about one subsequent opponent: his
+/// demographics (shared market, own customer base), his budget level
+/// b_op, and the rating he will spam (1-star demotes the target).
+struct OpponentSpec {
+  Demographics demo;
+  int budget_level = 2;
+  double preset_rating = kMinRating;
+};
+
+/// Configuration of the full MSOPDS attack.
+struct MsopdsConfig {
+  PdsConfig pds;
+  MsoConfig mso;
+  /// Action-category switches for the paper's Fig. 8/9 ablations.
+  bool include_rating_actions = true;
+  bool include_social_actions = true;
+  bool include_item_actions = true;
+  /// When false the attacker hires real users only (MSOPDS-real).
+  bool inject_fake_accounts = true;
+  /// Reported method name (ablations rename themselves).
+  std::string variant_name = "MSOPDS";
+};
+
+/// Multilevel Stackelberg Optimization over Progressive Differentiable
+/// Surrogate — the paper's contribution (Algorithm 1), packaged as an
+/// Attack for the multiplayer evaluation protocol. Plans a Multiplayer
+/// Comprehensive Attack that anticipates the given opponents' subsequent
+/// Comprehensive Attacks and injects the resulting plan into the world.
+class Msopds : public Attack {
+ public:
+  Msopds(MsopdsConfig config, std::vector<OpponentSpec> opponents);
+
+  std::string name() const override { return config_.variant_name; }
+
+  PoisonPlan Execute(Dataset* world, const Demographics& demo,
+                     const AttackBudget& budget, Rng* rng) override;
+
+  /// Diagnostics of the last Execute (per MSO iteration).
+  const std::vector<MsoIterationStats>& last_history() const {
+    return history_;
+  }
+
+ private:
+  MsopdsConfig config_;
+  std::vector<OpponentSpec> opponents_;
+  std::vector<MsoIterationStats> history_;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_CORE_MSOPDS_H_

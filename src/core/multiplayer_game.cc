@@ -1,0 +1,81 @@
+#include "core/multiplayer_game.h"
+
+#include "core/bopds.h"
+#include "recsys/metrics.h"
+#include "util/logging.h"
+
+namespace msopds {
+
+MultiplayerGame::MultiplayerGame(const Dataset& base, GameConfig config)
+    : base_(base), config_(std::move(config)) {
+  const Status status = base_.Validate();
+  MSOPDS_CHECK(status.ok()) << status.ToString();
+  MSOPDS_CHECK_GE(config_.num_opponents, 0);
+}
+
+GameResult MultiplayerGame::Run(const AttackFactory& attacker_factory,
+                                int budget_level, uint64_t seed) const {
+  Rng rng(seed);
+
+  GameContext context;
+  context.base = &base_;
+  context.demos =
+      SampleDemographics(base_, 1 + config_.num_opponents, &rng);
+  context.config = config_;
+  context.attacker_budget = AttackBudget::FromLevel(budget_level, base_);
+
+  std::unique_ptr<Attack> attacker = attacker_factory(context);
+  MSOPDS_CHECK(attacker != nullptr);
+
+  GameResult result;
+  result.method = attacker->name();
+
+  // 1) The attacker poisons first, seeing only the clean data.
+  Dataset world = base_;
+  Rng attacker_rng = rng.Split();
+  result.attacker_plan = attacker->Execute(
+      &world, context.demos[0], context.attacker_budget, &attacker_rng);
+
+  // 2) Each opponent reacts in sequence, seeing all prior poison.
+  //    They demote the attacker's target with 1-star hired ratings
+  //    planned by BOPDS (§VI-A4 / §VI-C).
+  for (int q = 0; q < config_.num_opponents; ++q) {
+    BopdsConfig opponent_config;
+    opponent_config.pds = config_.opponent_pds;
+    opponent_config.step = config_.opponent_step;
+    opponent_config.iterations = config_.opponent_iterations;
+    opponent_config.comprehensive = false;
+    opponent_config.demote = true;
+    opponent_config.preset_rating = kMinRating;
+    opponent_config.variant_name = "BOPDS-opponent";
+    Bopds opponent(opponent_config);
+
+    AttackBudget opponent_budget =
+        AttackBudget::FromLevel(config_.opponent_budget_level, world);
+    opponent_budget.promote_rating = kMinRating;
+
+    Rng opponent_rng = rng.Split();
+    const PoisonPlan plan =
+        opponent.Execute(&world, context.demos[static_cast<size_t>(q + 1)],
+                         opponent_budget, &opponent_rng);
+    result.opponent_ratings += plan.CountType(ActionType::kRating);
+  }
+
+  // 3) Train the victim Het-RecSys on the fully-poisoned records.
+  Rng victim_rng = rng.Split();
+  HetRecSys victim(world, config_.victim, &victim_rng);
+  const TrainResult training =
+      TrainModel(&victim, world.ratings, config_.victim_training);
+  result.victim_final_loss = training.final_loss;
+
+  // 4) The attacker's metrics on his market.
+  const Demographics& market = context.demos[0];
+  result.average_rating =
+      AverageTargetRating(&victim, market.target_audience, market.target_item);
+  result.hit_rate_at_3 = HitRateAtK(&victim, market.target_audience,
+                                    market.target_item, market.compete_items,
+                                    /*k=*/3);
+  return result;
+}
+
+}  // namespace msopds

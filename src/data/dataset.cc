@@ -1,0 +1,148 @@
+#include "data/dataset.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace msopds {
+namespace {
+
+uint64_t EncodePair(int64_t user, int64_t item) {
+  return (static_cast<uint64_t>(user) << 32) | static_cast<uint64_t>(item);
+}
+
+}  // namespace
+
+std::vector<double> Dataset::ItemAverageRatings() const {
+  std::vector<double> sum(static_cast<size_t>(num_items), 0.0);
+  std::vector<int64_t> count(static_cast<size_t>(num_items), 0);
+  for (const Rating& r : ratings) {
+    sum[static_cast<size_t>(r.item)] += r.value;
+    ++count[static_cast<size_t>(r.item)];
+  }
+  for (int64_t i = 0; i < num_items; ++i) {
+    if (count[static_cast<size_t>(i)] > 0) {
+      sum[static_cast<size_t>(i)] /=
+          static_cast<double>(count[static_cast<size_t>(i)]);
+    }
+  }
+  return sum;
+}
+
+std::vector<int64_t> Dataset::ItemRatingCounts() const {
+  std::vector<int64_t> count(static_cast<size_t>(num_items), 0);
+  for (const Rating& r : ratings) ++count[static_cast<size_t>(r.item)];
+  return count;
+}
+
+std::vector<int64_t> Dataset::UserRatingCounts() const {
+  std::vector<int64_t> count(static_cast<size_t>(num_users), 0);
+  for (const Rating& r : ratings) ++count[static_cast<size_t>(r.user)];
+  return count;
+}
+
+bool Dataset::HasRating(int64_t user, int64_t item) const {
+  for (const Rating& r : ratings) {
+    if (r.user == user && r.item == item) return true;
+  }
+  return false;
+}
+
+Status Dataset::Validate() const {
+  if (social.num_nodes() != num_users) {
+    return Status::FailedPrecondition(StrFormat(
+        "social graph has %lld nodes, expected %lld",
+        static_cast<long long>(social.num_nodes()),
+        static_cast<long long>(num_users)));
+  }
+  if (items.num_nodes() != num_items) {
+    return Status::FailedPrecondition(StrFormat(
+        "item graph has %lld nodes, expected %lld",
+        static_cast<long long>(items.num_nodes()),
+        static_cast<long long>(num_items)));
+  }
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(ratings.size());
+  for (const Rating& r : ratings) {
+    if (r.user < 0 || r.user >= num_users) {
+      return Status::OutOfRange("rating user id out of range");
+    }
+    if (r.item < 0 || r.item >= num_items) {
+      return Status::OutOfRange("rating item id out of range");
+    }
+    if (r.value < kMinRating || r.value > kMaxRating) {
+      return Status::OutOfRange(
+          StrFormat("rating value %.3f outside [1, 5]", r.value));
+    }
+    if (!seen.insert(EncodePair(r.user, r.item)).second) {
+      return Status::FailedPrecondition(StrFormat(
+          "duplicate rating (%lld, %lld)", static_cast<long long>(r.user),
+          static_cast<long long>(r.item)));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Dataset::Summary() const {
+  return StrFormat(
+      "%s: %lld users, %lld items, %lld ratings, %lld social links, %lld "
+      "item links",
+      name.c_str(), static_cast<long long>(num_users),
+      static_cast<long long>(num_items),
+      static_cast<long long>(ratings.size()),
+      static_cast<long long>(social.num_edges()),
+      static_cast<long long>(items.num_edges()));
+}
+
+Dataset FilterCoreUsers(const Dataset& dataset, int64_t min_friends,
+                        int64_t min_ratings) {
+  std::vector<char> keep(static_cast<size_t>(dataset.num_users), 1);
+  // Iterate: removing users lowers friend counts of the remainder.
+  bool changed = true;
+  std::vector<int64_t> rating_count = dataset.UserRatingCounts();
+  while (changed) {
+    changed = false;
+    for (int64_t u = 0; u < dataset.num_users; ++u) {
+      if (!keep[static_cast<size_t>(u)]) continue;
+      int64_t friends = 0;
+      for (int64_t v : dataset.social.Neighbors(u)) {
+        if (keep[static_cast<size_t>(v)]) ++friends;
+      }
+      if (friends < min_friends ||
+          rating_count[static_cast<size_t>(u)] < min_ratings) {
+        keep[static_cast<size_t>(u)] = 0;
+        changed = true;
+      }
+    }
+  }
+
+  std::unordered_map<int64_t, int64_t> remap;
+  int64_t next = 0;
+  for (int64_t u = 0; u < dataset.num_users; ++u) {
+    if (keep[static_cast<size_t>(u)]) remap[u] = next++;
+  }
+
+  Dataset out;
+  out.name = dataset.name + "-core";
+  out.num_users = next;
+  out.num_items = dataset.num_items;
+  out.items = dataset.items;
+  out.social = UndirectedGraph(next);
+  for (const auto& [a, b] : dataset.social.Edges()) {
+    auto ia = remap.find(a);
+    auto ib = remap.find(b);
+    if (ia != remap.end() && ib != remap.end()) {
+      out.social.AddEdge(ia->second, ib->second);
+    }
+  }
+  for (const Rating& r : dataset.ratings) {
+    auto it = remap.find(r.user);
+    if (it != remap.end()) {
+      out.ratings.push_back({it->second, r.item, r.value});
+    }
+  }
+  return out;
+}
+
+}  // namespace msopds

@@ -1,0 +1,68 @@
+#ifndef MSOPDS_DATA_DATASET_H_
+#define MSOPDS_DATA_DATASET_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/undirected_graph.h"
+#include "util/status.h"
+
+namespace msopds {
+
+/// Valid explicit ratings are integers in [1, 5] (paper's Xi set); the
+/// poisoning machinery also uses the continuous range during optimization.
+inline constexpr double kMinRating = 1.0;
+inline constexpr double kMaxRating = 5.0;
+
+/// One explicit rating record (u, i, r).
+struct Rating {
+  int64_t user = 0;
+  int64_t item = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Rating& a, const Rating& b) {
+    return a.user == b.user && a.item == b.item && a.value == b.value;
+  }
+};
+
+/// A heterogeneous recommendation dataset: rating records R, social
+/// network G_U over users, and item graph G_I over items (paper Def. 1).
+/// Copyable by design — poisoning always operates on a copy.
+struct Dataset {
+  std::string name;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  std::vector<Rating> ratings;
+  UndirectedGraph social;
+  UndirectedGraph items;
+
+  /// Per-item mean rating (0 for unrated items).
+  std::vector<double> ItemAverageRatings() const;
+
+  /// Per-item rating counts.
+  std::vector<int64_t> ItemRatingCounts() const;
+
+  /// Per-user rating counts.
+  std::vector<int64_t> UserRatingCounts() const;
+
+  /// True if user already rated the item.
+  bool HasRating(int64_t user, int64_t item) const;
+
+  /// Structural consistency: index ranges, graph sizes, rating range,
+  /// no duplicate (user, item) pairs.
+  Status Validate() const;
+
+  /// Short human-readable summary line.
+  std::string Summary() const;
+};
+
+/// Keeps only users with at least `min_friends` social links and at least
+/// `min_ratings` ratings (the paper's preprocessing, footnote 6), then
+/// compacts user ids. Items are untouched. Iterates until stable.
+Dataset FilterCoreUsers(const Dataset& dataset, int64_t min_friends,
+                        int64_t min_ratings);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_DATA_DATASET_H_

@@ -1,0 +1,76 @@
+#include "data/demographics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace msopds {
+
+std::vector<Demographics> SampleDemographics(
+    const Dataset& dataset, int64_t num_players, Rng* rng,
+    const DemographicsOptions& options) {
+  MSOPDS_CHECK_GE(num_players, 1);
+  MSOPDS_CHECK(rng != nullptr);
+  MSOPDS_CHECK_GT(dataset.num_users, 1);
+  MSOPDS_CHECK_GT(dataset.num_items, 2);
+
+  const int64_t ta_size = std::max<int64_t>(
+      1, static_cast<int64_t>(options.target_audience_fraction *
+                              static_cast<double>(dataset.num_users)));
+  const int64_t base_size =
+      std::min<int64_t>(options.customer_base_size, dataset.num_users);
+  const int64_t compete_size = std::max<int64_t>(
+      2, std::min<int64_t>(options.compete_items, dataset.num_items / 2));
+  const int64_t product_size = std::max<int64_t>(
+      1,
+      std::min<int64_t>(options.product_items,
+                        dataset.num_items - compete_size));
+
+  // Shared market: target audience + competing pool + target item.
+  std::vector<int64_t> audience =
+      rng->SampleWithoutReplacement(dataset.num_users, ta_size);
+
+  std::vector<int64_t> compete_pool =
+      rng->SampleWithoutReplacement(dataset.num_items, compete_size);
+  const std::vector<double> averages = dataset.ItemAverageRatings();
+  const std::vector<int64_t> counts = dataset.ItemRatingCounts();
+  // The lowest-average-rated item of the pool becomes the target
+  // (unrated items count as hardest to promote: average 0).
+  size_t target_pos = 0;
+  for (size_t i = 1; i < compete_pool.size(); ++i) {
+    const double best = averages[static_cast<size_t>(compete_pool[target_pos])];
+    const double cand = averages[static_cast<size_t>(compete_pool[i])];
+    if (cand < best) target_pos = i;
+  }
+  const int64_t target_item = compete_pool[target_pos];
+  compete_pool.erase(compete_pool.begin() +
+                     static_cast<std::ptrdiff_t>(target_pos));
+
+  std::unordered_set<int64_t> excluded(compete_pool.begin(),
+                                       compete_pool.end());
+  excluded.insert(target_item);
+  std::vector<int64_t> product_pool;
+  for (int64_t i = 0; i < dataset.num_items; ++i) {
+    if (excluded.count(i) == 0) product_pool.push_back(i);
+  }
+
+  std::vector<Demographics> players;
+  players.reserve(static_cast<size_t>(num_players));
+  for (int64_t p = 0; p < num_players; ++p) {
+    Demographics demo;
+    demo.target_audience = audience;
+    demo.compete_items = compete_pool;
+    demo.target_item = target_item;
+    demo.customer_base =
+        rng->SampleWithoutReplacement(dataset.num_users, base_size);
+    demo.product_items = rng->SampleFrom(
+        product_pool,
+        std::min<int64_t>(product_size,
+                          static_cast<int64_t>(product_pool.size())));
+    players.push_back(std::move(demo));
+  }
+  return players;
+}
+
+}  // namespace msopds

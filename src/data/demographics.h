@@ -1,0 +1,49 @@
+#ifndef MSOPDS_DATA_DEMOGRAPHICS_H_
+#define MSOPDS_DATA_DEMOGRAPHICS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace msopds {
+
+/// Per-player marketing demographics (paper §VI-A2): the target audience
+/// U_TA and competing items I_compete are shared across players (everyone
+/// fights over the same market); the customer base U_base and company
+/// products I_product are sampled per player.
+struct Demographics {
+  /// Users the attacker wants to reach (U_TA, 5% of users by default).
+  std::vector<int64_t> target_audience;
+  /// Real users the player can hire (U_base, 100 by default).
+  std::vector<int64_t> customer_base;
+  /// The player's promoted item i_t.
+  int64_t target_item = 0;
+  /// Items competing with the target (I_compete, 50 by default).
+  std::vector<int64_t> compete_items;
+  /// The player's own catalogue (I_product, 100 by default).
+  std::vector<int64_t> product_items;
+};
+
+/// Knobs for SampleDemographics, defaulting to the paper's settings.
+struct DemographicsOptions {
+  double target_audience_fraction = 0.05;
+  int64_t customer_base_size = 100;
+  int64_t compete_items = 50;
+  int64_t product_items = 100;
+};
+
+/// Samples the shared market plus one Demographics per player.
+/// Following §VI-A2: U_TA is a random 5% of users; 50 random items form
+/// the competing pool whose lowest-average-rated member becomes the
+/// attacker's target item (and is removed from the pool); each player gets
+/// an independent customer base and product catalogue. Player 0 is the
+/// attacker; players 1..n are opponents who share the same target item
+/// (they demote what the attacker promotes).
+std::vector<Demographics> SampleDemographics(
+    const Dataset& dataset, int64_t num_players, Rng* rng,
+    const DemographicsOptions& options = {});
+
+}  // namespace msopds
+
+#endif  // MSOPDS_DATA_DEMOGRAPHICS_H_

@@ -1,0 +1,50 @@
+#include "data/split.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace msopds {
+
+RatingSplit SplitRatings(const Dataset& dataset, Rng* rng,
+                         const SplitOptions& options) {
+  MSOPDS_CHECK(rng != nullptr);
+  MSOPDS_CHECK_GE(options.test_fraction, 0.0);
+  MSOPDS_CHECK_LT(options.test_fraction, 1.0);
+
+  const int64_t total = static_cast<int64_t>(dataset.ratings.size());
+  std::vector<int64_t> order(static_cast<size_t>(total));
+  for (int64_t i = 0; i < total; ++i) order[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&order);
+
+  const int64_t test_target =
+      static_cast<int64_t>(options.test_fraction * static_cast<double>(total));
+
+  RatingSplit split;
+  std::unordered_map<int64_t, int64_t> train_count;
+  if (options.keep_one_per_user) {
+    // Pass 1: reserve one training rating per user (the last in the
+    // shuffled order), so pass 2 can safely hold the rest out.
+    for (int64_t idx : order) {
+      const Rating& r = dataset.ratings[static_cast<size_t>(idx)];
+      ++train_count[r.user];
+    }
+  }
+
+  int64_t test_taken = 0;
+  for (int64_t idx : order) {
+    const Rating& r = dataset.ratings[static_cast<size_t>(idx)];
+    const bool can_hold_out =
+        !options.keep_one_per_user || train_count[r.user] > 1;
+    if (test_taken < test_target && can_hold_out) {
+      split.test.push_back(r);
+      ++test_taken;
+      if (options.keep_one_per_user) --train_count[r.user];
+    } else {
+      split.train.push_back(r);
+    }
+  }
+  return split;
+}
+
+}  // namespace msopds

@@ -1,0 +1,35 @@
+#ifndef MSOPDS_DATA_SPLIT_H_
+#define MSOPDS_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace msopds {
+
+/// A train/test partition of rating records (the graphs are shared; only
+/// the supervision signal is split). Used for recommendation-quality
+/// evaluation, which the attack experiments keep an eye on as collateral
+/// damage (robustness_audit example).
+struct RatingSplit {
+  std::vector<Rating> train;
+  std::vector<Rating> test;
+};
+
+/// Options for SplitRatings.
+struct SplitOptions {
+  /// Fraction of ratings held out for testing.
+  double test_fraction = 0.2;
+  /// Guarantee at least one training rating per user that has any
+  /// (otherwise their embedding is unsupervised and test RMSE is noise).
+  bool keep_one_per_user = true;
+};
+
+/// Random train/test split of the dataset's ratings.
+RatingSplit SplitRatings(const Dataset& dataset, Rng* rng,
+                         const SplitOptions& options = {});
+
+}  // namespace msopds
+
+#endif  // MSOPDS_DATA_SPLIT_H_

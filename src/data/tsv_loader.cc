@@ -1,0 +1,115 @@
+#include "data/tsv_loader.h"
+
+#include <unordered_map>
+
+#include "graph/item_graph_builder.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace msopds {
+namespace {
+
+int64_t Intern(std::unordered_map<int64_t, int64_t>* table, int64_t raw) {
+  auto [it, inserted] =
+      table->emplace(raw, static_cast<int64_t>(table->size()));
+  (void)inserted;
+  return it->second;
+}
+
+}  // namespace
+
+StatusOr<Dataset> LoadTsv(const std::string& ratings_path,
+                          const std::string& trust_path, char delimiter,
+                          const std::string& name) {
+  auto rating_rows = ReadDelimited(ratings_path, delimiter);
+  if (!rating_rows.ok()) return rating_rows.status();
+  auto trust_rows = ReadDelimited(trust_path, delimiter);
+  if (!trust_rows.ok()) return trust_rows.status();
+
+  std::unordered_map<int64_t, int64_t> user_ids;
+  std::unordered_map<int64_t, int64_t> item_ids;
+  // Last-write-wins de-duplication of (user, item).
+  std::unordered_map<uint64_t, double> values;
+  std::vector<uint64_t> order;
+
+  for (const auto& row : rating_rows.value()) {
+    if (row.size() < 3) {
+      return Status::InvalidArgument("ratings row needs 3 fields");
+    }
+    int64_t raw_user = 0, raw_item = 0;
+    double value = 0.0;
+    if (!ParseInt64(row[0], &raw_user) || !ParseInt64(row[1], &raw_item) ||
+        !ParseDouble(row[2], &value)) {
+      return Status::InvalidArgument("malformed ratings row");
+    }
+    if (value < kMinRating || value > kMaxRating) {
+      return Status::OutOfRange(StrFormat("rating %.3f outside [1,5]", value));
+    }
+    const int64_t user = Intern(&user_ids, raw_user);
+    const int64_t item = Intern(&item_ids, raw_item);
+    const uint64_t key =
+        (static_cast<uint64_t>(user) << 32) | static_cast<uint64_t>(item);
+    if (values.emplace(key, value).second) {
+      order.push_back(key);
+    } else {
+      values[key] = value;
+    }
+  }
+
+  Dataset dataset;
+  dataset.name = name;
+  dataset.num_users = static_cast<int64_t>(user_ids.size());
+  dataset.num_items = static_cast<int64_t>(item_ids.size());
+  dataset.social = UndirectedGraph(dataset.num_users);
+  for (uint64_t key : order) {
+    dataset.ratings.push_back({static_cast<int64_t>(key >> 32),
+                               static_cast<int64_t>(key & 0xffffffffULL),
+                               values.at(key)});
+  }
+
+  for (const auto& row : trust_rows.value()) {
+    if (row.size() < 2) {
+      return Status::InvalidArgument("trust row needs 2 fields");
+    }
+    int64_t raw_a = 0, raw_b = 0;
+    if (!ParseInt64(row[0], &raw_a) || !ParseInt64(row[1], &raw_b)) {
+      return Status::InvalidArgument("malformed trust row");
+    }
+    // Only keep links between users that appear in the rating records.
+    auto ia = user_ids.find(raw_a);
+    auto ib = user_ids.find(raw_b);
+    if (ia == user_ids.end() || ib == user_ids.end()) continue;
+    dataset.social.AddEdge(ia->second, ib->second);
+  }
+
+  std::vector<RaterRecord> records;
+  records.reserve(dataset.ratings.size());
+  for (const Rating& r : dataset.ratings) records.push_back({r.user, r.item});
+  dataset.items = BuildItemGraph(records, dataset.num_items);
+
+  const Status status = dataset.Validate();
+  if (!status.ok()) return status;
+  return dataset;
+}
+
+Status SaveTsv(const Dataset& dataset, const std::string& ratings_path,
+               const std::string& trust_path, char delimiter) {
+  std::vector<std::vector<std::string>> rating_rows;
+  rating_rows.reserve(dataset.ratings.size());
+  for (const Rating& r : dataset.ratings) {
+    rating_rows.push_back({StrFormat("%lld", static_cast<long long>(r.user)),
+                           StrFormat("%lld", static_cast<long long>(r.item)),
+                           StrFormat("%.0f", r.value)});
+  }
+  Status status = WriteDelimited(ratings_path, rating_rows, delimiter);
+  if (!status.ok()) return status;
+
+  std::vector<std::vector<std::string>> trust_rows;
+  for (const auto& [a, b] : dataset.social.Edges()) {
+    trust_rows.push_back({StrFormat("%lld", static_cast<long long>(a)),
+                          StrFormat("%lld", static_cast<long long>(b))});
+  }
+  return WriteDelimited(trust_path, trust_rows, delimiter);
+}
+
+}  // namespace msopds

@@ -1,0 +1,30 @@
+#ifndef MSOPDS_DATA_TSV_LOADER_H_
+#define MSOPDS_DATA_TSV_LOADER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace msopds {
+
+/// Loads a real heterogeneous dataset from two delimiter-separated files:
+///  - ratings: lines of "user item rating" (rating in [1, 5]);
+///  - trust:   lines of "user user" social links.
+/// Raw ids are compacted to dense [0, n) indices; duplicate (user, item)
+/// pairs keep the last value; the item graph is built from co-rating
+/// overlap exactly as in GenerateSynthetic. This is the path for running
+/// the suite on the actual Ciao/Epinions/LibraryThing dumps when they are
+/// available (they are not bundled).
+StatusOr<Dataset> LoadTsv(const std::string& ratings_path,
+                          const std::string& trust_path, char delimiter = '\t',
+                          const std::string& name = "tsv");
+
+/// Writes a dataset back to the same two-file format (for round-trips and
+/// for exporting synthetic datasets).
+Status SaveTsv(const Dataset& dataset, const std::string& ratings_path,
+               const std::string& trust_path, char delimiter = '\t');
+
+}  // namespace msopds
+
+#endif  // MSOPDS_DATA_TSV_LOADER_H_

@@ -1,0 +1,47 @@
+#ifndef MSOPDS_DEFENSE_FAKE_DETECTOR_H_
+#define MSOPDS_DEFENSE_FAKE_DETECTOR_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace msopds {
+
+/// Extension of the paper's §VI-F observation ("website moderators
+/// usually detect and remove fake user accounts"): a behavioural
+/// fake-account detector in the spirit of graph-based Sybil/shill
+/// detection. It scores every user by
+///  - extremity: fraction of the user's ratings at the scale endpoints,
+///  - deviation: mean |rating - item mean| against the crowd,
+///  - isolation: social degree relative to the platform average,
+/// and flags the highest-scoring accounts. Injected shilling profiles
+/// (many 5-stars, weakly embedded) score high; hired *real* users score
+/// like everyone else — which is exactly why the paper argues real-user
+/// poisoning is the more durable channel (Fig. 9 discussion).
+struct FakeDetectorOptions {
+  double extremity_weight = 1.0;
+  double deviation_weight = 1.0;
+  double isolation_weight = 1.0;
+  /// Users with fewer ratings than this are never flagged (too little
+  /// evidence).
+  int64_t min_ratings = 1;
+};
+
+/// Per-user suspicion scores in [0, ~3].
+std::vector<double> SuspicionScores(const Dataset& dataset,
+                                    const FakeDetectorOptions& options = {});
+
+/// The `count` most suspicious users (ties by lower id).
+std::vector<int64_t> DetectFakeUsers(const Dataset& dataset, int64_t count,
+                                     const FakeDetectorOptions& options = {});
+
+/// Moderation: removes the given users (their ratings and social links)
+/// and compacts ids. Returns the cleaned dataset and, via `id_map`,
+/// old-id -> new-id (-1 for removed users) when non-null.
+Dataset RemoveUsers(const Dataset& dataset,
+                    const std::vector<int64_t>& users,
+                    std::vector<int64_t>* id_map = nullptr);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_DEFENSE_FAKE_DETECTOR_H_

@@ -1,0 +1,87 @@
+#include "defense/trust_rank.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace msopds {
+
+std::vector<double> TrustScores(const Dataset& dataset,
+                                const TrustRankOptions& options) {
+  MSOPDS_CHECK_GT(options.seed_fraction, 0.0);
+  MSOPDS_CHECK_LE(options.seed_fraction, 1.0);
+  MSOPDS_CHECK_GT(options.iterations, 0);
+  MSOPDS_CHECK_GE(options.damping, 0.0);
+  MSOPDS_CHECK_LT(options.damping, 1.0);
+
+  const int64_t users = dataset.num_users;
+  if (users == 0) return {};
+
+  // Seeds: the highest-degree accounts (long-standing organic hubs).
+  std::vector<int64_t> by_degree(static_cast<size_t>(users));
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::sort(by_degree.begin(), by_degree.end(), [&](int64_t a, int64_t b) {
+    const int64_t da = dataset.social.Degree(a);
+    const int64_t db = dataset.social.Degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  const int64_t num_seeds = std::max<int64_t>(
+      1, static_cast<int64_t>(options.seed_fraction *
+                              static_cast<double>(users)));
+  std::vector<double> seed(static_cast<size_t>(users), 0.0);
+  for (int64_t s = 0; s < num_seeds; ++s) {
+    seed[static_cast<size_t>(by_degree[static_cast<size_t>(s)])] =
+        1.0 / static_cast<double>(num_seeds);
+  }
+
+  // Damped push iteration: t <- (1-d) seed + d * A_norm^T t.
+  std::vector<double> trust = seed;
+  std::vector<double> next(static_cast<size_t>(users), 0.0);
+  for (int round = 0; round < options.iterations; ++round) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (int64_t u = 0; u < users; ++u) {
+      const double mass = trust[static_cast<size_t>(u)];
+      if (mass == 0.0) continue;
+      const auto& neighbors = dataset.social.Neighbors(u);
+      if (neighbors.empty()) continue;
+      const double share =
+          options.damping * mass / static_cast<double>(neighbors.size());
+      for (int64_t v : neighbors) next[static_cast<size_t>(v)] += share;
+    }
+    for (int64_t u = 0; u < users; ++u) {
+      next[static_cast<size_t>(u)] +=
+          (1.0 - options.damping) * seed[static_cast<size_t>(u)];
+    }
+    trust.swap(next);
+  }
+
+  // Normalize to [0, 1] for comparability.
+  const double max_trust = *std::max_element(trust.begin(), trust.end());
+  if (max_trust > 0.0) {
+    for (double& t : trust) t /= max_trust;
+  }
+  return trust;
+}
+
+std::vector<int64_t> DetectByTrust(const Dataset& dataset, int64_t count,
+                                   const TrustRankOptions& options) {
+  MSOPDS_CHECK_GE(count, 0);
+  const std::vector<double> trust = TrustScores(dataset, options);
+  std::vector<int64_t> order(trust.size());
+  std::iota(order.begin(), order.end(), 0);
+  const int64_t k =
+      std::min<int64_t>(count, static_cast<int64_t>(order.size()));
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](int64_t a, int64_t b) {
+                      const double ta = trust[static_cast<size_t>(a)];
+                      const double tb = trust[static_cast<size_t>(b)];
+                      if (ta != tb) return ta < tb;
+                      return a < b;
+                    });
+  order.resize(static_cast<size_t>(k));
+  return order;
+}
+
+}  // namespace msopds

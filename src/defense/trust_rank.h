@@ -1,0 +1,36 @@
+#ifndef MSOPDS_DEFENSE_TRUST_RANK_H_
+#define MSOPDS_DEFENSE_TRUST_RANK_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace msopds {
+
+/// Options of the trust-propagation detector.
+struct TrustRankOptions {
+  /// Fraction of users (by social degree) used as trusted seeds.
+  double seed_fraction = 0.1;
+  /// Random-walk damping (probability of following an edge).
+  double damping = 0.85;
+  /// Power-iteration rounds.
+  int iterations = 20;
+};
+
+/// TrustRank-style account scoring (extension, complementing the
+/// behavioural detector in fake_detector.h): trust mass is seeded at the
+/// most-embedded accounts and propagated over the social network with a
+/// damped random walk. Freshly injected fake accounts — reachable only
+/// through the few links their operator bought — accumulate little trust.
+/// Returns per-user trust in [0, 1] (higher = more trusted); isolated
+/// users get exactly 0 beyond the teleport mass.
+std::vector<double> TrustScores(const Dataset& dataset,
+                                const TrustRankOptions& options = {});
+
+/// The `count` least-trusted users (ties by lower id).
+std::vector<int64_t> DetectByTrust(const Dataset& dataset, int64_t count,
+                                   const TrustRankOptions& options = {});
+
+}  // namespace msopds
+
+#endif  // MSOPDS_DEFENSE_TRUST_RANK_H_

@@ -1,0 +1,105 @@
+#include "graph/graph_stats.h"
+
+#include <cmath>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace msopds {
+
+std::string GraphStats::ToString() const {
+  return StrFormat(
+      "nodes=%lld edges=%lld mean_deg=%.2f max_deg=%lld isolated=%lld "
+      "components=%lld largest=%lld clustering=%.4f tail_exp=%.2f",
+      static_cast<long long>(num_nodes), static_cast<long long>(num_edges),
+      mean_degree, static_cast<long long>(max_degree),
+      static_cast<long long>(isolated_nodes),
+      static_cast<long long>(connected_components),
+      static_cast<long long>(largest_component), clustering_coefficient,
+      degree_tail_exponent);
+}
+
+GraphStats ComputeGraphStats(const UndirectedGraph& graph) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  if (graph.num_nodes() == 0) return stats;
+
+  stats.mean_degree =
+      2.0 * static_cast<double>(graph.num_edges()) /
+      static_cast<double>(graph.num_nodes());
+
+  // Degrees, isolated nodes, degree histogram.
+  std::map<int64_t, int64_t> degree_histogram;
+  for (int64_t v = 0; v < graph.num_nodes(); ++v) {
+    const int64_t d = graph.Degree(v);
+    stats.max_degree = std::max(stats.max_degree, d);
+    if (d == 0) ++stats.isolated_nodes;
+    ++degree_histogram[d];
+  }
+
+  // Connected components by BFS.
+  std::vector<char> visited(static_cast<size_t>(graph.num_nodes()), 0);
+  std::vector<int64_t> queue;
+  for (int64_t v = 0; v < graph.num_nodes(); ++v) {
+    if (visited[static_cast<size_t>(v)]) continue;
+    ++stats.connected_components;
+    int64_t component_size = 0;
+    queue.clear();
+    queue.push_back(v);
+    visited[static_cast<size_t>(v)] = 1;
+    while (!queue.empty()) {
+      const int64_t u = queue.back();
+      queue.pop_back();
+      ++component_size;
+      for (int64_t w : graph.Neighbors(u)) {
+        if (!visited[static_cast<size_t>(w)]) {
+          visited[static_cast<size_t>(w)] = 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    stats.largest_component = std::max(stats.largest_component, component_size);
+  }
+
+  // Triangles and wedges for the global clustering coefficient.
+  double triangles3 = 0.0;  // counts each triangle 3 times overall
+  double wedges = 0.0;
+  for (int64_t v = 0; v < graph.num_nodes(); ++v) {
+    const auto& neighbors = graph.Neighbors(v);
+    const double d = static_cast<double>(neighbors.size());
+    wedges += d * (d - 1.0) / 2.0;
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      for (size_t j = i + 1; j < neighbors.size(); ++j) {
+        if (graph.HasEdge(neighbors[i], neighbors[j])) triangles3 += 1.0;
+      }
+    }
+  }
+  stats.clustering_coefficient = wedges > 0.0 ? triangles3 / wedges : 0.0;
+
+  // Log-log least squares over the degree histogram tail.
+  double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  int64_t n = 0;
+  for (const auto& [degree, count] : degree_histogram) {
+    if (degree < 1) continue;
+    const double x = std::log(static_cast<double>(degree));
+    const double y = std::log(static_cast<double>(count));
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+    ++n;
+  }
+  if (n >= 2) {
+    const double denom = static_cast<double>(n) * sum_xx - sum_x * sum_x;
+    if (std::fabs(denom) > 1e-12) {
+      stats.degree_tail_exponent =
+          -(static_cast<double>(n) * sum_xy - sum_x * sum_y) / denom;
+    }
+  }
+  return stats;
+}
+
+}  // namespace msopds

@@ -1,0 +1,34 @@
+#ifndef MSOPDS_GRAPH_GRAPH_STATS_H_
+#define MSOPDS_GRAPH_GRAPH_STATS_H_
+
+#include <string>
+
+#include "graph/undirected_graph.h"
+
+namespace msopds {
+
+/// Aggregate structural statistics of a graph. Used by the synthetic data
+/// generators' self-checks and by the dataset_tour example.
+struct GraphStats {
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  double mean_degree = 0.0;
+  int64_t max_degree = 0;
+  int64_t isolated_nodes = 0;
+  int64_t connected_components = 0;
+  int64_t largest_component = 0;
+  /// Global clustering coefficient: 3 * triangles / open-or-closed wedges.
+  double clustering_coefficient = 0.0;
+  /// Fitted power-law-ish tail exponent from the degree distribution
+  /// (simple log-log regression over degrees >= 1; 0 when undefined).
+  double degree_tail_exponent = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes statistics in one pass (O(V + E + sum deg^2) for triangles).
+GraphStats ComputeGraphStats(const UndirectedGraph& graph);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_GRAPH_GRAPH_STATS_H_

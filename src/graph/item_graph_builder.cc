@@ -1,0 +1,58 @@
+#include "graph/item_graph_builder.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace msopds {
+
+UndirectedGraph BuildItemGraph(const std::vector<RaterRecord>& records,
+                               int64_t num_items,
+                               const ItemGraphOptions& options) {
+  MSOPDS_CHECK_GT(options.overlap_fraction, 0.0);
+  MSOPDS_CHECK_LE(options.overlap_fraction, 1.0);
+
+  // Group items by user and count raters per item.
+  std::unordered_map<int64_t, std::vector<int64_t>> items_by_user;
+  std::vector<int64_t> rater_count(static_cast<size_t>(num_items), 0);
+  for (const RaterRecord& r : records) {
+    MSOPDS_CHECK_GE(r.item, 0);
+    MSOPDS_CHECK_LT(r.item, num_items);
+    items_by_user[r.user].push_back(r.item);
+    ++rater_count[static_cast<size_t>(r.item)];
+  }
+
+  // Count co-raters per item pair through each user's item list.
+  std::unordered_map<uint64_t, int64_t> pair_count;
+  for (const auto& [user, items] : items_by_user) {
+    (void)user;
+    if (static_cast<int64_t>(items.size()) > options.max_items_per_user)
+      continue;
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        int64_t a = items[i], b = items[j];
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        ++pair_count[(static_cast<uint64_t>(b) << 32) |
+                     static_cast<uint64_t>(a)];
+      }
+    }
+  }
+
+  UndirectedGraph graph(num_items);
+  for (const auto& [key, shared] : pair_count) {
+    const int64_t a = static_cast<int64_t>(key & 0xffffffffULL);
+    const int64_t b = static_cast<int64_t>(key >> 32);
+    const int64_t ra = rater_count[static_cast<size_t>(a)];
+    const int64_t rb = rater_count[static_cast<size_t>(b)];
+    if (ra < options.min_raters || rb < options.min_raters) continue;
+    const int64_t union_size = ra + rb - shared;
+    if (union_size <= 0) continue;
+    const double jaccard =
+        static_cast<double>(shared) / static_cast<double>(union_size);
+    if (jaccard > options.overlap_fraction) graph.AddEdge(a, b);
+  }
+  return graph;
+}
+
+}  // namespace msopds

@@ -1,0 +1,40 @@
+#ifndef MSOPDS_GRAPH_ITEM_GRAPH_BUILDER_H_
+#define MSOPDS_GRAPH_ITEM_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/undirected_graph.h"
+
+namespace msopds {
+
+/// One (user, item) incidence used for item-graph construction.
+struct RaterRecord {
+  int64_t user = 0;
+  int64_t item = 0;
+};
+
+/// Options for BuildItemGraph.
+struct ItemGraphOptions {
+  /// Connect items i and j when |raters(i) ∩ raters(j)| exceeds
+  /// `overlap_fraction` of |raters(i) ∪ raters(j)| (Jaccard). The paper
+  /// (§VI-A1, following ConsisRec) uses "share over 50% of users".
+  double overlap_fraction = 0.5;
+  /// Items with fewer raters than this are not linked (guards the
+  /// degenerate 1-rater case from creating cliques).
+  int64_t min_raters = 1;
+  /// Users who rated more than this many items are skipped when counting
+  /// co-rating pairs (bounds the quadratic pair expansion; such power
+  /// users carry little co-rating signal per pair).
+  int64_t max_items_per_user = 256;
+};
+
+/// Builds the item correlation graph from co-rating overlap, the
+/// construction the paper borrows from ConsisRec [12].
+UndirectedGraph BuildItemGraph(const std::vector<RaterRecord>& records,
+                               int64_t num_items,
+                               const ItemGraphOptions& options = {});
+
+}  // namespace msopds
+
+#endif  // MSOPDS_GRAPH_ITEM_GRAPH_BUILDER_H_

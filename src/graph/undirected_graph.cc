@@ -1,0 +1,89 @@
+#include "graph/undirected_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace msopds {
+
+UndirectedGraph::UndirectedGraph(int64_t num_nodes) : num_nodes_(num_nodes) {
+  MSOPDS_CHECK_GE(num_nodes, 0);
+  adjacency_.resize(static_cast<size_t>(num_nodes));
+}
+
+uint64_t UndirectedGraph::EncodeEdge(int64_t a, int64_t b) {
+  const uint64_t lo = static_cast<uint64_t>(std::min(a, b));
+  const uint64_t hi = static_cast<uint64_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+
+bool UndirectedGraph::AddEdge(int64_t a, int64_t b) {
+  MSOPDS_CHECK_GE(a, 0);
+  MSOPDS_CHECK_LT(a, num_nodes_);
+  MSOPDS_CHECK_GE(b, 0);
+  MSOPDS_CHECK_LT(b, num_nodes_);
+  if (a == b) return false;
+  if (!edge_set_.insert(EncodeEdge(a, b)).second) return false;
+  adjacency_[static_cast<size_t>(a)].push_back(b);
+  adjacency_[static_cast<size_t>(b)].push_back(a);
+  ++num_edges_;
+  return true;
+}
+
+bool UndirectedGraph::RemoveEdge(int64_t a, int64_t b) {
+  if (a == b) return false;
+  if (edge_set_.erase(EncodeEdge(a, b)) == 0) return false;
+  auto erase_from = [](std::vector<int64_t>* list, int64_t value) {
+    auto it = std::find(list->begin(), list->end(), value);
+    list->erase(it);
+  };
+  erase_from(&adjacency_[static_cast<size_t>(a)], b);
+  erase_from(&adjacency_[static_cast<size_t>(b)], a);
+  --num_edges_;
+  return true;
+}
+
+bool UndirectedGraph::HasEdge(int64_t a, int64_t b) const {
+  if (a == b) return false;
+  if (a < 0 || b < 0 || a >= num_nodes_ || b >= num_nodes_) return false;
+  return edge_set_.count(EncodeEdge(a, b)) > 0;
+}
+
+const std::vector<int64_t>& UndirectedGraph::Neighbors(int64_t v) const {
+  MSOPDS_CHECK_GE(v, 0);
+  MSOPDS_CHECK_LT(v, num_nodes_);
+  return adjacency_[static_cast<size_t>(v)];
+}
+
+int64_t UndirectedGraph::Degree(int64_t v) const {
+  return static_cast<int64_t>(Neighbors(v).size());
+}
+
+std::vector<std::pair<int64_t, int64_t>> UndirectedGraph::Edges() const {
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  edges.reserve(static_cast<size_t>(num_edges_));
+  for (int64_t a = 0; a < num_nodes_; ++a) {
+    for (int64_t b : adjacency_[static_cast<size_t>(a)]) {
+      if (a < b) edges.emplace_back(a, b);
+    }
+  }
+  return edges;
+}
+
+void UndirectedGraph::AppendDirectedEdges(std::vector<int64_t>* dst,
+                                          std::vector<int64_t>* src) const {
+  for (int64_t a = 0; a < num_nodes_; ++a) {
+    for (int64_t b : adjacency_[static_cast<size_t>(a)]) {
+      dst->push_back(a);
+      src->push_back(b);
+    }
+  }
+}
+
+void UndirectedGraph::AddNodes(int64_t count) {
+  MSOPDS_CHECK_GE(count, 0);
+  num_nodes_ += count;
+  adjacency_.resize(static_cast<size_t>(num_nodes_));
+}
+
+}  // namespace msopds

@@ -1,0 +1,31 @@
+#include "recsys/embedding.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace msopds {
+
+Variable MakeEmbedding(int64_t count, int64_t dim, double stddev, Rng* rng) {
+  MSOPDS_CHECK_GT(count, 0);
+  MSOPDS_CHECK_GT(dim, 0);
+  MSOPDS_CHECK(rng != nullptr);
+  Tensor table({count, dim});
+  for (int64_t i = 0; i < table.size(); ++i) {
+    table.data()[i] = rng->Normal(0.0, stddev);
+  }
+  return Param(std::move(table));
+}
+
+Variable MakeProjection(int64_t rows, int64_t cols, Rng* rng) {
+  MSOPDS_CHECK_GT(rows, 0);
+  MSOPDS_CHECK_GT(cols, 0);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  Tensor table({rows, cols});
+  for (int64_t i = 0; i < table.size(); ++i) {
+    table.data()[i] = rng->Uniform(-limit, limit);
+  }
+  return Param(std::move(table));
+}
+
+}  // namespace msopds

@@ -1,0 +1,19 @@
+#ifndef MSOPDS_RECSYS_EMBEDDING_H_
+#define MSOPDS_RECSYS_EMBEDDING_H_
+
+#include "tensor/variable.h"
+#include "util/rng.h"
+
+namespace msopds {
+
+/// Creates an [count, dim] embedding table initialized N(0, stddev^2) as a
+/// trainable leaf Variable.
+Variable MakeEmbedding(int64_t count, int64_t dim, double stddev, Rng* rng);
+
+/// Creates a [rows, cols] dense projection matrix with Glorot-style
+/// initialization as a trainable leaf Variable.
+Variable MakeProjection(int64_t rows, int64_t cols, Rng* rng);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_RECSYS_EMBEDDING_H_

@@ -1,0 +1,82 @@
+#ifndef MSOPDS_RECSYS_HET_RECSYS_H_
+#define MSOPDS_RECSYS_HET_RECSYS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "recsys/rating_model.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace msopds {
+
+/// Hyperparameters of the heterogeneous GNN recommender.
+struct HetRecSysConfig {
+  int64_t embedding_dim = 16;
+  double init_stddev = 0.1;
+  /// L2 regularization strength (lambda of paper Eq. (1)).
+  double l2 = 1e-4;
+  /// ConsisRec-style consistency attention over neighbors; when false,
+  /// falls back to degree-normalized mean aggregation.
+  bool use_attention = true;
+  /// Graph-convolution layers ("iteratively computes the embeddings");
+  /// each layer has its own projection matrices.
+  int num_layers = 1;
+  /// Apply tanh between layers (identity when false; the final layer is
+  /// always linear so predictions keep full range).
+  bool tanh_between_layers = false;
+  /// Predictions are offset + <h_u, h_i>; offsetting at mid-scale makes
+  /// early training stable on 1..5 ratings.
+  double prediction_offset = 3.0;
+};
+
+/// The threat (victim) Het-RecSys: a ConsisRec-like GNN (paper §VI-A1).
+///
+/// It learns one embedding per user and item, aggregates first-hop
+/// neighbors on the social network G_U and the item graph G_I with a
+/// consistency attention (softmax over scaled embedding dot products),
+/// projects [self ⊕ aggregate] to the final embeddings, and predicts
+/// ratings by dot product. Trained with MSE + L2 per paper Eq. (1).
+class HetRecSys : public RatingModel {
+ public:
+  /// Captures graph structure from `dataset` (edges are copied; later
+  /// mutation of `dataset` does not affect the model).
+  HetRecSys(const Dataset& dataset, const HetRecSysConfig& config, Rng* rng);
+
+  std::vector<Variable>* MutableParams() override { return &params_; }
+  Variable TrainingLoss(const std::vector<Rating>& ratings) override;
+  Tensor PredictPairs(const std::vector<int64_t>& users,
+                      const std::vector<int64_t>& items) override;
+
+  const HetRecSysConfig& config() const { return config_; }
+  int64_t num_users() const { return num_users_; }
+  int64_t num_items() const { return num_items_; }
+
+ private:
+  struct FinalEmbeddings {
+    Variable users;  // [U, D]
+    Variable items;  // [I, D]
+  };
+
+  /// One full graph-convolution pass with current parameters.
+  FinalEmbeddings Forward() const;
+
+  /// Aggregated neighbor features for one graph.
+  Variable Aggregate(const Variable& features, const IndexVec& dst,
+                     const IndexVec& src, int64_t num_nodes) const;
+
+  HetRecSysConfig config_;
+  int64_t num_users_ = 0;
+  int64_t num_items_ = 0;
+  // params_[0] = user embeddings, [1] = item embeddings, then per layer
+  // l: [2 + 2l] = W_U^l, [3 + 2l] = W_I^l.
+  std::vector<Variable> params_;
+  IndexVec social_dst_;
+  IndexVec social_src_;
+  IndexVec item_dst_;
+  IndexVec item_src_;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_RECSYS_HET_RECSYS_H_

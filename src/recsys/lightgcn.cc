@@ -1,0 +1,137 @@
+#include "recsys/lightgcn.h"
+
+#include <cmath>
+
+#include "recsys/embedding.h"
+#include "util/logging.h"
+
+namespace msopds {
+
+LightGcn::LightGcn(const Dataset& dataset, const LightGcnConfig& config,
+                   Rng* rng)
+    : config_(config),
+      num_users_(dataset.num_users),
+      num_items_(dataset.num_items) {
+  MSOPDS_CHECK(rng != nullptr);
+  MSOPDS_CHECK_GE(config.num_layers, 0);
+  const Status status = dataset.Validate();
+  MSOPDS_CHECK(status.ok()) << status.ToString();
+
+  params_.push_back(MakeEmbedding(num_users_, config.embedding_dim,
+                                  config.init_stddev, rng));
+  params_.push_back(MakeEmbedding(num_items_, config.embedding_dim,
+                                  config.init_stddev, rng));
+
+  // Interaction degrees.
+  std::vector<int64_t> user_degree(static_cast<size_t>(num_users_), 0);
+  std::vector<int64_t> item_degree(static_cast<size_t>(num_items_), 0);
+  for (const Rating& r : dataset.ratings) {
+    ++user_degree[static_cast<size_t>(r.user)];
+    ++item_degree[static_cast<size_t>(r.item)];
+  }
+
+  std::vector<int64_t> ui_dst, ui_src, iu_dst, iu_src;
+  std::vector<double> ui_w, iu_w;
+  for (const Rating& r : dataset.ratings) {
+    const double norm =
+        1.0 / std::sqrt(static_cast<double>(
+                            user_degree[static_cast<size_t>(r.user)]) *
+                        static_cast<double>(
+                            item_degree[static_cast<size_t>(r.item)]));
+    ui_dst.push_back(r.user);
+    ui_src.push_back(r.item);
+    ui_w.push_back(norm);
+    iu_dst.push_back(r.item);
+    iu_src.push_back(r.user);
+    iu_w.push_back(norm);
+  }
+  ui_dst_ = MakeIndex(std::move(ui_dst));
+  ui_src_ = MakeIndex(std::move(ui_src));
+  ui_weight_ = Tensor::FromVector(std::move(ui_w));
+  iu_dst_ = MakeIndex(std::move(iu_dst));
+  iu_src_ = MakeIndex(std::move(iu_src));
+  iu_weight_ = Tensor::FromVector(std::move(iu_w));
+
+  std::vector<int64_t> s_dst, s_src;
+  dataset.social.AppendDirectedEdges(&s_dst, &s_src);
+  std::vector<double> s_w(s_dst.size(), 0.0);
+  for (size_t e = 0; e < s_dst.size(); ++e) {
+    s_w[e] = 1.0 / static_cast<double>(dataset.social.Degree(s_dst[e]));
+  }
+  social_dst_ = MakeIndex(std::move(s_dst));
+  social_src_ = MakeIndex(std::move(s_src));
+  social_weight_ = Tensor::FromVector(std::move(s_w));
+}
+
+LightGcn::FinalEmbeddings LightGcn::Forward() const {
+  Variable user_layer = params_[0];
+  Variable item_layer = params_[1];
+  Variable user_sum = user_layer;
+  Variable item_sum = item_layer;
+
+  for (int layer = 0; layer < config_.num_layers; ++layer) {
+    Variable next_user =
+        ui_weight_.size() > 0
+            ? SpMM(ui_dst_, ui_src_, Constant(ui_weight_.Clone()), item_layer,
+                   num_users_)
+            : Constant(
+                  Tensor::Zeros({num_users_, config_.embedding_dim}));
+    if (config_.social_weight != 0.0 && social_weight_.size() > 0) {
+      Variable social = SpMM(social_dst_, social_src_,
+                             Constant(social_weight_.Clone()), user_layer,
+                             num_users_);
+      next_user = Add(next_user, ScalarMul(social, config_.social_weight));
+    }
+    Variable next_item =
+        iu_weight_.size() > 0
+            ? SpMM(iu_dst_, iu_src_, Constant(iu_weight_.Clone()), user_layer,
+                   num_items_)
+            : Constant(
+                  Tensor::Zeros({num_items_, config_.embedding_dim}));
+    user_layer = next_user;
+    item_layer = next_item;
+    user_sum = Add(user_sum, user_layer);
+    item_sum = Add(item_sum, item_layer);
+  }
+  const double scale = 1.0 / static_cast<double>(config_.num_layers + 1);
+  FinalEmbeddings final;
+  final.users = ScalarMul(user_sum, scale);
+  final.items = ScalarMul(item_sum, scale);
+  return final;
+}
+
+Variable LightGcn::TrainingLoss(const std::vector<Rating>& ratings) {
+  MSOPDS_CHECK(!ratings.empty());
+  const FinalEmbeddings final = Forward();
+  std::vector<int64_t> users, items;
+  Tensor targets({static_cast<int64_t>(ratings.size())});
+  for (size_t k = 0; k < ratings.size(); ++k) {
+    users.push_back(ratings[k].user);
+    items.push_back(ratings[k].item);
+    targets.at(static_cast<int64_t>(k)) = ratings[k].value;
+  }
+  Variable predictions = AddScalar(
+      PairDot(GatherRows(final.users, MakeIndex(std::move(users))),
+              GatherRows(final.items, MakeIndex(std::move(items)))),
+      config_.prediction_offset);
+  Variable loss = Mean(Square(Sub(predictions, Constant(std::move(targets)))));
+  if (config_.l2 > 0.0) {
+    Variable reg =
+        Add(SquaredNorm(params_[0]), SquaredNorm(params_[1]));
+    loss = Add(loss, ScalarMul(reg, config_.l2));
+  }
+  return loss;
+}
+
+Tensor LightGcn::PredictPairs(const std::vector<int64_t>& users,
+                              const std::vector<int64_t>& items) {
+  MSOPDS_CHECK_EQ(users.size(), items.size());
+  if (users.empty()) return Tensor::Zeros({0});
+  const FinalEmbeddings final = Forward();
+  return AddScalar(PairDot(GatherRows(final.users, MakeIndex(users)),
+                           GatherRows(final.items, MakeIndex(items))),
+                   config_.prediction_offset)
+      .value();
+}
+
+}  // namespace msopds

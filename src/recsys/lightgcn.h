@@ -1,0 +1,76 @@
+#ifndef MSOPDS_RECSYS_LIGHTGCN_H_
+#define MSOPDS_RECSYS_LIGHTGCN_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "recsys/rating_model.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace msopds {
+
+/// Hyperparameters of the LightGCN-style recommender.
+struct LightGcnConfig {
+  int64_t embedding_dim = 16;
+  /// Propagation layers; the final embedding averages layers 0..L.
+  int num_layers = 2;
+  /// Weight of social-network propagation mixed into the user update
+  /// (0 = pure LightGCN on the interaction graph).
+  double social_weight = 0.5;
+  double init_stddev = 0.1;
+  double l2 = 1e-4;
+  double prediction_offset = 3.0;
+};
+
+/// A second victim family: LightGCN (He et al. [68], cited by the paper
+/// as a representative graph recommender), extended with optional social
+/// propagation so it consumes the same heterogeneous data. Used by the
+/// transfer_study example to test whether plans optimized on the PDS
+/// surrogate transfer to a victim with a different architecture.
+///
+/// Propagation (symmetric-normalized, no feature transforms, as in
+/// LightGCN):
+///   e_u^{k+1} = sum_{i in N_R(u)} e_i^k / sqrt(|N_R(u)||N_R(i)|)
+///              + social_weight * mean_{v in N_S(u)} e_v^k
+///   e_i^{k+1} = sum_{u in N_R(i)} e_u^k / sqrt(|N_R(i)||N_R(u)|)
+/// and the final embedding is the mean over layers 0..num_layers.
+class LightGcn : public RatingModel {
+ public:
+  LightGcn(const Dataset& dataset, const LightGcnConfig& config, Rng* rng);
+
+  std::vector<Variable>* MutableParams() override { return &params_; }
+  Variable TrainingLoss(const std::vector<Rating>& ratings) override;
+  Tensor PredictPairs(const std::vector<int64_t>& users,
+                      const std::vector<int64_t>& items) override;
+
+  const LightGcnConfig& config() const { return config_; }
+
+ private:
+  struct FinalEmbeddings {
+    Variable users;
+    Variable items;
+  };
+  FinalEmbeddings Forward() const;
+
+  LightGcnConfig config_;
+  int64_t num_users_ = 0;
+  int64_t num_items_ = 0;
+  std::vector<Variable> params_;  // [0] user table, [1] item table
+
+  // Interaction graph, both directions, with 1/sqrt(du*di) weights.
+  IndexVec ui_dst_;  // user <- item
+  IndexVec ui_src_;
+  Tensor ui_weight_;
+  IndexVec iu_dst_;  // item <- user
+  IndexVec iu_src_;
+  Tensor iu_weight_;
+  // Social graph (degree-normalized mean).
+  IndexVec social_dst_;
+  IndexVec social_src_;
+  Tensor social_weight_;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_RECSYS_LIGHTGCN_H_

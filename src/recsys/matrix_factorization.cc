@@ -1,0 +1,87 @@
+#include "recsys/matrix_factorization.h"
+
+#include "recsys/embedding.h"
+#include "util/logging.h"
+
+namespace msopds {
+
+MfParams MakeMfParams(int64_t num_users, int64_t num_items,
+                      const MfConfig& config, double global_mean, Rng* rng) {
+  MfParams params;
+  params.user_factors =
+      MakeEmbedding(num_users, config.latent_dim, config.init_stddev, rng);
+  params.item_factors =
+      MakeEmbedding(num_items, config.latent_dim, config.init_stddev, rng);
+  params.user_bias = Param(Tensor::Zeros({num_users}));
+  params.item_bias = Param(Tensor::Zeros({num_items}));
+  params.global_mean = global_mean;
+  return params;
+}
+
+Variable MfPredict(const MfParams& params, const IndexVec& users,
+                   const IndexVec& items) {
+  Variable interaction = PairDot(GatherRows(params.user_factors, users),
+                                 GatherRows(params.item_factors, items));
+  Variable biased = Add(interaction, Gather1(params.user_bias, users));
+  biased = Add(biased, Gather1(params.item_bias, items));
+  return AddScalar(biased, params.global_mean);
+}
+
+Variable MfLoss(const MfParams& params, const IndexVec& users,
+                const IndexVec& items, const Variable& targets, double l2) {
+  Variable errors = Sub(MfPredict(params, users, items), targets);
+  Variable loss = Mean(Square(errors));
+  if (l2 > 0.0) {
+    Variable reg = Add(SquaredNorm(params.user_factors),
+                       SquaredNorm(params.item_factors));
+    reg = Add(reg, SquaredNorm(params.user_bias));
+    reg = Add(reg, SquaredNorm(params.item_bias));
+    loss = Add(loss, ScalarMul(reg, l2));
+  }
+  return loss;
+}
+
+MatrixFactorization::MatrixFactorization(int64_t num_users, int64_t num_items,
+                                         const MfConfig& config,
+                                         double global_mean, Rng* rng)
+    : config_(config), global_mean_(global_mean) {
+  const MfParams bundle =
+      MakeMfParams(num_users, num_items, config, global_mean, rng);
+  params_ = bundle.AsVector();
+}
+
+MfParams MatrixFactorization::Bundle() const {
+  MSOPDS_CHECK_EQ(params_.size(), 4u);
+  MfParams bundle;
+  bundle.user_factors = params_[0];
+  bundle.item_factors = params_[1];
+  bundle.user_bias = params_[2];
+  bundle.item_bias = params_[3];
+  bundle.global_mean = global_mean_;
+  return bundle;
+}
+
+Variable MatrixFactorization::TrainingLoss(const std::vector<Rating>& ratings) {
+  MSOPDS_CHECK(!ratings.empty());
+  std::vector<int64_t> users, items;
+  Tensor targets({static_cast<int64_t>(ratings.size())});
+  users.reserve(ratings.size());
+  items.reserve(ratings.size());
+  for (size_t k = 0; k < ratings.size(); ++k) {
+    users.push_back(ratings[k].user);
+    items.push_back(ratings[k].item);
+    targets.at(static_cast<int64_t>(k)) = ratings[k].value;
+  }
+  return MfLoss(Bundle(), MakeIndex(std::move(users)),
+                MakeIndex(std::move(items)), Constant(std::move(targets)),
+                config_.l2);
+}
+
+Tensor MatrixFactorization::PredictPairs(const std::vector<int64_t>& users,
+                                         const std::vector<int64_t>& items) {
+  MSOPDS_CHECK_EQ(users.size(), items.size());
+  if (users.empty()) return Tensor::Zeros({0});
+  return MfPredict(Bundle(), MakeIndex(users), MakeIndex(items)).value();
+}
+
+}  // namespace msopds

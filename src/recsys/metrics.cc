@@ -1,0 +1,147 @@
+#include "recsys/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace msopds {
+namespace {
+
+double Clamp(double value) {
+  return std::min(kMaxRating, std::max(kMinRating, value));
+}
+
+}  // namespace
+
+double AverageTargetRating(RatingModel* model,
+                           const std::vector<int64_t>& audience,
+                           int64_t target_item) {
+  MSOPDS_CHECK(model != nullptr);
+  MSOPDS_CHECK(!audience.empty());
+  const std::vector<int64_t> items(audience.size(), target_item);
+  const Tensor predictions = model->PredictPairs(audience, items);
+  double total = 0.0;
+  for (int64_t i = 0; i < predictions.size(); ++i) {
+    total += Clamp(predictions.at(i));
+  }
+  return total / static_cast<double>(predictions.size());
+}
+
+double HitRateAtK(RatingModel* model, const std::vector<int64_t>& audience,
+                  int64_t target_item, const std::vector<int64_t>& compete,
+                  int k) {
+  MSOPDS_CHECK(model != nullptr);
+  MSOPDS_CHECK(!audience.empty());
+  MSOPDS_CHECK_GT(k, 0);
+
+  // One batched prediction call: for each user, target then competitors.
+  const int64_t block = 1 + static_cast<int64_t>(compete.size());
+  std::vector<int64_t> users, items;
+  users.reserve(audience.size() * static_cast<size_t>(block));
+  items.reserve(users.capacity());
+  for (int64_t user : audience) {
+    users.insert(users.end(), static_cast<size_t>(block), user);
+    items.push_back(target_item);
+    items.insert(items.end(), compete.begin(), compete.end());
+  }
+  const Tensor predictions = model->PredictPairs(users, items);
+
+  int64_t hits = 0;
+  for (size_t a = 0; a < audience.size(); ++a) {
+    const int64_t offset = static_cast<int64_t>(a) * block;
+    const double target_score = predictions.at(offset);
+    int better = 0;
+    for (int64_t j = 1; j < block; ++j) {
+      if (predictions.at(offset + j) > target_score) ++better;
+    }
+    if (better < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(audience.size());
+}
+
+namespace {
+
+// Target rank per audience member (1 = best; ties favor the target),
+// shared by the rank-based metrics.
+std::vector<int> TargetRanks(RatingModel* model,
+                             const std::vector<int64_t>& audience,
+                             int64_t target_item,
+                             const std::vector<int64_t>& compete) {
+  MSOPDS_CHECK(model != nullptr);
+  MSOPDS_CHECK(!audience.empty());
+  const int64_t block = 1 + static_cast<int64_t>(compete.size());
+  std::vector<int64_t> users, items;
+  users.reserve(audience.size() * static_cast<size_t>(block));
+  items.reserve(users.capacity());
+  for (int64_t user : audience) {
+    users.insert(users.end(), static_cast<size_t>(block), user);
+    items.push_back(target_item);
+    items.insert(items.end(), compete.begin(), compete.end());
+  }
+  const Tensor predictions = model->PredictPairs(users, items);
+  std::vector<int> ranks;
+  ranks.reserve(audience.size());
+  for (size_t a = 0; a < audience.size(); ++a) {
+    const int64_t offset = static_cast<int64_t>(a) * block;
+    const double target_score = predictions.at(offset);
+    int better = 0;
+    for (int64_t j = 1; j < block; ++j) {
+      if (predictions.at(offset + j) > target_score) ++better;
+    }
+    ranks.push_back(better + 1);
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double PrecisionAtK(RatingModel* model, const std::vector<int64_t>& audience,
+                    int64_t target_item, const std::vector<int64_t>& compete,
+                    int k) {
+  MSOPDS_CHECK_GT(k, 0);
+  const std::vector<int> ranks =
+      TargetRanks(model, audience, target_item, compete);
+  double total = 0.0;
+  for (int rank : ranks) {
+    if (rank <= k) total += 1.0 / static_cast<double>(k);
+  }
+  return total / static_cast<double>(ranks.size());
+}
+
+double NdcgAtK(RatingModel* model, const std::vector<int64_t>& audience,
+               int64_t target_item, const std::vector<int64_t>& compete,
+               int k) {
+  MSOPDS_CHECK_GT(k, 0);
+  const std::vector<int> ranks =
+      TargetRanks(model, audience, target_item, compete);
+  double total = 0.0;
+  for (int rank : ranks) {
+    if (rank <= k) {
+      total += 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+    }
+  }
+  return total / static_cast<double>(ranks.size());
+}
+
+double Rmse(RatingModel* model, const std::vector<Rating>& ratings) {
+  MSOPDS_CHECK(model != nullptr);
+  MSOPDS_CHECK(!ratings.empty());
+  std::vector<int64_t> users, items;
+  users.reserve(ratings.size());
+  items.reserve(ratings.size());
+  for (const Rating& r : ratings) {
+    users.push_back(r.user);
+    items.push_back(r.item);
+  }
+  const Tensor predictions = model->PredictPairs(users, items);
+  double total = 0.0;
+  for (size_t i = 0; i < ratings.size(); ++i) {
+    const double error =
+        predictions.at(static_cast<int64_t>(i)) - ratings[i].value;
+    total += error * error;
+  }
+  return std::sqrt(total / static_cast<double>(ratings.size()));
+}
+
+}  // namespace msopds

@@ -1,0 +1,45 @@
+#ifndef MSOPDS_RECSYS_METRICS_H_
+#define MSOPDS_RECSYS_METRICS_H_
+
+#include <vector>
+
+#include "recsys/rating_model.h"
+
+namespace msopds {
+
+/// Average predicted rating of `target_item` over the target audience
+/// (paper metric r-bar, §VI-A6). Predictions are clamped to the valid
+/// rating range [1, 5] before averaging.
+double AverageTargetRating(RatingModel* model,
+                           const std::vector<int64_t>& audience,
+                           int64_t target_item);
+
+/// HitRate@k (paper §VI-A6): the fraction of the audience for whom the
+/// target item ranks within the top-k positions against the competing
+/// items (strictly-greater competitor predictions push the target down;
+/// ties favor the target).
+double HitRateAtK(RatingModel* model, const std::vector<int64_t>& audience,
+                  int64_t target_item, const std::vector<int64_t>& compete,
+                  int k = 3);
+
+/// Root-mean-squared error of predictions over held-out ratings (used for
+/// recommendation-quality sanity checks, not a paper attack metric).
+double Rmse(RatingModel* model, const std::vector<Rating>& ratings);
+
+/// Precision@k of the target item's placement, averaged over the
+/// audience: 1/k if the target makes each user's top-k against the
+/// competitors, else 0 (a rank-sensitive companion to HitRate@k).
+double PrecisionAtK(RatingModel* model, const std::vector<int64_t>& audience,
+                    int64_t target_item, const std::vector<int64_t>& compete,
+                    int k = 3);
+
+/// NDCG@k of the target item against the competitors, averaged over the
+/// audience, with the target as the single relevant item: 1/log2(rank+1)
+/// when the target ranks within the top k, else 0.
+double NdcgAtK(RatingModel* model, const std::vector<int64_t>& audience,
+               int64_t target_item, const std::vector<int64_t>& compete,
+               int k = 3);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_RECSYS_METRICS_H_

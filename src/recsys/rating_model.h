@@ -1,0 +1,32 @@
+#ifndef MSOPDS_RECSYS_RATING_MODEL_H_
+#define MSOPDS_RECSYS_RATING_MODEL_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/variable.h"
+
+namespace msopds {
+
+/// Interface of a trainable rating predictor (paper Eq. (1)): both the
+/// Het-RecSys victim and the basic matrix-factorization model implement
+/// it, so the Trainer and the evaluation metrics are model-agnostic.
+class RatingModel {
+ public:
+  virtual ~RatingModel() = default;
+
+  /// Trainable leaf parameters (theta). The Trainer mutates them in place.
+  virtual std::vector<Variable>* MutableParams() = 0;
+
+  /// Full training objective on `ratings` including regularization; the
+  /// returned Variable carries the graph for backprop.
+  virtual Variable TrainingLoss(const std::vector<Rating>& ratings) = 0;
+
+  /// Predicted ratings for aligned (users[k], items[k]) pairs.
+  virtual Tensor PredictPairs(const std::vector<int64_t>& users,
+                              const std::vector<int64_t>& items) = 0;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_RECSYS_RATING_MODEL_H_

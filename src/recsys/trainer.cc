@@ -1,0 +1,66 @@
+#include "recsys/trainer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "tensor/grad.h"
+#include "tensor/optim.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace msopds {
+
+TrainResult TrainModel(RatingModel* model, const std::vector<Rating>& ratings,
+                       const TrainOptions& options) {
+  MSOPDS_CHECK(model != nullptr);
+  MSOPDS_CHECK_GT(options.epochs, 0);
+  MSOPDS_CHECK_GE(options.batch_size, 0);
+
+  std::unique_ptr<Optimizer> optimizer;
+  if (options.optimizer == OptimizerKind::kAdam) {
+    optimizer = std::make_unique<Adam>(options.learning_rate);
+  } else {
+    optimizer =
+        std::make_unique<Sgd>(options.learning_rate, options.momentum);
+  }
+
+  Rng shuffle_rng(options.shuffle_seed);
+  std::vector<Rating> shuffled = ratings;
+
+  std::vector<Variable>* params = model->MutableParams();
+  TrainResult result;
+  result.loss_history.reserve(static_cast<size_t>(options.epochs));
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    if (options.batch_size == 0 ||
+        options.batch_size >= static_cast<int>(ratings.size())) {
+      Variable loss = model->TrainingLoss(ratings);
+      epoch_loss = loss.value().item();
+      optimizer->Step(params, GradValues(loss, *params));
+    } else {
+      shuffle_rng.Shuffle(&shuffled);
+      int batches = 0;
+      for (size_t start = 0; start < shuffled.size();
+           start += static_cast<size_t>(options.batch_size)) {
+        const size_t end = std::min(
+            shuffled.size(), start + static_cast<size_t>(options.batch_size));
+        const std::vector<Rating> batch(shuffled.begin() + start,
+                                        shuffled.begin() + end);
+        Variable loss = model->TrainingLoss(batch);
+        epoch_loss += loss.value().item();
+        ++batches;
+        optimizer->Step(params, GradValues(loss, *params));
+      }
+      epoch_loss /= std::max(1, batches);
+    }
+    result.loss_history.push_back(epoch_loss);
+    if (options.log_every > 0 && (epoch + 1) % options.log_every == 0) {
+      MSOPDS_LOG(Info) << "epoch " << (epoch + 1) << " loss " << epoch_loss;
+    }
+  }
+  Variable final_loss = model->TrainingLoss(ratings);
+  result.final_loss = final_loss.value().item();
+  return result;
+}
+
+}  // namespace msopds

@@ -1,0 +1,43 @@
+#ifndef MSOPDS_RECSYS_TRAINER_H_
+#define MSOPDS_RECSYS_TRAINER_H_
+
+#include <vector>
+
+#include "recsys/rating_model.h"
+
+namespace msopds {
+
+/// Optimizer choice for full-batch training.
+enum class OptimizerKind { kAdam, kSgd };
+
+/// Training options (paper Eq. (1): minimize MSE + L2 to convergence).
+struct TrainOptions {
+  int epochs = 60;
+  double learning_rate = 0.05;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  double momentum = 0.9;  // only for kSgd
+  /// Mini-batch size; 0 trains full-batch (the default — the victim
+  /// models here are small enough that full-batch is both faster and
+  /// deterministic). Batches are re-shuffled each epoch from
+  /// `shuffle_seed`.
+  int batch_size = 0;
+  uint64_t shuffle_seed = 1;
+  /// Log loss every `log_every` epochs (0 = silent).
+  int log_every = 0;
+};
+
+/// Outcome of a training run.
+struct TrainResult {
+  std::vector<double> loss_history;
+  double final_loss = 0.0;
+};
+
+/// Full-batch first-order training of any RatingModel. This is the
+/// *victim* training path: gradients are detached each step (no unrolled
+/// graph), unlike the PDS surrogate's recorded inner loop.
+TrainResult TrainModel(RatingModel* model, const std::vector<Rating>& ratings,
+                       const TrainOptions& options = {});
+
+}  // namespace msopds
+
+#endif  // MSOPDS_RECSYS_TRAINER_H_

@@ -1,0 +1,78 @@
+#include "solver/conjugate_gradient.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace msopds {
+namespace {
+
+double DotProduct(const Tensor& a, const Tensor& b) {
+  MSOPDS_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) s += a.data()[i] * b.data()[i];
+  return s;
+}
+
+void Axpy(double alpha, const Tensor& x, Tensor* y) {
+  for (int64_t i = 0; i < y->size(); ++i)
+    y->data()[i] += alpha * x.data()[i];
+}
+
+}  // namespace
+
+CgResult ConjugateGradient(const LinearOperator& apply, const Tensor& b,
+                           const CgOptions& options) {
+  MSOPDS_CHECK_EQ(b.rank(), 1);
+  MSOPDS_CHECK_GT(options.max_iterations, 0);
+
+  auto apply_damped = [&](const Tensor& x) {
+    Tensor y = apply(x);
+    MSOPDS_CHECK(y.SameShape(x)) << "linear operator changed shape";
+    if (options.damping != 0.0) Axpy(options.damping, x, &y);
+    return y;
+  };
+
+  CgResult result;
+  result.solution = Tensor::Zeros(b.shape());
+  Tensor residual = b.Clone();
+  Tensor direction = b.Clone();
+  double rho = DotProduct(residual, residual);
+  const double b_norm = std::sqrt(DotProduct(b, b));
+  const double threshold =
+      options.relative_tolerance * std::max(1.0, b_norm);
+
+  if (std::sqrt(rho) <= threshold) {
+    result.converged = true;
+    result.residual_norm = std::sqrt(rho);
+    return result;
+  }
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    const Tensor ad = apply_damped(direction);
+    const double curvature = DotProduct(direction, ad);
+    if (!(std::fabs(curvature) > 1e-300)) {
+      // Zero/indefinite curvature: return the best iterate so far.
+      break;
+    }
+    const double alpha = rho / curvature;
+    Axpy(alpha, direction, &result.solution);
+    Axpy(-alpha, ad, &residual);
+    const double rho_next = DotProduct(residual, residual);
+    result.iterations = iteration + 1;
+    if (std::sqrt(rho_next) <= threshold) {
+      result.converged = true;
+      rho = rho_next;
+      break;
+    }
+    const double beta = rho_next / rho;
+    rho = rho_next;
+    for (int64_t i = 0; i < direction.size(); ++i) {
+      direction.data()[i] = residual.data()[i] + beta * direction.data()[i];
+    }
+  }
+  result.residual_norm = std::sqrt(rho);
+  return result;
+}
+
+}  // namespace msopds

@@ -1,0 +1,42 @@
+#ifndef MSOPDS_SOLVER_CONJUGATE_GRADIENT_H_
+#define MSOPDS_SOLVER_CONJUGATE_GRADIENT_H_
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace msopds {
+
+/// A matrix-free linear operator y = A x over rank-1 tensors.
+using LinearOperator = std::function<Tensor(const Tensor&)>;
+
+/// Options for the conjugate gradient solve.
+struct CgOptions {
+  /// Maximum CG iterations.
+  int max_iterations = 32;
+  /// Stop when ||r||_2 <= tolerance * max(1, ||b||_2).
+  double relative_tolerance = 1e-6;
+  /// Tikhonov damping: solves (A + damping I) x = b. MSO uses a small
+  /// damping so the opponent Hessian solve (Algorithm 1 step 9) stays
+  /// well-posed even when the Hessian is near-singular.
+  double damping = 0.0;
+};
+
+/// Result of a conjugate gradient solve.
+struct CgResult {
+  Tensor solution;
+  int iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+/// Solves (A + damping I) x = b for symmetric positive (semi-)definite A
+/// given only matrix-vector products. This implements Algorithm 1 step 9 of
+/// the paper: solving xi * (d^2 L^q / dX^q^2) = dL^p / dX^q where the
+/// Hessian is only available through Hessian-vector products.
+CgResult ConjugateGradient(const LinearOperator& apply, const Tensor& b,
+                           const CgOptions& options = CgOptions());
+
+}  // namespace msopds
+
+#endif  // MSOPDS_SOLVER_CONJUGATE_GRADIENT_H_

@@ -1,0 +1,65 @@
+#include "solver/dense_solver.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace msopds {
+
+StatusOr<Tensor> SolveDense(const Tensor& a, const Tensor& b) {
+  MSOPDS_CHECK_EQ(a.rank(), 2);
+  MSOPDS_CHECK_EQ(b.rank(), 1);
+  const int64_t n = a.dim(0);
+  MSOPDS_CHECK_EQ(a.dim(1), n);
+  MSOPDS_CHECK_EQ(b.dim(0), n);
+
+  Tensor lu = a.Clone();
+  Tensor x = b.Clone();
+  for (int64_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    int64_t pivot = col;
+    double best = std::fabs(lu.at(col, col));
+    for (int64_t row = col + 1; row < n; ++row) {
+      const double candidate = std::fabs(lu.at(row, col));
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition("matrix is numerically singular");
+    }
+    if (pivot != col) {
+      for (int64_t j = 0; j < n; ++j) std::swap(lu.at(col, j), lu.at(pivot, j));
+      std::swap(x.at(col), x.at(pivot));
+    }
+    for (int64_t row = col + 1; row < n; ++row) {
+      const double factor = lu.at(row, col) / lu.at(col, col);
+      if (factor == 0.0) continue;
+      for (int64_t j = col; j < n; ++j)
+        lu.at(row, j) -= factor * lu.at(col, j);
+      x.at(row) -= factor * x.at(col);
+    }
+  }
+  for (int64_t row = n - 1; row >= 0; --row) {
+    double sum = x.at(row);
+    for (int64_t j = row + 1; j < n; ++j) sum -= lu.at(row, j) * x.at(j);
+    x.at(row) = sum / lu.at(row, row);
+  }
+  return x;
+}
+
+Tensor Materialize(const std::function<Tensor(const Tensor&)>& apply,
+                   int64_t size) {
+  Tensor out({size, size});
+  for (int64_t j = 0; j < size; ++j) {
+    Tensor basis = Tensor::Zeros({size});
+    basis.at(j) = 1.0;
+    const Tensor column = apply(basis);
+    MSOPDS_CHECK_EQ(column.size(), size);
+    for (int64_t i = 0; i < size; ++i) out.at(i, j) = column.at(i);
+  }
+  return out;
+}
+
+}  // namespace msopds

@@ -1,0 +1,24 @@
+#ifndef MSOPDS_SOLVER_DENSE_SOLVER_H_
+#define MSOPDS_SOLVER_DENSE_SOLVER_H_
+
+#include <functional>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace msopds {
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. A must be
+/// square rank-2, b rank-1. Reference implementation used to validate the
+/// matrix-free conjugate gradient in tests; returns FailedPrecondition if
+/// A is (numerically) singular.
+StatusOr<Tensor> SolveDense(const Tensor& a, const Tensor& b);
+
+/// Dense symmetric matrix from a linear operator (for testing small
+/// Hessians): column j is apply(e_j).
+Tensor Materialize(const std::function<Tensor(const Tensor&)>& apply,
+                   int64_t size);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_SOLVER_DENSE_SOLVER_H_

@@ -1,0 +1,134 @@
+#include "tensor/grad.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace msopds {
+namespace {
+
+using internal::Node;
+
+// Collects the set of requires-grad nodes reachable from `root` and the
+// number of requires-grad consumers of each (within that set).
+void CollectReachable(Node* root,
+                      std::unordered_map<Node*, int>* pending_consumers) {
+  std::vector<Node*> stack = {root};
+  std::unordered_set<Node*> seen = {root};
+  (*pending_consumers)[root] = 0;
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    for (const Variable& input : node->inputs) {
+      Node* in = input.node().get();
+      if (in == nullptr || !in->requires_grad) continue;
+      ++(*pending_consumers)[in];
+      if (seen.insert(in).second) stack.push_back(in);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Variable> Grad(const Variable& output,
+                           const std::vector<Variable>& inputs,
+                           const Variable& grad_output) {
+  MSOPDS_CHECK(output.defined());
+  MSOPDS_CHECK(output.requires_grad())
+      << "Grad() of an output that does not require grad";
+
+  Variable seed = grad_output.defined()
+                      ? grad_output
+                      : Constant(Tensor::Ones(output.value().shape()));
+  MSOPDS_CHECK(seed.value().SameShape(output.value()))
+      << "grad_output shape mismatch";
+
+  std::unordered_map<Node*, int> pending;
+  CollectReachable(output.node().get(), &pending);
+
+  std::unordered_map<Node*, Variable> accumulated;
+  accumulated[output.node().get()] = seed;
+
+  std::vector<Node*> ready = {output.node().get()};
+  while (!ready.empty()) {
+    Node* node = ready.back();
+    ready.pop_back();
+    const Variable grad = accumulated.at(node);
+    if (!node->backward) continue;  // leaf
+    const std::vector<Variable> input_grads = node->backward(grad, node->inputs);
+    MSOPDS_CHECK_EQ(input_grads.size(), node->inputs.size())
+        << "op " << node->op_name;
+    for (size_t i = 0; i < node->inputs.size(); ++i) {
+      Node* in = node->inputs[i].node().get();
+      if (in == nullptr || !in->requires_grad) continue;
+      const Variable& ig = input_grads[i];
+      if (ig.defined()) {
+        MSOPDS_CHECK(ig.value().SameShape(in->value))
+            << "gradient shape mismatch for input " << i << " of op "
+            << node->op_name << ": " << ig.value().DebugString(2) << " vs "
+            << in->value.DebugString(2);
+        auto it = accumulated.find(in);
+        if (it == accumulated.end()) {
+          accumulated[in] = ig;
+        } else {
+          it->second = Add(it->second, ig);
+        }
+      }
+      auto pit = pending.find(in);
+      MSOPDS_CHECK(pit != pending.end());
+      if (--pit->second == 0) {
+        // Only schedule nodes that actually received gradient; nodes with
+        // no accumulated grad contribute nothing downstream.
+        if (accumulated.count(in) > 0) ready.push_back(in);
+      }
+    }
+  }
+
+  std::vector<Variable> result;
+  result.reserve(inputs.size());
+  for (const Variable& input : inputs) {
+    MSOPDS_CHECK(input.defined());
+    auto it = accumulated.find(input.node().get());
+    if (it != accumulated.end() && input.requires_grad()) {
+      result.push_back(it->second);
+    } else {
+      result.push_back(Constant(Tensor::Zeros(input.value().shape())));
+    }
+  }
+  return result;
+}
+
+std::vector<Tensor> GradValues(const Variable& output,
+                               const std::vector<Variable>& inputs,
+                               const Variable& grad_output) {
+  std::vector<Variable> grads = Grad(output, inputs, grad_output);
+  std::vector<Tensor> values;
+  values.reserve(grads.size());
+  for (const Variable& g : grads) values.push_back(g.value());
+  return values;
+}
+
+Tensor HessianVectorProduct(const Variable& grad, const Variable& input,
+                            const Tensor& v) {
+  MSOPDS_CHECK(grad.value().SameShape(v));
+  if (!grad.requires_grad()) {
+    // The gradient does not depend on the input (e.g. a linear objective):
+    // the Hessian is zero.
+    return Tensor::Zeros(input.value().shape());
+  }
+  Variable inner = Dot(grad, Constant(v.Clone()));
+  return Grad(inner, {input})[0].value();
+}
+
+Tensor MixedVectorJacobian(const Variable& grad, const Variable& other,
+                           const Tensor& xi) {
+  MSOPDS_CHECK(grad.value().SameShape(xi));
+  if (!grad.requires_grad()) {
+    return Tensor::Zeros(other.value().shape());
+  }
+  Variable inner = Dot(grad, Constant(xi.Clone()));
+  return Grad(inner, {other})[0].value();
+}
+
+}  // namespace msopds

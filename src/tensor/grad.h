@@ -1,0 +1,43 @@
+#ifndef MSOPDS_TENSOR_GRAD_H_
+#define MSOPDS_TENSOR_GRAD_H_
+
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/variable.h"
+
+namespace msopds {
+
+/// Reverse-mode gradients of `output` w.r.t. each of `inputs`.
+///
+/// `grad_output` seeds the backward pass (defaults to all-ones of the
+/// output's shape). The returned gradients are Variables whose own graphs
+/// reference `inputs`, so calling Grad on them again yields exact
+/// higher-order derivatives (the mechanism behind the Hessian-vector
+/// products in MSO). Inputs that the output does not depend on receive a
+/// zero gradient of the input's shape.
+std::vector<Variable> Grad(const Variable& output,
+                           const std::vector<Variable>& inputs,
+                           const Variable& grad_output = Variable());
+
+/// Convenience: detached gradient tensors (first-order only).
+std::vector<Tensor> GradValues(const Variable& output,
+                               const std::vector<Variable>& inputs,
+                               const Variable& grad_output = Variable());
+
+/// Hessian-vector product: d/d(input) [ <Grad(output, input), v> ].
+/// `grad` must be the (graph-carrying) gradient of a scalar output w.r.t.
+/// `input`, as returned by Grad(). Exact (double backward), not a finite
+/// difference.
+Tensor HessianVectorProduct(const Variable& grad, const Variable& input,
+                            const Tensor& v);
+
+/// Mixed second-order vector-Jacobian product:
+/// returns xi^T * d(grad)/d(other), i.e. d/d(other) [ <grad, xi> ].
+/// Used for the xi * d^2 L^q / (dX^p dX^q) term of paper Eq. (13).
+Tensor MixedVectorJacobian(const Variable& grad, const Variable& other,
+                           const Tensor& xi);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_TENSOR_GRAD_H_

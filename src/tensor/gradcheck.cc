@@ -1,0 +1,89 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace msopds {
+namespace {
+
+std::vector<Variable> MakeParams(const std::vector<Tensor>& points) {
+  std::vector<Variable> params;
+  params.reserve(points.size());
+  for (const Tensor& p : points) params.push_back(Param(p.Clone()));
+  return params;
+}
+
+double EvalAt(const ScalarFn& fn, const std::vector<Tensor>& points) {
+  std::vector<Variable> params = MakeParams(points);
+  return fn(params).value().item();
+}
+
+std::vector<Tensor> AnalyticGradients(const ScalarFn& fn,
+                                      const std::vector<Tensor>& points) {
+  std::vector<Variable> params = MakeParams(points);
+  Variable out = fn(params);
+  MSOPDS_CHECK_EQ(out.value().size(), 1) << "gradcheck needs a scalar output";
+  return GradValues(out, params);
+}
+
+}  // namespace
+
+double MaxGradError(const ScalarFn& fn, const std::vector<Tensor>& points,
+                    double epsilon) {
+  const std::vector<Tensor> analytic = AnalyticGradients(fn, points);
+  double max_error = 0.0;
+  for (size_t a = 0; a < points.size(); ++a) {
+    for (int64_t i = 0; i < points[a].size(); ++i) {
+      std::vector<Tensor> plus;
+      std::vector<Tensor> minus;
+      for (const Tensor& p : points) {
+        plus.push_back(p.Clone());
+        minus.push_back(p.Clone());
+      }
+      plus[a].data()[i] += epsilon;
+      minus[a].data()[i] -= epsilon;
+      const double numeric =
+          (EvalAt(fn, plus) - EvalAt(fn, minus)) / (2.0 * epsilon);
+      max_error =
+          std::max(max_error, std::fabs(numeric - analytic[a].data()[i]));
+    }
+  }
+  return max_error;
+}
+
+double MaxHvpError(const ScalarFn& fn, const std::vector<Tensor>& points,
+                   size_t arg, const Tensor& v, double epsilon) {
+  MSOPDS_CHECK_LT(arg, points.size());
+  MSOPDS_CHECK(v.SameShape(points[arg]));
+
+  // Exact HVP via double backward.
+  std::vector<Variable> params = MakeParams(points);
+  Variable out = fn(params);
+  Variable grad = Grad(out, {params[arg]})[0];
+  const Tensor exact = HessianVectorProduct(grad, params[arg], v);
+
+  // Finite difference of analytic first-order gradients along v.
+  std::vector<Tensor> plus;
+  std::vector<Tensor> minus;
+  for (const Tensor& p : points) {
+    plus.push_back(p.Clone());
+    minus.push_back(p.Clone());
+  }
+  for (int64_t i = 0; i < v.size(); ++i) {
+    plus[arg].data()[i] += epsilon * v.data()[i];
+    minus[arg].data()[i] -= epsilon * v.data()[i];
+  }
+  const Tensor grad_plus = AnalyticGradients(fn, plus)[arg];
+  const Tensor grad_minus = AnalyticGradients(fn, minus)[arg];
+
+  double max_error = 0.0;
+  for (int64_t i = 0; i < exact.size(); ++i) {
+    const double numeric =
+        (grad_plus.data()[i] - grad_minus.data()[i]) / (2.0 * epsilon);
+    max_error = std::max(max_error, std::fabs(numeric - exact.data()[i]));
+  }
+  return max_error;
+}
+
+}  // namespace msopds

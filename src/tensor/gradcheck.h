@@ -1,0 +1,29 @@
+#ifndef MSOPDS_TENSOR_GRADCHECK_H_
+#define MSOPDS_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/grad.h"
+#include "tensor/variable.h"
+
+namespace msopds {
+
+/// A scalar-valued differentiable function of several tensors. The callable
+/// must build its result from recorded ops over the given Variables.
+using ScalarFn = std::function<Variable(const std::vector<Variable>&)>;
+
+/// Compares analytic gradients of `fn` at `points` against central finite
+/// differences. Returns the maximum absolute elementwise error.
+double MaxGradError(const ScalarFn& fn, const std::vector<Tensor>& points,
+                    double epsilon = 1e-5);
+
+/// Compares the exact (double-backward) Hessian-vector product of `fn`
+/// w.r.t. points[arg] in direction `v` against a central finite difference
+/// of analytic gradients. Returns the maximum absolute elementwise error.
+double MaxHvpError(const ScalarFn& fn, const std::vector<Tensor>& points,
+                   size_t arg, const Tensor& v, double epsilon = 1e-5);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_TENSOR_GRADCHECK_H_

@@ -1,0 +1,604 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace msopds {
+namespace {
+
+bool IsScalarLike(const Tensor& t) { return t.size() == 1; }
+
+// Creates a recorded op node. `backward` may be empty when no input
+// requires grad (the node then acts as a constant).
+Variable MakeOp(const char* name, Tensor value, std::vector<Variable> inputs,
+                internal::Node::BackwardFn backward) {
+  bool requires_grad = false;
+  for (const Variable& v : inputs) {
+    MSOPDS_CHECK(v.defined()) << "undefined input to op " << name;
+    requires_grad = requires_grad || v.requires_grad();
+  }
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  node->op_name = name;
+  if (requires_grad) {
+    node->inputs = std::move(inputs);
+    node->backward = std::move(backward);
+  }
+  return Variable::FromNode(std::move(node));
+}
+
+// Reduces a gradient to match the (possibly scalar-broadcast) input,
+// including the exact rank of size-1 tensors ([] vs [1]).
+Variable ReduceLike(const Variable& grad, const Variable& input) {
+  Variable reduced = grad;
+  if (IsScalarLike(input.value()) && grad.value().size() > 1) {
+    reduced = Sum(grad);
+  }
+  if (!reduced.value().SameShape(input.value())) {
+    reduced = Reshape(reduced, input.value().shape());
+  }
+  return reduced;
+}
+
+enum class BinaryKind { kAdd, kSub, kMul, kDiv };
+
+Tensor EvalBinary(BinaryKind kind, const Tensor& a, const Tensor& b) {
+  const bool a_scalar = IsScalarLike(a);
+  const bool b_scalar = IsScalarLike(b);
+  MSOPDS_CHECK(a.SameShape(b) || a_scalar || b_scalar)
+      << "shape mismatch: " << a.DebugString(2) << " vs " << b.DebugString(2);
+  // Output takes the non-scalar operand's shape; when both are size-1 the
+  // higher-rank shape wins so [1] op [] keeps shape [1].
+  const Tensor& shaped = !a_scalar ? a
+                         : !b_scalar ? b
+                         : (a.rank() >= b.rank() ? a : b);
+  Tensor out(shaped.shape());
+  const int64_t n = out.size();
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const double x = a_scalar ? pa[0] : pa[i];
+    const double y = b_scalar ? pb[0] : pb[i];
+    switch (kind) {
+      case BinaryKind::kAdd:
+        po[i] = x + y;
+        break;
+      case BinaryKind::kSub:
+        po[i] = x - y;
+        break;
+      case BinaryKind::kMul:
+        po[i] = x * y;
+        break;
+      case BinaryKind::kDiv:
+        po[i] = x / y;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+IndexVec MakeIndex(std::vector<int64_t> indices) {
+  return std::make_shared<const std::vector<int64_t>>(std::move(indices));
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  return MakeOp("Add", EvalBinary(BinaryKind::kAdd, a.value(), b.value()),
+                {a, b},
+                [](const Variable& g, const std::vector<Variable>& in) {
+                  return std::vector<Variable>{ReduceLike(g, in[0]),
+                                               ReduceLike(g, in[1])};
+                });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  return MakeOp("Sub", EvalBinary(BinaryKind::kSub, a.value(), b.value()),
+                {a, b},
+                [](const Variable& g, const std::vector<Variable>& in) {
+                  return std::vector<Variable>{ReduceLike(g, in[0]),
+                                               ReduceLike(Neg(g), in[1])};
+                });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  return MakeOp("Mul", EvalBinary(BinaryKind::kMul, a.value(), b.value()),
+                {a, b},
+                [](const Variable& g, const std::vector<Variable>& in) {
+                  return std::vector<Variable>{
+                      ReduceLike(Mul(g, in[1]), in[0]),
+                      ReduceLike(Mul(g, in[0]), in[1])};
+                });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  return MakeOp(
+      "Div", EvalBinary(BinaryKind::kDiv, a.value(), b.value()), {a, b},
+      [](const Variable& g, const std::vector<Variable>& in) {
+        Variable ga = ReduceLike(Div(g, in[1]), in[0]);
+        Variable gb = ReduceLike(
+            Neg(Mul(g, Div(in[0], Mul(in[1], in[1])))), in[1]);
+        return std::vector<Variable>{std::move(ga), std::move(gb)};
+      });
+}
+
+Variable Neg(const Variable& a) {
+  Tensor out = a.value().Clone();
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = -out.data()[i];
+  return MakeOp("Neg", std::move(out), {a},
+                [](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{Neg(g)};
+                });
+}
+
+Variable ScalarMul(const Variable& a, double c) {
+  Tensor out = a.value().Clone();
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] *= c;
+  return MakeOp("ScalarMul", std::move(out), {a},
+                [c](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{ScalarMul(g, c)};
+                });
+}
+
+Variable AddScalar(const Variable& a, double c) {
+  Tensor out = a.value().Clone();
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] += c;
+  return MakeOp("AddScalar", std::move(out), {a},
+                [](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{g};
+                });
+}
+
+Variable Exp(const Variable& a) {
+  Tensor out = a.value().Clone();
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = std::exp(out.data()[i]);
+  return MakeOp("Exp", std::move(out), {a},
+                [](const Variable& g, const std::vector<Variable>& in) {
+                  // Recomputed so the gradient graph depends only on inputs.
+                  return std::vector<Variable>{Mul(g, Exp(in[0]))};
+                });
+}
+
+Variable Log(const Variable& a) {
+  Tensor out = a.value().Clone();
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = std::log(out.data()[i]);
+  return MakeOp("Log", std::move(out), {a},
+                [](const Variable& g, const std::vector<Variable>& in) {
+                  return std::vector<Variable>{Div(g, in[0])};
+                });
+}
+
+Variable Sqrt(const Variable& a) {
+  Tensor out = a.value().Clone();
+  for (int64_t i = 0; i < out.size(); ++i)
+    out.data()[i] = std::sqrt(out.data()[i]);
+  return MakeOp("Sqrt", std::move(out), {a},
+                [](const Variable& g, const std::vector<Variable>& in) {
+                  return std::vector<Variable>{
+                      Div(g, ScalarMul(Sqrt(in[0]), 2.0))};
+                });
+}
+
+Variable Square(const Variable& a) { return Mul(a, a); }
+
+Variable Reshape(const Variable& a, std::vector<int64_t> shape) {
+  Tensor out(shape);
+  MSOPDS_CHECK_EQ(out.size(), a.value().size()) << "Reshape must keep size";
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = a.value().data()[i];
+  const std::vector<int64_t> original = a.value().shape();
+  return MakeOp("Reshape", std::move(out), {a},
+                [original](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{Reshape(g, original)};
+                });
+}
+
+Variable Where(const Tensor& mask, const Variable& a, const Variable& b) {
+  MSOPDS_CHECK(mask.SameShape(a.value()));
+  MSOPDS_CHECK(mask.SameShape(b.value()));
+  Tensor out(a.value().shape());
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] =
+        mask.data()[i] != 0.0 ? a.value().data()[i] : b.value().data()[i];
+  }
+  Tensor mask_copy = mask.Clone();
+  return MakeOp(
+      "Where", std::move(out), {a, b},
+      [mask_copy](const Variable& g, const std::vector<Variable>&) {
+        Tensor inv = mask_copy.Clone();
+        for (int64_t i = 0; i < inv.size(); ++i)
+          inv.data()[i] = inv.data()[i] != 0.0 ? 0.0 : 1.0;
+        return std::vector<Variable>{Mul(g, Constant(mask_copy)),
+                                     Mul(g, Constant(inv))};
+      });
+}
+
+Tensor GreaterZeroMask(const Tensor& x) {
+  Tensor mask(x.shape());
+  for (int64_t i = 0; i < x.size(); ++i)
+    mask.data()[i] = x.data()[i] > 0.0 ? 1.0 : 0.0;
+  return mask;
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  const Tensor& ta = a.value();
+  const Tensor& tb = b.value();
+  MSOPDS_CHECK_EQ(ta.rank(), 2);
+  MSOPDS_CHECK_EQ(tb.rank(), 2);
+  MSOPDS_CHECK_EQ(ta.dim(1), tb.dim(0));
+  const int64_t n = ta.dim(0), k = ta.dim(1), m = tb.dim(1);
+  Tensor out({n, m});
+  const double* pa = ta.data();
+  const double* pb = tb.data();
+  double* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const double aik = pa[i * k + kk];
+      if (aik == 0.0) continue;
+      const double* brow = pb + kk * m;
+      double* orow = po + i * m;
+      for (int64_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return MakeOp("MatMul", std::move(out), {a, b},
+                [](const Variable& g, const std::vector<Variable>& in) {
+                  return std::vector<Variable>{
+                      MatMul(g, Transpose(in[1])),
+                      MatMul(Transpose(in[0]), g)};
+                });
+}
+
+Variable Transpose(const Variable& a) {
+  const Tensor& t = a.value();
+  MSOPDS_CHECK_EQ(t.rank(), 2);
+  const int64_t n = t.dim(0), m = t.dim(1);
+  Tensor out({m, n});
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < m; ++j) out.at(j, i) = t.at(i, j);
+  return MakeOp("Transpose", std::move(out), {a},
+                [](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{Transpose(g)};
+                });
+}
+
+Variable Sum(const Variable& a) {
+  return MakeOp("Sum", Tensor::Scalar(a.value().Sum()), {a},
+                [](const Variable& g, const std::vector<Variable>& in) {
+                  return std::vector<Variable>{
+                      Mul(Constant(Tensor::Ones(in[0].value().shape())), g)};
+                });
+}
+
+Variable Mean(const Variable& a) {
+  const int64_t n = a.value().size();
+  MSOPDS_CHECK_GT(n, 0);
+  return ScalarMul(Sum(a), 1.0 / static_cast<double>(n));
+}
+
+Variable RowSum(const Variable& a) {
+  const Tensor& t = a.value();
+  MSOPDS_CHECK_EQ(t.rank(), 2);
+  const int64_t n = t.dim(0), m = t.dim(1);
+  Tensor out({n});
+  for (int64_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (int64_t j = 0; j < m; ++j) s += t.at(i, j);
+    out.at(i) = s;
+  }
+  return MakeOp("RowSum", std::move(out), {a},
+                [m](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{TileCols(g, m)};
+                });
+}
+
+Variable TileCols(const Variable& v, int64_t cols) {
+  const Tensor& t = v.value();
+  MSOPDS_CHECK_EQ(t.rank(), 1);
+  MSOPDS_CHECK_GT(cols, 0);
+  const int64_t n = t.dim(0);
+  Tensor out({n, cols});
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < cols; ++j) out.at(i, j) = t.at(i);
+  return MakeOp("TileCols", std::move(out), {v},
+                [](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{RowSum(g)};
+                });
+}
+
+namespace {
+
+// Inserts a [N, width] block into a zero [N, total] matrix at column lo.
+// Adjoint of SliceCols; internal because users only need the pair.
+Variable PadCols(const Variable& a, int64_t lo, int64_t total);
+
+}  // namespace
+
+Variable ConcatCols(const Variable& a, const Variable& b) {
+  const Tensor& ta = a.value();
+  const Tensor& tb = b.value();
+  MSOPDS_CHECK_EQ(ta.rank(), 2);
+  MSOPDS_CHECK_EQ(tb.rank(), 2);
+  MSOPDS_CHECK_EQ(ta.dim(0), tb.dim(0));
+  const int64_t n = ta.dim(0), ca = ta.dim(1), cb = tb.dim(1);
+  Tensor out({n, ca + cb});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < ca; ++j) out.at(i, j) = ta.at(i, j);
+    for (int64_t j = 0; j < cb; ++j) out.at(i, ca + j) = tb.at(i, j);
+  }
+  return MakeOp("ConcatCols", std::move(out), {a, b},
+                [ca, cb](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{SliceCols(g, 0, ca),
+                                               SliceCols(g, ca, ca + cb)};
+                });
+}
+
+Variable SliceCols(const Variable& a, int64_t lo, int64_t hi) {
+  const Tensor& t = a.value();
+  MSOPDS_CHECK_EQ(t.rank(), 2);
+  MSOPDS_CHECK_GE(lo, 0);
+  MSOPDS_CHECK_LE(lo, hi);
+  MSOPDS_CHECK_LE(hi, t.dim(1));
+  const int64_t n = t.dim(0), total = t.dim(1);
+  Tensor out({n, hi - lo});
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = lo; j < hi; ++j) out.at(i, j - lo) = t.at(i, j);
+  return MakeOp("SliceCols", std::move(out), {a},
+                [lo, total](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{PadCols(g, lo, total)};
+                });
+}
+
+namespace {
+
+Variable PadCols(const Variable& a, int64_t lo, int64_t total) {
+  const Tensor& t = a.value();
+  MSOPDS_CHECK_EQ(t.rank(), 2);
+  MSOPDS_CHECK_LE(lo + t.dim(1), total);
+  const int64_t n = t.dim(0), w = t.dim(1);
+  Tensor out({n, total});
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < w; ++j) out.at(i, lo + j) = t.at(i, j);
+  return MakeOp("PadCols", std::move(out), {a},
+                [lo, w](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{SliceCols(g, lo, lo + w)};
+                });
+}
+
+// Inserts a vector block into a zero [total] vector at offset lo.
+Variable Pad1(const Variable& a, int64_t lo, int64_t total) {
+  const Tensor& t = a.value();
+  MSOPDS_CHECK_EQ(t.rank(), 1);
+  MSOPDS_CHECK_LE(lo + t.dim(0), total);
+  const int64_t w = t.dim(0);
+  Tensor out({total});
+  for (int64_t i = 0; i < w; ++i) out.at(lo + i) = t.at(i);
+  return MakeOp("Pad1", std::move(out), {a},
+                [lo, w](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{Slice1(g, lo, lo + w)};
+                });
+}
+
+}  // namespace
+
+Variable Concat1(const Variable& a, const Variable& b) {
+  const Tensor& ta = a.value();
+  const Tensor& tb = b.value();
+  MSOPDS_CHECK_EQ(ta.rank(), 1);
+  MSOPDS_CHECK_EQ(tb.rank(), 1);
+  const int64_t na = ta.dim(0), nb = tb.dim(0);
+  Tensor out({na + nb});
+  for (int64_t i = 0; i < na; ++i) out.at(i) = ta.at(i);
+  for (int64_t i = 0; i < nb; ++i) out.at(na + i) = tb.at(i);
+  return MakeOp("Concat1", std::move(out), {a, b},
+                [na, nb](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{Slice1(g, 0, na),
+                                               Slice1(g, na, na + nb)};
+                });
+}
+
+Variable Slice1(const Variable& a, int64_t lo, int64_t hi) {
+  const Tensor& t = a.value();
+  MSOPDS_CHECK_EQ(t.rank(), 1);
+  MSOPDS_CHECK_GE(lo, 0);
+  MSOPDS_CHECK_LE(lo, hi);
+  MSOPDS_CHECK_LE(hi, t.dim(0));
+  const int64_t total = t.dim(0);
+  Tensor out({hi - lo});
+  for (int64_t i = lo; i < hi; ++i) out.at(i - lo) = t.at(i);
+  return MakeOp("Slice1", std::move(out), {a},
+                [lo, total](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{Pad1(g, lo, total)};
+                });
+}
+
+Variable GatherRows(const Variable& x, const IndexVec& idx) {
+  const Tensor& t = x.value();
+  MSOPDS_CHECK_EQ(t.rank(), 2);
+  const int64_t n = t.dim(0), d = t.dim(1);
+  const int64_t k = static_cast<int64_t>(idx->size());
+  Tensor out({k, d});
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t r = (*idx)[static_cast<size_t>(i)];
+    MSOPDS_CHECK_GE(r, 0);
+    MSOPDS_CHECK_LT(r, n);
+    for (int64_t j = 0; j < d; ++j) out.at(i, j) = t.at(r, j);
+  }
+  return MakeOp("GatherRows", std::move(out), {x},
+                [idx, n](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{ScatterAddRows(g, idx, n)};
+                });
+}
+
+Variable ScatterAddRows(const Variable& g, const IndexVec& idx, int64_t rows) {
+  const Tensor& t = g.value();
+  MSOPDS_CHECK_EQ(t.rank(), 2);
+  MSOPDS_CHECK_EQ(t.dim(0), static_cast<int64_t>(idx->size()));
+  const int64_t k = t.dim(0), d = t.dim(1);
+  Tensor out({rows, d});
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t r = (*idx)[static_cast<size_t>(i)];
+    MSOPDS_CHECK_GE(r, 0);
+    MSOPDS_CHECK_LT(r, rows);
+    for (int64_t j = 0; j < d; ++j) out.at(r, j) += t.at(i, j);
+  }
+  return MakeOp("ScatterAddRows", std::move(out), {g},
+                [idx](const Variable& gg, const std::vector<Variable>&) {
+                  return std::vector<Variable>{GatherRows(gg, idx)};
+                });
+}
+
+Variable Gather1(const Variable& x, const IndexVec& idx) {
+  const Tensor& t = x.value();
+  MSOPDS_CHECK_EQ(t.rank(), 1);
+  const int64_t n = t.dim(0);
+  const int64_t k = static_cast<int64_t>(idx->size());
+  Tensor out({k});
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t r = (*idx)[static_cast<size_t>(i)];
+    MSOPDS_CHECK_GE(r, 0);
+    MSOPDS_CHECK_LT(r, n);
+    out.at(i) = t.at(r);
+  }
+  return MakeOp("Gather1", std::move(out), {x},
+                [idx, n](const Variable& g, const std::vector<Variable>&) {
+                  return std::vector<Variable>{ScatterAdd1(g, idx, n)};
+                });
+}
+
+Variable ScatterAdd1(const Variable& g, const IndexVec& idx, int64_t size) {
+  const Tensor& t = g.value();
+  MSOPDS_CHECK_EQ(t.rank(), 1);
+  MSOPDS_CHECK_EQ(t.dim(0), static_cast<int64_t>(idx->size()));
+  Tensor out({size});
+  for (int64_t i = 0; i < t.dim(0); ++i) {
+    const int64_t r = (*idx)[static_cast<size_t>(i)];
+    MSOPDS_CHECK_GE(r, 0);
+    MSOPDS_CHECK_LT(r, size);
+    out.at(r) += t.at(i);
+  }
+  return MakeOp("ScatterAdd1", std::move(out), {g},
+                [idx](const Variable& gg, const std::vector<Variable>&) {
+                  return std::vector<Variable>{Gather1(gg, idx)};
+                });
+}
+
+Variable SpMM(const IndexVec& dst, const IndexVec& src, const Variable& w,
+              const Variable& x, int64_t num_dst) {
+  const Tensor& tw = w.value();
+  const Tensor& tx = x.value();
+  MSOPDS_CHECK_EQ(tw.rank(), 1);
+  MSOPDS_CHECK_EQ(tx.rank(), 2);
+  const int64_t e = tw.dim(0);
+  MSOPDS_CHECK_EQ(e, static_cast<int64_t>(dst->size()));
+  MSOPDS_CHECK_EQ(e, static_cast<int64_t>(src->size()));
+  const int64_t num_src = tx.dim(0), d = tx.dim(1);
+  Tensor out({num_dst, d});
+  for (int64_t k = 0; k < e; ++k) {
+    const int64_t di = (*dst)[static_cast<size_t>(k)];
+    const int64_t si = (*src)[static_cast<size_t>(k)];
+    MSOPDS_CHECK_GE(di, 0);
+    MSOPDS_CHECK_LT(di, num_dst);
+    MSOPDS_CHECK_GE(si, 0);
+    MSOPDS_CHECK_LT(si, num_src);
+    const double wk = tw.at(k);
+    if (wk == 0.0) continue;
+    const double* xrow = tx.data() + si * d;
+    double* orow = out.data() + di * d;
+    for (int64_t j = 0; j < d; ++j) orow[j] += wk * xrow[j];
+  }
+  return MakeOp(
+      "SpMM", std::move(out), {w, x},
+      [dst, src, num_src](const Variable& g, const std::vector<Variable>& in) {
+        Variable gw = EdgeDot(g, in[1], dst, src);
+        Variable gx = SpMM(src, dst, in[0], g, num_src);
+        return std::vector<Variable>{std::move(gw), std::move(gx)};
+      });
+}
+
+Variable EdgeDot(const Variable& a, const Variable& b, const IndexVec& ai,
+                 const IndexVec& bi) {
+  const Tensor& ta = a.value();
+  const Tensor& tb = b.value();
+  MSOPDS_CHECK_EQ(ta.rank(), 2);
+  MSOPDS_CHECK_EQ(tb.rank(), 2);
+  MSOPDS_CHECK_EQ(ta.dim(1), tb.dim(1));
+  MSOPDS_CHECK_EQ(ai->size(), bi->size());
+  const int64_t e = static_cast<int64_t>(ai->size());
+  const int64_t na = ta.dim(0), nb = tb.dim(0), d = ta.dim(1);
+  Tensor out({e});
+  for (int64_t k = 0; k < e; ++k) {
+    const int64_t ia = (*ai)[static_cast<size_t>(k)];
+    const int64_t ib = (*bi)[static_cast<size_t>(k)];
+    MSOPDS_CHECK_GE(ia, 0);
+    MSOPDS_CHECK_LT(ia, na);
+    MSOPDS_CHECK_GE(ib, 0);
+    MSOPDS_CHECK_LT(ib, nb);
+    const double* ra = ta.data() + ia * d;
+    const double* rb = tb.data() + ib * d;
+    double s = 0.0;
+    for (int64_t j = 0; j < d; ++j) s += ra[j] * rb[j];
+    out.at(k) = s;
+  }
+  return MakeOp(
+      "EdgeDot", std::move(out), {a, b},
+      [ai, bi, na, nb](const Variable& g, const std::vector<Variable>& in) {
+        Variable ga = SpMM(ai, bi, g, in[1], na);
+        Variable gb = SpMM(bi, ai, g, in[0], nb);
+        return std::vector<Variable>{std::move(ga), std::move(gb)};
+      });
+}
+
+Variable Relu(const Variable& x) {
+  const Tensor mask = GreaterZeroMask(x.value());
+  return Where(mask, x, Constant(Tensor::Zeros(x.value().shape())));
+}
+
+Variable Selu(const Variable& x) {
+  // Constants from Klambauer et al. (2017).
+  constexpr double kScale = 1.0507009873554805;
+  constexpr double kAlpha = 1.6732632423543772;
+  const Tensor mask = GreaterZeroMask(x.value());
+  Variable negative = ScalarMul(AddScalar(Exp(x), -1.0), kAlpha);
+  return ScalarMul(Where(mask, x, negative), kScale);
+}
+
+Variable Sigmoid(const Variable& x) {
+  Variable one = Constant(Tensor::Ones(x.value().shape()));
+  return Div(one, AddScalar(Exp(Neg(x)), 1.0));
+}
+
+Variable PairDot(const Variable& a, const Variable& b) {
+  return RowSum(Mul(a, b));
+}
+
+Variable Dot(const Variable& a, const Variable& b) { return Sum(Mul(a, b)); }
+
+Variable SegmentSoftmax(const Variable& scores, const IndexVec& seg,
+                        int64_t num_segments) {
+  const Tensor& t = scores.value();
+  MSOPDS_CHECK_EQ(t.rank(), 1);
+  const int64_t e = t.dim(0);
+  MSOPDS_CHECK_EQ(e, static_cast<int64_t>(seg->size()));
+  // Per-segment max as a constant shift for numerical stability.
+  std::vector<double> seg_max(static_cast<size_t>(num_segments), -1e300);
+  for (int64_t k = 0; k < e; ++k) {
+    const int64_t s = (*seg)[static_cast<size_t>(k)];
+    MSOPDS_CHECK_GE(s, 0);
+    MSOPDS_CHECK_LT(s, num_segments);
+    seg_max[static_cast<size_t>(s)] =
+        std::max(seg_max[static_cast<size_t>(s)], t.at(k));
+  }
+  Tensor shift({e});
+  for (int64_t k = 0; k < e; ++k)
+    shift.at(k) = seg_max[static_cast<size_t>((*seg)[static_cast<size_t>(k)])];
+  Variable exps = Exp(Sub(scores, Constant(shift)));
+  Variable denom = ScatterAdd1(exps, seg, num_segments);
+  return Div(exps, Gather1(denom, seg));
+}
+
+Variable SquaredNorm(const Variable& x) { return Sum(Mul(x, x)); }
+
+}  // namespace msopds

@@ -1,0 +1,167 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace msopds {
+namespace {
+
+int64_t ShapeSize(const std::vector<int64_t>& shape) {
+  int64_t size = 1;
+  for (int64_t d : shape) {
+    MSOPDS_CHECK_GE(d, 0);
+    size *= d;
+  }
+  return size;
+}
+
+}  // namespace
+
+Tensor::Tensor() = default;
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)), size_(ShapeSize(shape_)) {
+  MSOPDS_CHECK_LE(rank(), 2) << "only rank 0..2 tensors are supported";
+  data_ = std::make_shared<std::vector<double>>(
+      static_cast<size_t>(size_), 0.0);
+}
+
+Tensor Tensor::Scalar(double value) {
+  Tensor t{std::vector<int64_t>{}};
+  (*t.data_)[0] = value;
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<double> values) {
+  Tensor t{std::vector<int64_t>{static_cast<int64_t>(values.size())}};
+  *t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::FromMatrix(int64_t rows, int64_t cols,
+                          std::vector<double> values) {
+  MSOPDS_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  Tensor t{std::vector<int64_t>{rows, cols}};
+  *t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.0);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, double value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Clone() const {
+  if (!defined()) return Tensor();
+  Tensor t;
+  t.shape_ = shape_;
+  t.size_ = size_;
+  t.data_ = std::make_shared<std::vector<double>>(*data_);
+  return t;
+}
+
+int64_t Tensor::dim(int64_t axis) const {
+  MSOPDS_CHECK_GE(axis, 0);
+  MSOPDS_CHECK_LT(axis, rank());
+  return shape_[static_cast<size_t>(axis)];
+}
+
+double* Tensor::data() {
+  MSOPDS_CHECK(defined());
+  return data_->data();
+}
+
+const double* Tensor::data() const {
+  MSOPDS_CHECK(defined());
+  return data_->data();
+}
+
+double Tensor::item() const {
+  MSOPDS_CHECK_EQ(size_, 1);
+  return (*data_)[0];
+}
+
+double& Tensor::at(int64_t i) {
+  MSOPDS_CHECK_EQ(rank(), 1);
+  MSOPDS_CHECK_GE(i, 0);
+  MSOPDS_CHECK_LT(i, size_);
+  return (*data_)[static_cast<size_t>(i)];
+}
+
+double Tensor::at(int64_t i) const {
+  return const_cast<Tensor*>(this)->at(i);
+}
+
+double& Tensor::at(int64_t i, int64_t j) {
+  MSOPDS_CHECK_EQ(rank(), 2);
+  MSOPDS_CHECK_GE(i, 0);
+  MSOPDS_CHECK_LT(i, shape_[0]);
+  MSOPDS_CHECK_GE(j, 0);
+  MSOPDS_CHECK_LT(j, shape_[1]);
+  return (*data_)[static_cast<size_t>(i * shape_[1] + j)];
+}
+
+double Tensor::at(int64_t i, int64_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+void Tensor::Fill(double value) {
+  MSOPDS_CHECK(defined());
+  for (double& x : *data_) x = value;
+}
+
+double Tensor::Sum() const {
+  if (!defined()) return 0.0;
+  double total = 0.0;
+  for (double x : *data_) total += x;
+  return total;
+}
+
+double Tensor::MaxAbs() const {
+  if (!defined()) return 0.0;
+  double best = 0.0;
+  for (double x : *data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+std::string Tensor::DebugString(int64_t max_elements) const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << shape_[i];
+  }
+  out << "]{";
+  if (defined()) {
+    const int64_t n = std::min<int64_t>(size_, max_elements);
+    for (int64_t i = 0; i < n; ++i) {
+      if (i > 0) out << ", ";
+      out << (*data_)[static_cast<size_t>(i)];
+    }
+    if (size_ > max_elements) out << ", ...";
+  }
+  out << "}";
+  return out.str();
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, double tolerance) {
+  if (!a.defined() || !b.defined()) return a.defined() == b.defined();
+  if (!a.SameShape(b)) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a.data()[i] - b.data()[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace msopds

@@ -1,0 +1,88 @@
+#ifndef MSOPDS_TENSOR_TENSOR_H_
+#define MSOPDS_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace msopds {
+
+/// Dense row-major tensor of doubles with rank 0, 1, or 2.
+///
+/// Copying a Tensor shares the underlying buffer (like torch tensors);
+/// use Clone() for a deep copy. All differentiable computation happens on
+/// Variable (tensor/variable.h); Tensor is the raw storage + eager math
+/// used inside op kernels.
+class Tensor {
+ public:
+  /// An empty (undefined) tensor; size() == 0 and rank() == 0.
+  Tensor();
+
+  /// Allocates a zero-initialized tensor of the given shape (rank <= 2).
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Scalar (rank-0) tensor holding `value`.
+  static Tensor Scalar(double value);
+
+  /// Rank-1 tensor from values.
+  static Tensor FromVector(std::vector<double> values);
+
+  /// Rank-2 tensor from row-major values; values.size() must be rows*cols.
+  static Tensor FromMatrix(int64_t rows, int64_t cols,
+                           std::vector<double> values);
+
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Ones(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, double value);
+
+  /// Deep copy.
+  Tensor Clone() const;
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int64_t axis) const;
+  int64_t size() const { return size_; }
+  bool defined() const { return data_ != nullptr; }
+
+  double* data();
+  const double* data() const;
+
+  /// Scalar access; requires size() == 1 (any rank).
+  double item() const;
+
+  /// Rank-1 element access.
+  double& at(int64_t i);
+  double at(int64_t i) const;
+
+  /// Rank-2 element access.
+  double& at(int64_t i, int64_t j);
+  double at(int64_t i, int64_t j) const;
+
+  /// True if both shapes are identical.
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Sets every element to `value`.
+  void Fill(double value);
+
+  /// Sum of all elements.
+  double Sum() const;
+
+  /// Maximum absolute element (0 for empty tensors).
+  double MaxAbs() const;
+
+  /// Debug rendering, e.g. "[2,3]{1, 2, 3, ...}".
+  std::string DebugString(int64_t max_elements = 8) const;
+
+ private:
+  std::vector<int64_t> shape_;
+  int64_t size_ = 0;
+  std::shared_ptr<std::vector<double>> data_;
+};
+
+/// True if `a` and `b` have equal shape and elements within `tolerance`.
+bool AllClose(const Tensor& a, const Tensor& b, double tolerance = 1e-9);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_TENSOR_TENSOR_H_

@@ -1,0 +1,66 @@
+#include "tensor/variable.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace msopds {
+
+Variable::Variable() = default;
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<internal::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  MSOPDS_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  MSOPDS_CHECK(defined());
+  MSOPDS_CHECK(is_leaf()) << "mutable_value() on derived node "
+                          << node_->op_name;
+  return node_->value;
+}
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+bool Variable::is_leaf() const {
+  MSOPDS_CHECK(defined());
+  return !node_->backward;
+}
+
+const char* Variable::op_name() const {
+  MSOPDS_CHECK(defined());
+  return node_->op_name;
+}
+
+Variable Variable::Detach() const {
+  MSOPDS_CHECK(defined());
+  return Variable(node_->value, /*requires_grad=*/false);
+}
+
+Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+Variable Constant(Tensor value) {
+  return Variable(std::move(value), /*requires_grad=*/false);
+}
+
+Variable ConstantScalar(double value) {
+  return Constant(Tensor::Scalar(value));
+}
+
+Variable Param(Tensor value) {
+  return Variable(std::move(value), /*requires_grad=*/true);
+}
+
+}  // namespace msopds

@@ -1,0 +1,85 @@
+#ifndef MSOPDS_TENSOR_VARIABLE_H_
+#define MSOPDS_TENSOR_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msopds {
+
+class Variable;
+
+namespace internal {
+
+/// One recorded operation (or leaf) in the autodiff DAG.
+///
+/// `backward` maps the gradient w.r.t. this node's output to gradients
+/// w.r.t. each input, *expressed as Variables built from recorded ops*.
+/// Because every backward is itself a composition of recorded ops, the
+/// gradient graph is differentiable again, giving exact higher-order
+/// derivatives (required by MSO's Hessian-vector products, Algorithm 1
+/// steps 9-10 of the paper).
+struct Node {
+  using BackwardFn = std::function<std::vector<Variable>(
+      const Variable& grad_output, const std::vector<Variable>& inputs)>;
+
+  Tensor value;
+  bool requires_grad = false;
+  std::vector<Variable> inputs;
+  BackwardFn backward;
+  const char* op_name = "leaf";
+};
+
+}  // namespace internal
+
+/// A node handle in the autodiff graph: a Tensor value plus (optionally)
+/// the recorded operation that produced it. Copies are shallow; the graph
+/// is reference-counted and freed when the last handle dies (no global
+/// tape).
+class Variable {
+ public:
+  /// Undefined variable (used for "no gradient").
+  Variable();
+
+  /// Leaf holding `value`. Only leaves with requires_grad can receive
+  /// gradients from Grad().
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  /// True unless default-constructed.
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+
+  /// Mutable access to the leaf's tensor, for optimizer in-place updates.
+  /// CHECK-fails on non-leaf nodes (their values are derived).
+  Tensor& mutable_value();
+
+  bool requires_grad() const;
+  bool is_leaf() const;
+  const char* op_name() const;
+
+  /// A new leaf sharing this variable's value but cut from the graph.
+  Variable Detach() const;
+
+  /// Internal: used by ops.cc and grad.cc.
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+  static Variable FromNode(std::shared_ptr<internal::Node> node);
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+/// Leaf constant (requires_grad = false).
+Variable Constant(Tensor value);
+
+/// Scalar constant.
+Variable ConstantScalar(double value);
+
+/// Leaf parameter (requires_grad = true).
+Variable Param(Tensor value);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_TENSOR_VARIABLE_H_

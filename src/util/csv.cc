@@ -1,0 +1,45 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace msopds {
+
+StatusOr<std::vector<std::vector<std::string>>> ReadDelimited(
+    const std::string& path, char delimiter) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    rows.push_back(StrSplit(stripped, delimiter));
+  }
+  return rows;
+}
+
+Status WriteDelimited(const std::string& path,
+                      const std::vector<std::vector<std::string>>& rows,
+                      char delimiter) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      MSOPDS_CHECK(row[i].find(delimiter) == std::string::npos &&
+                   row[i].find('\n') == std::string::npos)
+          << "field contains delimiter or newline: " << row[i];
+      if (i > 0) out << delimiter;
+      out << row[i];
+    }
+    out << '\n';
+  }
+  return Status::Ok();
+}
+
+}  // namespace msopds

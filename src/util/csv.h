@@ -1,0 +1,25 @@
+#ifndef MSOPDS_UTIL_CSV_H_
+#define MSOPDS_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace msopds {
+
+/// Reads a delimiter-separated file into rows of fields. Blank lines and
+/// lines starting with '#' are skipped. Returns NotFound if the file cannot
+/// be opened.
+StatusOr<std::vector<std::vector<std::string>>> ReadDelimited(
+    const std::string& path, char delimiter);
+
+/// Writes rows as a delimiter-separated file (no quoting; fields must not
+/// contain the delimiter or newlines — CHECKed).
+Status WriteDelimited(const std::string& path,
+                      const std::vector<std::vector<std::string>>& rows,
+                      char delimiter);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_UTIL_CSV_H_

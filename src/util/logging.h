@@ -1,0 +1,74 @@
+#ifndef MSOPDS_UTIL_LOGGING_H_
+#define MSOPDS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+// Minimal glog-style logging and CHECK macros.
+//
+// The library follows the Google C++ style guide and does not use
+// exceptions: invariant violations terminate via MSOPDS_CHECK* after
+// printing a diagnostic with the failing expression and location.
+
+namespace msopds {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Returns the current minimum severity that is actually printed.
+LogSeverity MinLogSeverity();
+
+/// Sets the minimum severity printed by LOG(); kFatal always aborts.
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal {
+
+// Accumulates one log line and emits it (and aborts for kFatal) in the
+// destructor. Instances only live for a single statement.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the severity is below the minimum.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace msopds
+
+#define MSOPDS_LOG(severity)                                          \
+  ::msopds::internal::LogMessage(::msopds::LogSeverity::k##severity, \
+                                 __FILE__, __LINE__)                  \
+      .stream()
+
+#define MSOPDS_CHECK(condition)                                   \
+  if (!(condition))                                               \
+  MSOPDS_LOG(Fatal) << "Check failed: " #condition " "
+
+#define MSOPDS_CHECK_OP(op, a, b)                                           \
+  if (!((a)op(b)))                                                          \
+  MSOPDS_LOG(Fatal) << "Check failed: " #a " " #op " " #b " (" << (a)       \
+                    << " vs " << (b) << ") "
+
+#define MSOPDS_CHECK_EQ(a, b) MSOPDS_CHECK_OP(==, a, b)
+#define MSOPDS_CHECK_NE(a, b) MSOPDS_CHECK_OP(!=, a, b)
+#define MSOPDS_CHECK_LT(a, b) MSOPDS_CHECK_OP(<, a, b)
+#define MSOPDS_CHECK_LE(a, b) MSOPDS_CHECK_OP(<=, a, b)
+#define MSOPDS_CHECK_GT(a, b) MSOPDS_CHECK_OP(>, a, b)
+#define MSOPDS_CHECK_GE(a, b) MSOPDS_CHECK_OP(>=, a, b)
+
+#endif  // MSOPDS_UTIL_LOGGING_H_

@@ -1,0 +1,130 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace msopds {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(&s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t n) {
+  MSOPDS_CHECK_GT(n, 0);
+  // Rejection sampling removes modulo bias.
+  const uint64_t un = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % un;
+  uint64_t r = Next();
+  while (r >= limit) r = Next();
+  return static_cast<int64_t>(r % un);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  MSOPDS_CHECK_LE(lo, hi);
+  return lo + UniformInt(hi - lo + 1);
+}
+
+double Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  have_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  MSOPDS_CHECK_GE(stddev, 0.0);
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+int64_t Rng::Zipf(int64_t n, double alpha) {
+  MSOPDS_CHECK_GT(n, 0);
+  if (n == 1) return 0;
+  // Inverse-CDF on the (unnormalized) continuous envelope, then clamp.
+  // Accurate enough for workload generation; statistical tests cover shape.
+  const double u = Uniform();
+  if (alpha == 1.0) {
+    const double h = std::log(static_cast<double>(n) + 1.0);
+    int64_t k = static_cast<int64_t>(std::exp(u * h)) - 1;
+    return std::min<int64_t>(std::max<int64_t>(k, 0), n - 1);
+  }
+  const double one_minus = 1.0 - alpha;
+  const double total = (std::pow(static_cast<double>(n) + 1.0, one_minus) - 1.0);
+  const double x = std::pow(1.0 + u * total, 1.0 / one_minus) - 1.0;
+  int64_t k = static_cast<int64_t>(x);
+  return std::min<int64_t>(std::max<int64_t>(k, 0), n - 1);
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  MSOPDS_CHECK_GE(n, 0);
+  MSOPDS_CHECK_GE(k, 0);
+  MSOPDS_CHECK_LE(k, n);
+  std::vector<int64_t> pool(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) pool[static_cast<size_t>(i)] = i;
+  return SampleFrom(pool, k);
+}
+
+std::vector<int64_t> Rng::SampleFrom(const std::vector<int64_t>& pool,
+                                     int64_t k) {
+  MSOPDS_CHECK_LE(k, static_cast<int64_t>(pool.size()));
+  std::vector<int64_t> scratch = pool;
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  const int64_t n = static_cast<int64_t>(scratch.size());
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t j = UniformInt(i, n - 1);
+    std::swap(scratch[static_cast<size_t>(i)], scratch[static_cast<size_t>(j)]);
+    out.push_back(scratch[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+Rng Rng::Split() { return Rng(Next()); }
+
+}  // namespace msopds

@@ -1,0 +1,76 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cerrno>
+
+namespace msopds {
+
+std::vector<std::string> StrSplit(std::string_view text, char delimiter) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t' ||
+                         text[begin] == '\r' || text[begin] == '\n')) {
+    ++begin;
+  }
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+                         text[end - 1] == '\r' || text[end - 1] == '\n')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool ParseDouble(std::string_view text, double* value) {
+  const std::string buffer(StripWhitespace(text));
+  if (buffer.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(buffer.c_str(), &end);
+  if (errno != 0 || end != buffer.c_str() + buffer.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, int64_t* value) {
+  const std::string buffer(StripWhitespace(text));
+  if (buffer.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno != 0 || end != buffer.c_str() + buffer.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace msopds

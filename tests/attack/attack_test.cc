@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "attack/baselines.h"
+#include "attack/importance_vector.h"
+#include "attack/pga_attack.h"
+#include "attack/revadv_attack.h"
+#include "attack/sattack.h"
+#include "attack/trial_attack.h"
+#include "data/demographics.h"
+#include "data/synthetic.h"
+
+namespace msopds {
+namespace {
+
+struct Fixture {
+  Dataset world;
+  Demographics demo;
+  AttackBudget budget;
+
+  explicit Fixture(uint64_t seed = 33) {
+    SyntheticConfig config;
+    config.num_users = 80;
+    config.num_items = 100;
+    config.num_ratings = 900;
+    config.num_social_links = 250;
+    Rng rng(seed);
+    world = GenerateSynthetic(config, &rng);
+    DemographicsOptions options;
+    options.customer_base_size = 20;
+    options.compete_items = 10;
+    options.product_items = 15;
+    demo = SampleDemographics(world, 1, &rng, options)[0];
+    budget = AttackBudget::FromLevel(2, world);
+  }
+};
+
+TEST(AttackBudgetTest, FollowsPaperFormulas) {
+  Fixture f;
+  const AttackBudget b = AttackBudget::FromLevel(2, f.world);
+  // fake users = 2% of 80 = 1.6 -> 2; N = 2 * 5% * 80 = 8.
+  EXPECT_EQ(b.num_fake_users, 2);
+  EXPECT_EQ(b.hired_raters, 8);
+  EXPECT_EQ(b.social_links, 16);
+  EXPECT_EQ(b.item_links, 8);
+  EXPECT_DOUBLE_EQ(b.promote_rating, 5.0);
+  const AttackBudget b5 = AttackBudget::FromLevel(5, f.world);
+  EXPECT_GT(b5.num_fake_users, b.num_fake_users);
+  EXPECT_GT(b5.hired_raters, b.hired_raters);
+}
+
+TEST(CapacityTest, ComprehensiveLayoutAndCounts) {
+  Fixture f;
+  Dataset world = f.world;
+  const auto fakes = AddFakeUsers(&world, 2);
+  const CapacitySet capacity =
+      CapacitySet::MakeComprehensive(world, f.demo, fakes, 5.0);
+  // Ratings first, then social, then item actions.
+  EXPECT_LE(capacity.num_ratings(), 20);
+  EXPECT_EQ(capacity.num_social_edges(), 20 * 2);
+  EXPECT_LE(capacity.num_item_edges(), 15);
+  int64_t index = 0;
+  for (const PoisonAction& action : capacity.actions()) {
+    if (index < capacity.num_ratings()) {
+      EXPECT_EQ(action.type, ActionType::kRating);
+      EXPECT_EQ(action.b, f.demo.target_item);
+      EXPECT_DOUBLE_EQ(action.rating, 5.0);
+    } else if (index < capacity.num_ratings() + capacity.num_social_edges()) {
+      EXPECT_EQ(action.type, ActionType::kSocialEdge);
+    } else {
+      EXPECT_EQ(action.type, ActionType::kItemEdge);
+      EXPECT_EQ(action.b, f.demo.target_item);
+    }
+    ++index;
+  }
+}
+
+TEST(CapacityTest, RatingOnly) {
+  Fixture f;
+  const CapacitySet capacity =
+      CapacitySet::MakeRatingOnly(f.world, f.demo, 1.0);
+  EXPECT_EQ(capacity.num_social_edges(), 0);
+  EXPECT_EQ(capacity.num_item_edges(), 0);
+  EXPECT_GT(capacity.num_ratings(), 0);
+  for (const PoisonAction& action : capacity.actions()) {
+    EXPECT_DOUBLE_EQ(action.rating, 1.0);
+  }
+}
+
+TEST(CapacityTest, SkipsExistingRatingsAndEdges) {
+  Fixture f;
+  Dataset world = f.world;
+  // Pre-rate the target with the first base user; pre-link a product.
+  world.ratings.push_back({f.demo.customer_base[0], f.demo.target_item, 3.0});
+  world.items.AddEdge(f.demo.product_items[0], f.demo.target_item);
+  const CapacitySet capacity =
+      CapacitySet::MakeComprehensive(world, f.demo, {}, 5.0);
+  for (const PoisonAction& action : capacity.actions()) {
+    if (action.type == ActionType::kRating) {
+      EXPECT_NE(action.a, f.demo.customer_base[0]);
+    } else if (action.type == ActionType::kItemEdge) {
+      EXPECT_NE(action.a, f.demo.product_items[0]);
+    }
+  }
+}
+
+TEST(CapacityTest, FilterTypes) {
+  Fixture f;
+  Dataset world = f.world;
+  const auto fakes = AddFakeUsers(&world, 1);
+  const CapacitySet capacity =
+      CapacitySet::MakeComprehensive(world, f.demo, fakes, 5.0);
+  const CapacitySet ratings_only = capacity.FilterTypes(true, false, false);
+  EXPECT_EQ(ratings_only.num_social_edges(), 0);
+  EXPECT_EQ(ratings_only.num_item_edges(), 0);
+  EXPECT_EQ(ratings_only.num_ratings(), capacity.num_ratings());
+}
+
+TEST(CapacityTest, ClampBudget) {
+  Fixture f;
+  const CapacitySet capacity =
+      CapacitySet::MakeRatingOnly(f.world, f.demo, 5.0);
+  const Budget clamped =
+      capacity.ClampBudget(Budget{1000000, 1000000, 1000000});
+  EXPECT_EQ(clamped.max_ratings, capacity.num_ratings());
+  EXPECT_EQ(clamped.max_social_edges, 0);
+}
+
+class ImportanceVectorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImportanceVectorTest, BinarizeRespectsBudgetPerType) {
+  Fixture f(100 + static_cast<uint64_t>(GetParam()));
+  Dataset world = f.world;
+  const auto fakes = AddFakeUsers(&world, 2);
+  const CapacitySet capacity =
+      CapacitySet::MakeComprehensive(world, f.demo, fakes, 5.0);
+  Rng rng(GetParam());
+  ImportanceVector iv(&capacity, &rng);
+  const Budget budget{3 + GetParam() % 4, 5, 2};
+  const Tensor mask = iv.Binarize(budget);
+  const Budget clamped = capacity.ClampBudget(budget);
+  int64_t ratings = 0, social = 0, item = 0;
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    if (mask.at(i) == 0.0) continue;
+    switch (capacity.actions()[static_cast<size_t>(i)].type) {
+      case ActionType::kRating:
+        ++ratings;
+        break;
+      case ActionType::kSocialEdge:
+        ++social;
+        break;
+      case ActionType::kItemEdge:
+        ++item;
+        break;
+    }
+  }
+  EXPECT_EQ(ratings, clamped.max_ratings);
+  EXPECT_EQ(social, clamped.max_social_edges);
+  EXPECT_EQ(item, clamped.max_item_edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ImportanceVectorTest,
+                         ::testing::Range(0, 6));
+
+TEST(ImportanceVectorTest, SelectsTopValuedActions) {
+  Fixture f;
+  const CapacitySet capacity =
+      CapacitySet::MakeRatingOnly(f.world, f.demo, 5.0);
+  Rng rng(1);
+  ImportanceVector iv(&capacity, &rng, /*init_scale=*/0.0);
+  // Push up two specific entries with a negative-gradient update.
+  Tensor gradient = Tensor::Zeros({capacity.size()});
+  gradient.at(3) = -10.0;
+  gradient.at(7) = -5.0;
+  iv.ApplyUpdate(gradient, 1.0);
+  const Tensor mask = iv.Binarize(Budget{2, 0, 0});
+  EXPECT_DOUBLE_EQ(mask.at(3), 1.0);
+  EXPECT_DOUBLE_EQ(mask.at(7), 1.0);
+}
+
+TEST(ImportanceVectorTest, ExtractPlanMatchesBinarize) {
+  Fixture f;
+  const CapacitySet capacity =
+      CapacitySet::MakeRatingOnly(f.world, f.demo, 5.0);
+  Rng rng(2);
+  ImportanceVector iv(&capacity, &rng);
+  const Budget budget{4, 0, 0};
+  const PoisonPlan plan = iv.ExtractPlan(budget);
+  EXPECT_EQ(static_cast<int64_t>(plan.actions.size()),
+            capacity.ClampBudget(budget).max_ratings);
+}
+
+TEST(PoisonPlanTest, ApplyAddsRatingsAndEdges) {
+  Fixture f;
+  Dataset world = f.world;
+  const int64_t before = static_cast<int64_t>(world.ratings.size());
+  PoisonPlan plan;
+  plan.actions.push_back({ActionType::kRating, 0, f.demo.target_item, 5.0});
+  plan.actions.push_back({ActionType::kSocialEdge, 0, 1, 0.0});
+  plan.actions.push_back(
+      {ActionType::kItemEdge, f.demo.product_items[0], f.demo.target_item, 0.0});
+  plan.ApplyTo(&world);
+  EXPECT_EQ(static_cast<int64_t>(world.ratings.size()), before + 1);
+  EXPECT_TRUE(world.social.HasEdge(0, 1));
+  EXPECT_TRUE(
+      world.items.HasEdge(f.demo.product_items[0], f.demo.target_item));
+}
+
+TEST(PoisonPlanTest, ApplyOverwritesExistingRating) {
+  Dataset world;
+  world.num_users = 2;
+  world.num_items = 1;
+  world.social = UndirectedGraph(2);
+  world.items = UndirectedGraph(1);
+  world.ratings = {{0, 0, 2.0}};
+  PoisonPlan plan;
+  plan.actions.push_back({ActionType::kRating, 0, 0, 5.0});
+  plan.ApplyTo(&world);
+  ASSERT_EQ(world.ratings.size(), 1u);
+  EXPECT_DOUBLE_EQ(world.ratings[0].value, 5.0);
+}
+
+TEST(BaselinesTest, FitRatingDistributionMatchesMoments) {
+  Dataset world;
+  world.num_users = 3;
+  world.num_items = 2;
+  world.social = UndirectedGraph(3);
+  world.items = UndirectedGraph(2);
+  world.ratings = {{0, 0, 2.0}, {1, 0, 4.0}, {2, 1, 3.0}};
+  const RatingDistribution dist = FitRatingDistribution(world);
+  EXPECT_DOUBLE_EQ(dist.mean, 3.0);
+  EXPECT_NEAR(dist.stddev, std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(BaselinesTest, SampleRatingInRangeAndInteger) {
+  RatingDistribution dist{3.5, 1.5};
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const double r = SampleRating(dist, &rng);
+    EXPECT_GE(r, kMinRating);
+    EXPECT_LE(r, kMaxRating);
+    EXPECT_DOUBLE_EQ(r, std::round(r));
+  }
+}
+
+TEST(BaselinesTest, NoneAttackLeavesWorldUntouched) {
+  Fixture f;
+  Dataset world = f.world;
+  NoneAttack attack;
+  Rng rng(1);
+  const PoisonPlan plan = attack.Execute(&world, f.demo, f.budget, &rng);
+  EXPECT_TRUE(plan.actions.empty());
+  EXPECT_EQ(world.num_users, f.world.num_users);
+  EXPECT_EQ(world.ratings.size(), f.world.ratings.size());
+}
+
+// Shared checks for all Injection Attack implementations.
+void CheckInjectionAttack(Attack* attack, bool expect_filler_variety) {
+  Fixture f;
+  Dataset world = f.world;
+  Rng rng(5);
+  const PoisonPlan plan = attack->Execute(&world, f.demo, f.budget, &rng);
+  EXPECT_TRUE(world.Validate().ok()) << attack->name();
+  EXPECT_EQ(world.num_users, f.world.num_users + f.budget.num_fake_users);
+
+  // Every fake user 5-stars the target.
+  std::unordered_set<int64_t> fake_target_raters;
+  int64_t filler_ratings = 0;
+  for (const PoisonAction& action : plan.actions) {
+    ASSERT_EQ(action.type, ActionType::kRating) << attack->name();
+    EXPECT_GE(action.a, f.world.num_users) << "IA only uses fake users";
+    EXPECT_GE(action.rating, kMinRating);
+    EXPECT_LE(action.rating, kMaxRating);
+    if (action.b == f.demo.target_item) {
+      EXPECT_DOUBLE_EQ(action.rating, 5.0);
+      fake_target_raters.insert(action.a);
+    } else {
+      ++filler_ratings;
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(fake_target_raters.size()),
+            f.budget.num_fake_users);
+  if (expect_filler_variety) {
+    EXPECT_GT(filler_ratings, 0);
+  }
+}
+
+TEST(BaselinesTest, RandomAttackInjectsValidProfile) {
+  RandomAttack attack;
+  CheckInjectionAttack(&attack, true);
+}
+
+TEST(BaselinesTest, PopularAttackInjectsValidProfile) {
+  PopularAttack attack;
+  CheckInjectionAttack(&attack, true);
+}
+
+TEST(BaselinesTest, PopularAttackIncludesMostPopularItem) {
+  Fixture f;
+  Dataset world = f.world;
+  const auto counts = world.ItemRatingCounts();
+  int64_t most_popular = 0;
+  for (int64_t i = 1; i < world.num_items; ++i) {
+    if (counts[static_cast<size_t>(i)] >
+        counts[static_cast<size_t>(most_popular)]) {
+      most_popular = i;
+    }
+  }
+  PopularAttack attack;
+  Rng rng(6);
+  const PoisonPlan plan = attack.Execute(&world, f.demo, f.budget, &rng);
+  bool found = false;
+  for (const PoisonAction& action : plan.actions) {
+    if (action.b == most_popular) found = true;
+  }
+  if (most_popular != f.demo.target_item) {
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(PgaAttackTest, ProducesValidOptimizedProfile) {
+  UnrolledMfOptions options;
+  options.pretrain_epochs = 10;
+  options.outer_iterations = 3;
+  PgaAttack attack(options);
+  CheckInjectionAttack(&attack, true);
+}
+
+TEST(RevAdvAttackTest, ProducesValidOptimizedProfile) {
+  UnrolledMfOptions options = RevAdvAttack::DefaultOptions();
+  options.pretrain_epochs = 10;
+  options.outer_iterations = 4;
+  options.refresh_every = 2;
+  RevAdvAttack attack(options);
+  CheckInjectionAttack(&attack, true);
+}
+
+TEST(SAttackTest, ProducesValidInfluenceProfile) {
+  SAttack attack;
+  CheckInjectionAttack(&attack, true);
+}
+
+TEST(TrialAttackTest, ProducesValidSelectedProfile) {
+  TrialOptions options;
+  options.surrogate_epochs = 10;
+  options.candidates_per_fake = 3;
+  TrialAttack attack(options);
+  CheckInjectionAttack(&attack, true);
+}
+
+TEST(UnrolledSurrogateTest, OptimizationImprovesInjectionObjective) {
+  Fixture f;
+  Dataset world = f.world;
+  const int64_t real_users = world.num_users;
+  const auto fakes = AddFakeUsers(&world, 2);
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  Rng rng(11);
+  for (int64_t fake : fakes) {
+    for (int64_t item : rng.SampleWithoutReplacement(world.num_items, 10)) {
+      if (item != f.demo.target_item) pairs.emplace_back(fake, item);
+    }
+  }
+  Tensor init({static_cast<int64_t>(pairs.size())});
+  init.Fill(3.0);
+  UnrolledMfOptions options;
+  options.pretrain_epochs = 15;
+  options.outer_iterations = 5;
+  const Tensor optimized = OptimizeFakeRatings(world, f.demo, pairs, init,
+                                               real_users, options, &rng);
+  ASSERT_EQ(optimized.size(), init.size());
+  double moved = 0.0;
+  for (int64_t i = 0; i < optimized.size(); ++i) {
+    EXPECT_GE(optimized.at(i), kMinRating);
+    EXPECT_LE(optimized.at(i), kMaxRating);
+    moved += std::fabs(optimized.at(i) - 3.0);
+  }
+  EXPECT_GT(moved, 0.0) << "gradient steps should move some values";
+}
+
+}  // namespace
+}  // namespace msopds

@@ -1,0 +1,80 @@
+// The paper's central claim in miniature: against subsequent opponents,
+// the Stackelberg planner (MSOPDS) must beat both the oblivious
+// bi-level planner with the same capacities (BOPDS) and the injection
+// baselines, on average over seeds. Everything here is deterministic
+// given the seeds, so this is a regression test of the claim, not a
+// flaky statistical test.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "data/synthetic.h"
+
+namespace msopds {
+namespace {
+
+Dataset ArenaWorld() {
+  SyntheticConfig config;
+  config.num_users = 70;
+  config.num_items = 90;
+  config.num_ratings = 800;
+  config.num_social_links = 260;
+  Rng rng(101);
+  return GenerateSynthetic(config, &rng);
+}
+
+GameConfig ArenaConfig() {
+  GameConfig config = DefaultGameConfig();
+  config.victim.embedding_dim = 8;
+  config.victim_training.epochs = 25;
+  config.opponent_pds.embedding_dim = 4;
+  config.opponent_pds.inner_steps = 3;
+  config.opponent_iterations = 5;
+  return config;
+}
+
+double MeanRating(const MultiplayerGame& game, const std::string& method,
+                  const std::vector<uint64_t>& seeds) {
+  double total = 0.0;
+  for (uint64_t seed : seeds) {
+    total += game.Run(MakeAttackFactory(method), /*budget_level=*/4, seed)
+                 .average_rating;
+  }
+  return total / static_cast<double>(seeds.size());
+}
+
+TEST(AnticipationTest, MsopdsBeatsNoAttackByWideMargin) {
+  MultiplayerGame game(ArenaWorld(), ArenaConfig());
+  const std::vector<uint64_t> seeds = {11, 22, 33};
+  const double none = MeanRating(game, "None", seeds);
+  const double msopds = MeanRating(game, "MSOPDS", seeds);
+  EXPECT_GT(msopds, none + 0.5);
+}
+
+TEST(AnticipationTest, MsopdsStaysFarAheadUnderHeavyOpposition) {
+  // Fig. 6's qualitative claim in miniature: with two subsequent
+  // demotion campaigns running, the Stackelberg-planned comprehensive
+  // attack keeps a large absolute lead over the injection baselines
+  // (which collapse towards the no-attack level).
+  GameConfig config = ArenaConfig();
+  config.num_opponents = 2;
+  config.opponent_budget_level = 3;
+  MultiplayerGame game(ArenaWorld(), config);
+  const std::vector<uint64_t> seeds = {11, 22, 33};
+  const double msopds = MeanRating(game, "MSOPDS", seeds);
+  for (const char* baseline : {"Random", "Popular"}) {
+    EXPECT_GT(msopds, MeanRating(game, baseline, seeds) + 1.0) << baseline;
+  }
+}
+
+TEST(AnticipationTest, MsopdsBeatsInjectionBaselinesOnAverage) {
+  MultiplayerGame game(ArenaWorld(), ArenaConfig());
+  const std::vector<uint64_t> seeds = {11, 22, 33};
+  const double msopds = MeanRating(game, "MSOPDS", seeds);
+  for (const char* baseline : {"Random", "Popular"}) {
+    EXPECT_GT(msopds, MeanRating(game, baseline, seeds)) << baseline;
+  }
+}
+
+}  // namespace
+}  // namespace msopds

@@ -1,0 +1,192 @@
+#include "core/mso_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/demographics.h"
+#include "data/synthetic.h"
+#include "tensor/grad.h"
+#include "tensor/ops.h"
+
+namespace msopds {
+namespace {
+
+// A transparent two-player Stackelberg toy over rating capacities.
+//
+// Leader has two candidate actions (x0, x1); the opponent has one (y).
+//   L^q = 0.5 (y - k x0)^2          -> best response y* = k x0
+//   L^p = -a0 x0 - a1 x1 + c y
+// Substituting the response: the *effective* coefficient of x0 is
+// (-a0 + c k). With a0 = 1.0, a1 = 0.8, c = 0.5, k = 1.0:
+//   naive (first-order) gradient ranks x0 (coefficient -1.0) above x1
+//   (-0.8), but the Stackelberg total derivative ranks x1 (-0.8) above
+//   x0 (-0.5). MSO must therefore select x1 under budget 1 while a
+//   first-order planner selects x0.
+struct StackelbergToy {
+  Dataset world;
+  Demographics leader_demo;
+  Demographics opponent_demo;
+  CapacitySet leader_capacity;
+  CapacitySet opponent_capacity;
+
+  static constexpr double kA0 = 1.0;
+  static constexpr double kA1 = 0.8;
+  static constexpr double kC = 0.5;
+  static constexpr double kK = 1.0;
+
+  StackelbergToy() {
+    world.name = "toy";
+    world.num_users = 3;
+    world.num_items = 1;
+    world.social = UndirectedGraph(3);
+    world.items = UndirectedGraph(1);
+    leader_demo.customer_base = {0, 1};
+    leader_demo.target_item = 0;
+    opponent_demo.customer_base = {2};
+    opponent_demo.target_item = 0;
+    leader_capacity =
+        CapacitySet::MakeRatingOnly(world, leader_demo, 5.0);
+    opponent_capacity =
+        CapacitySet::MakeRatingOnly(world, opponent_demo, 1.0);
+  }
+
+  MsoOptimizer::LossFn Losses() const {
+    return [](const std::vector<Variable>& xhats) {
+      const Variable& xp = xhats[0];
+      const Variable& xq = xhats[1];
+      Variable x0 = Slice1(xp, 0, 1);
+      Variable x1 = Slice1(xp, 1, 2);
+      Variable leader = Sum(Add(
+          Add(ScalarMul(x0, -kA0), ScalarMul(x1, -kA1)),
+          ScalarMul(xq, kC)));
+      Variable follower =
+          ScalarMul(Sum(Square(Sub(xq, ScalarMul(x0, kK)))), 0.5);
+      return std::vector<Variable>{leader, follower};
+    };
+  }
+};
+
+TEST(MsoOptimizerTest, RejectsLeaderStepAboveFollowerStep) {
+  MsoConfig config;
+  config.leader_step = 0.1;
+  config.follower_step = 0.05;
+  EXPECT_DEATH(MsoOptimizer{config}, "leader step");
+}
+
+TEST(MsoOptimizerTest, TotalDerivativeSelectsStackelbergAction) {
+  StackelbergToy toy;
+  ASSERT_EQ(toy.leader_capacity.size(), 2);
+  ASSERT_EQ(toy.opponent_capacity.size(), 1);
+
+  Rng rng(3);
+  ImportanceVector leader(&toy.leader_capacity, &rng, /*init_scale=*/1e-6);
+  ImportanceVector opponent(&toy.opponent_capacity, &rng, 1e-6);
+
+  MsoConfig config;
+  config.leader_step = 0.01;
+  config.follower_step = 0.1;
+  config.outer_iterations = 15;
+  const MsoOptimizer optimizer(config);
+  const auto history = optimizer.Optimize(
+      toy.Losses(), {&leader, &opponent},
+      {Budget{1, 0, 0}, Budget{1, 0, 0}});
+
+  EXPECT_EQ(history.size(), 15u);
+  // The anticipating leader must rank the "safe" action 1 on top.
+  EXPECT_GT(leader.values().at(1), leader.values().at(0));
+  const Tensor mask = leader.Binarize(Budget{1, 0, 0});
+  EXPECT_DOUBLE_EQ(mask.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(mask.at(0), 0.0);
+}
+
+TEST(MsoOptimizerTest, FirstOrderBaselinePrefersTheTrapAction) {
+  // The same toy driven by only the partial derivative (what BOPDS does)
+  // must pick the trap action x0 — demonstrating exactly the failure
+  // mode MSO fixes.
+  StackelbergToy toy;
+  Rng rng(4);
+  ImportanceVector leader(&toy.leader_capacity, &rng, 1e-6);
+  ImportanceVector opponent(&toy.opponent_capacity, &rng, 1e-6);
+  auto losses = toy.Losses();
+  for (int iteration = 0; iteration < 15; ++iteration) {
+    Variable xp = leader.BinarizedParam(Budget{1, 0, 0});
+    Variable xq = opponent.BinarizedParam(Budget{1, 0, 0});
+    const auto values = losses({xp, xq});
+    leader.ApplyUpdate(GradValues(values[0], {xp})[0], 0.01);
+    opponent.ApplyUpdate(GradValues(values[1], {xq})[0], 0.1);
+  }
+  EXPECT_GT(leader.values().at(0), leader.values().at(1));
+}
+
+TEST(MsoOptimizerTest, ImplicitTermMatchesAnalyticFormula) {
+  StackelbergToy toy;
+  Rng rng(5);
+  ImportanceVector leader(&toy.leader_capacity, &rng, 1e-6);
+  ImportanceVector opponent(&toy.opponent_capacity, &rng, 1e-6);
+  MsoConfig config;
+  config.leader_step = 0.01;
+  config.follower_step = 0.1;
+  config.outer_iterations = 1;
+  config.cg.damping = 0.0;  // exact Hessian solve for the analytic check
+  const auto history = MsoOptimizer(config).Optimize(
+      toy.Losses(), {&leader, &opponent},
+      {Budget{1, 0, 0}, Budget{1, 0, 0}});
+  // Analytic: grad = (-1 + ck, -0.8) => after one update of step 0.01,
+  // values gain (0.005, 0.008) over the tiny random init.
+  EXPECT_NEAR(leader.values().at(0), 0.005, 1e-4);
+  EXPECT_NEAR(leader.values().at(1), 0.008, 1e-4);
+  // The implicit-term norm is |c * k| = 0.5 for the x0 coordinate.
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_NEAR(history[0].implicit_term_norm, 0.5, 1e-9);
+}
+
+TEST(MsoOptimizerTest, FollowerFeelsDeselectionPressureWhenUnhappy) {
+  // The follower's single action is always selected (budget 1 of 1), so
+  // xhat_q is pinned at 1 and its partial derivative is (xhat_q - k
+  // xhat_p0). With the leader's x0 unselected the follower is unhappy
+  // (gradient +1) and its continuous priority must fall monotonically;
+  // with x0 selected (leader budget 2) the gradient vanishes and the
+  // priority stays put.
+  StackelbergToy toy;
+  MsoConfig config;
+  config.leader_step = 0.001;
+  config.follower_step = 0.5;
+  config.outer_iterations = 5;
+
+  Rng rng(6);
+  ImportanceVector leader(&toy.leader_capacity, &rng, 1e-6);
+  ImportanceVector opponent(&toy.opponent_capacity, &rng, 1e-6);
+  const double before = opponent.values().at(0);
+  // Leader budget 0: x0 never selected.
+  MsoOptimizer(config).Optimize(toy.Losses(), {&leader, &opponent},
+                                {Budget{0, 0, 0}, Budget{1, 0, 0}});
+  EXPECT_NEAR(opponent.values().at(0), before - 5 * 0.5, 1e-9);
+
+  Rng rng2(6);
+  ImportanceVector leader2(&toy.leader_capacity, &rng2, 1e-6);
+  ImportanceVector opponent2(&toy.opponent_capacity, &rng2, 1e-6);
+  const double before2 = opponent2.values().at(0);
+  // Leader budget 2: x0 always selected -> follower gradient is zero.
+  MsoOptimizer(config).Optimize(toy.Losses(), {&leader2, &opponent2},
+                                {Budget{2, 0, 0}, Budget{1, 0, 0}});
+  EXPECT_NEAR(opponent2.values().at(0), before2, 1e-9);
+}
+
+TEST(MsoOptimizerTest, HistoryRecordsLossesAndCg) {
+  StackelbergToy toy;
+  Rng rng(7);
+  ImportanceVector leader(&toy.leader_capacity, &rng, 1e-6);
+  ImportanceVector opponent(&toy.opponent_capacity, &rng, 1e-6);
+  MsoConfig config;
+  config.outer_iterations = 3;
+  const auto history = MsoOptimizer(config).Optimize(
+      toy.Losses(), {&leader, &opponent},
+      {Budget{1, 0, 0}, Budget{1, 0, 0}});
+  ASSERT_EQ(history.size(), 3u);
+  for (const auto& stats : history) {
+    EXPECT_EQ(stats.follower_losses.size(), 1u);
+    EXPECT_GT(stats.leader_grad_norm, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace msopds

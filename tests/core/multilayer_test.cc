@@ -1,0 +1,203 @@
+// Multi-layer propagation tests: the "iteratively computes the
+// embeddings" generalization of Eq. (15). The key risk of deeper
+// recorded graphs is silent gradient corruption, so the finite-
+// difference checks are repeated at depth 2.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "attack/poison_plan.h"
+#include "core/losses.h"
+#include "core/pds_surrogate.h"
+#include "data/demographics.h"
+#include "data/synthetic.h"
+#include "recsys/het_recsys.h"
+#include "recsys/trainer.h"
+#include "tensor/grad.h"
+
+namespace msopds {
+namespace {
+
+struct DeepWorld {
+  Dataset world;
+  Demographics demo;
+  CapacitySet capacity;
+
+  DeepWorld() {
+    SyntheticConfig config;
+    config.num_users = 24;
+    config.num_items = 28;
+    config.num_ratings = 220;
+    config.num_social_links = 70;
+    Rng rng(501);
+    world = GenerateSynthetic(config, &rng);
+    DemographicsOptions options;
+    options.customer_base_size = 6;
+    options.compete_items = 5;
+    options.product_items = 5;
+    demo = SampleDemographics(world, 1, &rng, options)[0];
+    const auto fakes = AddFakeUsers(&world, 1);
+    world.ratings.push_back({fakes[0], demo.target_item, 5.0});
+    capacity = CapacitySet::MakeComprehensive(world, demo, fakes, 5.0);
+  }
+};
+
+TEST(MultiLayerHetRecSysTest, TwoLayersTrain) {
+  DeepWorld w;
+  HetRecSysConfig config;
+  config.embedding_dim = 8;
+  config.num_layers = 2;
+  Rng rng(1);
+  HetRecSys model(w.world, config, &rng);
+  EXPECT_EQ(model.MutableParams()->size(), 6u);  // 2 tables + 2x2 proj
+  TrainOptions options;
+  options.epochs = 25;
+  const TrainResult result = TrainModel(&model, w.world.ratings, options);
+  EXPECT_LT(result.final_loss, result.loss_history.front());
+}
+
+TEST(MultiLayerHetRecSysTest, TanhBetweenLayersTrains) {
+  DeepWorld w;
+  HetRecSysConfig config;
+  config.embedding_dim = 8;
+  config.num_layers = 2;
+  config.tanh_between_layers = true;
+  Rng rng(2);
+  HetRecSys model(w.world, config, &rng);
+  TrainOptions options;
+  options.epochs = 25;
+  const TrainResult result = TrainModel(&model, w.world.ratings, options);
+  EXPECT_LT(result.final_loss, result.loss_history.front());
+}
+
+TEST(MultiLayerHetRecSysTest, DepthChangesPredictions) {
+  DeepWorld w;
+  HetRecSysConfig one;
+  one.embedding_dim = 8;
+  HetRecSysConfig two = one;
+  two.num_layers = 2;
+  Rng rng_a(3), rng_b(3);
+  HetRecSys a(w.world, one, &rng_a);
+  HetRecSys b(w.world, two, &rng_b);
+  const std::vector<int64_t> users = {0, 1, 2};
+  const std::vector<int64_t> items = {0, 1, 2};
+  EXPECT_FALSE(
+      AllClose(a.PredictPairs(users, items), b.PredictPairs(users, items)));
+}
+
+TEST(MultiLayerPdsTest, GradientMatchesFiniteDifferenceAtDepthTwo) {
+  DeepWorld w;
+  PdsConfig config;
+  config.embedding_dim = 4;
+  config.inner_steps = 2;
+  config.num_layers = 2;
+  Rng rng(4);
+  PdsSurrogate surrogate(w.world, {&w.capacity}, config, &rng);
+
+  auto loss_at = [&](const Tensor& point) {
+    Variable xhat = Param(point.Clone());
+    const auto outcome = surrogate.TrainUnrolled({xhat});
+    std::vector<int64_t> tu, ti, cu, ci;
+    for (int64_t user : w.demo.target_audience) {
+      tu.push_back(user);
+      ti.push_back(w.demo.target_item);
+      for (int64_t item : w.demo.compete_items) {
+        cu.push_back(user);
+        ci.push_back(item);
+      }
+    }
+    return ComprehensiveLossFromPredictions(
+        surrogate.Predict(outcome, tu, ti), surrogate.Predict(outcome, cu, ci),
+        static_cast<int64_t>(w.demo.compete_items.size()), false);
+  };
+
+  Rng point_rng(5);
+  Tensor point({w.capacity.size()});
+  for (int64_t i = 0; i < point.size(); ++i)
+    point.at(i) = point_rng.Uniform(0.2, 0.8);
+
+  Variable xhat = Param(point.Clone());
+  const auto outcome = surrogate.TrainUnrolled({xhat});
+  std::vector<int64_t> tu, ti, cu, ci;
+  for (int64_t user : w.demo.target_audience) {
+    tu.push_back(user);
+    ti.push_back(w.demo.target_item);
+    for (int64_t item : w.demo.compete_items) {
+      cu.push_back(user);
+      ci.push_back(item);
+    }
+  }
+  Variable loss = ComprehensiveLossFromPredictions(
+      surrogate.Predict(outcome, tu, ti), surrogate.Predict(outcome, cu, ci),
+      static_cast<int64_t>(w.demo.compete_items.size()), false);
+  const Tensor analytic = Grad(loss, {xhat})[0].value();
+
+  const double eps = 1e-5;
+  for (int64_t i : {int64_t{0}, w.capacity.size() / 2,
+                    w.capacity.size() - 1}) {
+    Tensor plus = point.Clone();
+    Tensor minus = point.Clone();
+    plus.at(i) += eps;
+    minus.at(i) -= eps;
+    const double numeric = (loss_at(plus).value().item() -
+                            loss_at(minus).value().item()) /
+                           (2 * eps);
+    EXPECT_NEAR(numeric, analytic.at(i), 1e-5) << "coordinate " << i;
+  }
+}
+
+TEST(MultiLayerPdsTest, SecondOrderStillExactAtDepthTwo) {
+  DeepWorld w;
+  PdsConfig config;
+  config.embedding_dim = 4;
+  config.inner_steps = 2;
+  config.num_layers = 2;
+  Rng rng(6);
+  PdsSurrogate surrogate(w.world, {&w.capacity}, config, &rng);
+
+  Rng point_rng(7);
+  Tensor point({w.capacity.size()});
+  Tensor direction({w.capacity.size()});
+  for (int64_t i = 0; i < point.size(); ++i) {
+    point.at(i) = point_rng.Uniform(0.2, 0.8);
+    direction.at(i) = point_rng.Uniform(-1.0, 1.0);
+  }
+
+  std::vector<int64_t> tu, ti;
+  for (int64_t user : w.demo.target_audience) {
+    tu.push_back(user);
+    ti.push_back(w.demo.target_item);
+  }
+  auto grad_at = [&](const Tensor& p) {
+    Variable xhat = Param(p.Clone());
+    const auto outcome = surrogate.TrainUnrolled({xhat});
+    Variable loss = Neg(Mean(surrogate.Predict(outcome, tu, ti)));
+    return Grad(loss, {xhat})[0];
+  };
+
+  Variable xhat = Param(point.Clone());
+  const auto outcome = surrogate.TrainUnrolled({xhat});
+  Variable loss = Neg(Mean(surrogate.Predict(outcome, tu, ti)));
+  Variable grad = Grad(loss, {xhat})[0];
+  const Tensor exact = HessianVectorProduct(grad, xhat, direction);
+
+  const double eps = 1e-5;
+  Tensor plus = point.Clone();
+  Tensor minus = point.Clone();
+  for (int64_t i = 0; i < point.size(); ++i) {
+    plus.at(i) += eps * direction.at(i);
+    minus.at(i) -= eps * direction.at(i);
+  }
+  const Tensor gp = grad_at(plus).value();
+  const Tensor gm = grad_at(minus).value();
+  double max_error = 0.0;
+  for (int64_t i = 0; i < exact.size(); ++i) {
+    const double numeric = (gp.at(i) - gm.at(i)) / (2 * eps);
+    max_error = std::max(max_error, std::fabs(numeric - exact.at(i)));
+  }
+  EXPECT_LT(max_error, 1e-4);
+}
+
+}  // namespace
+}  // namespace msopds

@@ -1,0 +1,245 @@
+#include "core/pds_surrogate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "attack/poison_plan.h"
+#include "core/losses.h"
+#include "data/demographics.h"
+#include "data/synthetic.h"
+#include "tensor/grad.h"
+
+namespace msopds {
+namespace {
+
+struct PdsFixture {
+  Dataset world;
+  Demographics demo;
+  std::vector<int64_t> fakes;
+  CapacitySet capacity;
+  PdsConfig config;
+
+  explicit PdsFixture(uint64_t seed = 55, int64_t users = 40,
+                      int64_t items = 50) {
+    SyntheticConfig synth;
+    synth.num_users = users;
+    synth.num_items = items;
+    synth.num_ratings = users * 8;
+    synth.num_social_links = users * 3;
+    Rng rng(seed);
+    world = GenerateSynthetic(synth, &rng);
+    DemographicsOptions options;
+    options.customer_base_size = 8;
+    options.compete_items = 6;
+    options.product_items = 6;
+    demo = SampleDemographics(world, 1, &rng, options)[0];
+    fakes = AddFakeUsers(&world, 2);
+    // The fakes' unconditional 5-star ratings on the target.
+    for (int64_t fake : fakes) {
+      world.ratings.push_back({fake, demo.target_item, 5.0});
+    }
+    capacity = CapacitySet::MakeComprehensive(world, demo, fakes, 5.0);
+    config.embedding_dim = 4;
+    config.inner_steps = 2;
+  }
+
+  Variable LeaderLoss(const PdsSurrogate& surrogate, const Variable& xhat,
+                      bool demote = false) const {
+    const PdsSurrogate::Outcome outcome = surrogate.TrainUnrolled({xhat});
+    std::vector<int64_t> tu, ti, cu, ci;
+    for (int64_t user : demo.target_audience) {
+      tu.push_back(user);
+      ti.push_back(demo.target_item);
+      for (int64_t item : demo.compete_items) {
+        cu.push_back(user);
+        ci.push_back(item);
+      }
+    }
+    return ComprehensiveLossFromPredictions(
+        surrogate.Predict(outcome, tu, ti), surrogate.Predict(outcome, cu, ci),
+        static_cast<int64_t>(demo.compete_items.size()), demote);
+  }
+};
+
+TEST(PdsSurrogateTest, OutcomeShapesMatchWorld) {
+  PdsFixture f;
+  Rng rng(1);
+  PdsSurrogate surrogate(f.world, {&f.capacity}, f.config, &rng);
+  Variable xhat = Param(Tensor::Zeros({f.capacity.size()}));
+  const auto outcome = surrogate.TrainUnrolled({xhat});
+  EXPECT_EQ(outcome.user_final.value().dim(0), f.world.num_users);
+  EXPECT_EQ(outcome.item_final.value().dim(0), f.world.num_items);
+  EXPECT_EQ(outcome.user_final.value().dim(1), f.config.embedding_dim);
+}
+
+TEST(PdsSurrogateTest, DeterministicAcrossCalls) {
+  PdsFixture f;
+  Rng rng(2);
+  PdsSurrogate surrogate(f.world, {&f.capacity}, f.config, &rng);
+  Variable xhat = Param(Tensor::Zeros({f.capacity.size()}));
+  const auto a = surrogate.TrainUnrolled({xhat});
+  const auto b = surrogate.TrainUnrolled({xhat});
+  EXPECT_TRUE(AllClose(a.user_final.value(), b.user_final.value()));
+  EXPECT_TRUE(AllClose(a.item_final.value(), b.item_final.value()));
+}
+
+TEST(PdsSurrogateTest, SelectingActionsChangesOutcome) {
+  PdsFixture f;
+  Rng rng(3);
+  PdsSurrogate surrogate(f.world, {&f.capacity}, f.config, &rng);
+  Variable none = Param(Tensor::Zeros({f.capacity.size()}));
+  Variable all = Param(Tensor::Ones({f.capacity.size()}));
+  const auto off = surrogate.TrainUnrolled({none});
+  const auto on = surrogate.TrainUnrolled({all});
+  EXPECT_FALSE(AllClose(off.item_final.value(), on.item_final.value(), 1e-9));
+}
+
+TEST(PdsSurrogateTest, SelectedPoisonRaisesTargetPredictions) {
+  PdsFixture f;
+  PdsConfig config = f.config;
+  config.inner_steps = 6;
+  Rng rng(4);
+  PdsSurrogate surrogate(f.world, {&f.capacity}, config, &rng);
+  Variable none = Param(Tensor::Zeros({f.capacity.size()}));
+  Variable all = Param(Tensor::Ones({f.capacity.size()}));
+  std::vector<int64_t> users = f.demo.target_audience;
+  std::vector<int64_t> items(users.size(), f.demo.target_item);
+  const double before = surrogate
+                            .Predict(surrogate.TrainUnrolled({none}), users,
+                                     items)
+                            .value()
+                            .Sum();
+  const double after = surrogate
+                           .Predict(surrogate.TrainUnrolled({all}), users,
+                                    items)
+                           .value()
+                           .Sum();
+  EXPECT_GT(after, before);
+}
+
+TEST(PdsSurrogateTest, GradientMatchesFiniteDifference) {
+  PdsFixture f(56, /*users=*/25, /*items=*/30);
+  Rng rng(5);
+  PdsSurrogate surrogate(f.world, {&f.capacity}, f.config, &rng);
+
+  // Continuous x-hat point (the surrogate accepts any values).
+  Rng point_rng(6);
+  Tensor point({f.capacity.size()});
+  for (int64_t i = 0; i < point.size(); ++i)
+    point.at(i) = point_rng.Uniform(0.2, 0.8);
+
+  Variable xhat = Param(point.Clone());
+  Variable loss = f.LeaderLoss(surrogate, xhat);
+  const Tensor analytic = Grad(loss, {xhat})[0].value();
+
+  // Spot-check a handful of coordinates (full sweep would be slow).
+  const double eps = 1e-5;
+  std::vector<int64_t> probe = {0, f.capacity.num_ratings(),
+                                f.capacity.size() - 1,
+                                f.capacity.size() / 2};
+  for (int64_t i : probe) {
+    Tensor plus = point.Clone();
+    Tensor minus = point.Clone();
+    plus.at(i) += eps;
+    minus.at(i) -= eps;
+    const double up =
+        f.LeaderLoss(surrogate, Param(plus)).value().item();
+    const double down =
+        f.LeaderLoss(surrogate, Param(minus)).value().item();
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(numeric, analytic.at(i), 1e-5)
+        << "coordinate " << i << " of " << f.capacity.size();
+  }
+}
+
+TEST(PdsSurrogateTest, SecondOrderHvpMatchesFiniteDifference) {
+  PdsFixture f(57, /*users=*/20, /*items=*/24);
+  Rng rng(7);
+  PdsSurrogate surrogate(f.world, {&f.capacity}, f.config, &rng);
+
+  Rng point_rng(8);
+  Tensor point({f.capacity.size()});
+  for (int64_t i = 0; i < point.size(); ++i)
+    point.at(i) = point_rng.Uniform(0.2, 0.8);
+  Tensor direction({f.capacity.size()});
+  for (int64_t i = 0; i < direction.size(); ++i)
+    direction.at(i) = point_rng.Uniform(-1.0, 1.0);
+
+  // Exact HVP via double backward through the unrolled training.
+  Variable xhat = Param(point.Clone());
+  Variable loss = f.LeaderLoss(surrogate, xhat, /*demote=*/true);
+  Variable grad = Grad(loss, {xhat})[0];
+  ASSERT_TRUE(grad.requires_grad())
+      << "gradient must stay differentiable for MSO second-order terms";
+  const Tensor exact = HessianVectorProduct(grad, xhat, direction);
+
+  // Finite difference of first-order gradients along the direction.
+  const double eps = 1e-5;
+  Tensor plus = point.Clone();
+  Tensor minus = point.Clone();
+  for (int64_t i = 0; i < point.size(); ++i) {
+    plus.at(i) += eps * direction.at(i);
+    minus.at(i) -= eps * direction.at(i);
+  }
+  Variable xp = Param(plus);
+  const Tensor gp =
+      Grad(f.LeaderLoss(surrogate, xp, true), {xp})[0].value();
+  Variable xm = Param(minus);
+  const Tensor gm =
+      Grad(f.LeaderLoss(surrogate, xm, true), {xm})[0].value();
+  double max_err = 0.0;
+  for (int64_t i = 0; i < exact.size(); ++i) {
+    const double numeric = (gp.at(i) - gm.at(i)) / (2 * eps);
+    max_err = std::max(max_err, std::fabs(numeric - exact.at(i)));
+  }
+  EXPECT_LT(max_err, 1e-4);
+}
+
+TEST(PdsSurrogateTest, TwoPlayerGradientsFlowToBothVectors) {
+  PdsFixture f;
+  CapacitySet opponent_capacity =
+      CapacitySet::MakeRatingOnly(f.world, f.demo, 1.0);
+  Rng rng(9);
+  PdsSurrogate surrogate(f.world, {&f.capacity, &opponent_capacity},
+                         f.config, &rng);
+  Variable xp = Param(Tensor::Full({f.capacity.size()}, 0.5));
+  Variable xq = Param(Tensor::Full({opponent_capacity.size()}, 0.5));
+  const auto outcome = surrogate.TrainUnrolled({xp, xq});
+  std::vector<int64_t> users = f.demo.target_audience;
+  std::vector<int64_t> items(users.size(), f.demo.target_item);
+  Variable score = Sum(surrogate.Predict(outcome, users, items));
+  const auto grads = GradValues(score, {xp, xq});
+  EXPECT_GT(grads[0].MaxAbs(), 0.0);
+  EXPECT_GT(grads[1].MaxAbs(), 0.0);
+}
+
+TEST(PdsSurrogateTest, OpponentOneStarSelectionLowersTarget) {
+  PdsFixture f;
+  CapacitySet opponent_capacity =
+      CapacitySet::MakeRatingOnly(f.world, f.demo, 1.0);
+  PdsConfig config = f.config;
+  config.inner_steps = 6;
+  Rng rng(10);
+  PdsSurrogate surrogate(f.world, {&f.capacity, &opponent_capacity}, config,
+                         &rng);
+  Variable xp = Param(Tensor::Zeros({f.capacity.size()}));
+  Variable xq_off = Param(Tensor::Zeros({opponent_capacity.size()}));
+  Variable xq_on = Param(Tensor::Ones({opponent_capacity.size()}));
+  std::vector<int64_t> users = f.demo.target_audience;
+  std::vector<int64_t> items(users.size(), f.demo.target_item);
+  const double clean = surrogate
+                           .Predict(surrogate.TrainUnrolled({xp, xq_off}),
+                                    users, items)
+                           .value()
+                           .Sum();
+  const double demoted = surrogate
+                             .Predict(surrogate.TrainUnrolled({xp, xq_on}),
+                                      users, items)
+                             .value()
+                             .Sum();
+  EXPECT_LT(demoted, clean);
+}
+
+}  // namespace
+}  // namespace msopds

@@ -1,0 +1,109 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace msopds {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset d;
+  d.name = "tiny";
+  d.num_users = 3;
+  d.num_items = 2;
+  d.social = UndirectedGraph(3);
+  d.items = UndirectedGraph(2);
+  d.ratings = {{0, 0, 5.0}, {0, 1, 3.0}, {1, 0, 1.0}};
+  d.social.AddEdge(0, 1);
+  return d;
+}
+
+TEST(DatasetTest, ValidatesConsistentData) {
+  EXPECT_TRUE(TinyDataset().Validate().ok());
+}
+
+TEST(DatasetTest, RejectsGraphSizeMismatch) {
+  Dataset d = TinyDataset();
+  d.social = UndirectedGraph(2);
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, RejectsOutOfRangeUser) {
+  Dataset d = TinyDataset();
+  d.ratings.push_back({5, 0, 3.0});
+  EXPECT_EQ(d.Validate().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, RejectsOutOfRangeRatingValue) {
+  Dataset d = TinyDataset();
+  d.ratings.push_back({2, 1, 6.0});
+  EXPECT_EQ(d.Validate().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, RejectsDuplicatePairs) {
+  Dataset d = TinyDataset();
+  d.ratings.push_back({0, 0, 2.0});
+  EXPECT_EQ(d.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatasetTest, ItemAverageRatings) {
+  const auto averages = TinyDataset().ItemAverageRatings();
+  EXPECT_DOUBLE_EQ(averages[0], 3.0);
+  EXPECT_DOUBLE_EQ(averages[1], 3.0);
+}
+
+TEST(DatasetTest, CountsPerUserAndItem) {
+  const Dataset d = TinyDataset();
+  const auto items = d.ItemRatingCounts();
+  EXPECT_EQ(items[0], 2);
+  EXPECT_EQ(items[1], 1);
+  const auto users = d.UserRatingCounts();
+  EXPECT_EQ(users[0], 2);
+  EXPECT_EQ(users[2], 0);
+}
+
+TEST(DatasetTest, HasRating) {
+  const Dataset d = TinyDataset();
+  EXPECT_TRUE(d.HasRating(0, 1));
+  EXPECT_FALSE(d.HasRating(2, 0));
+}
+
+TEST(DatasetTest, SummaryMentionsName) {
+  EXPECT_NE(TinyDataset().Summary().find("tiny"), std::string::npos);
+}
+
+TEST(FilterCoreUsersTest, DropsUsersBelowThresholds) {
+  Dataset d;
+  d.num_users = 4;
+  d.num_items = 1;
+  d.social = UndirectedGraph(4);
+  d.items = UndirectedGraph(1);
+  // Users 0,1,2 form a triangle; user 3 isolated. All rate item 0
+  // except user 3.
+  d.social.AddEdge(0, 1);
+  d.social.AddEdge(1, 2);
+  d.social.AddEdge(0, 2);
+  d.ratings = {{0, 0, 4.0}, {1, 0, 3.0}, {2, 0, 5.0}};
+  const Dataset filtered = FilterCoreUsers(d, /*min_friends=*/2,
+                                           /*min_ratings=*/1);
+  EXPECT_EQ(filtered.num_users, 3);
+  EXPECT_EQ(filtered.ratings.size(), 3u);
+  EXPECT_EQ(filtered.social.num_edges(), 3);
+  EXPECT_TRUE(filtered.Validate().ok());
+}
+
+TEST(FilterCoreUsersTest, CascadingRemoval) {
+  // A chain 0-1-2: with min_friends = 2 only removal cascades to empty.
+  Dataset d;
+  d.num_users = 3;
+  d.num_items = 1;
+  d.social = UndirectedGraph(3);
+  d.items = UndirectedGraph(1);
+  d.social.AddEdge(0, 1);
+  d.social.AddEdge(1, 2);
+  d.ratings = {{0, 0, 3.0}, {1, 0, 3.0}, {2, 0, 3.0}};
+  const Dataset filtered = FilterCoreUsers(d, 2, 1);
+  EXPECT_EQ(filtered.num_users, 0);
+}
+
+}  // namespace
+}  // namespace msopds

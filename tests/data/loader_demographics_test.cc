@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "data/demographics.h"
+#include "data/synthetic.h"
+#include "data/tsv_loader.h"
+
+namespace msopds {
+namespace {
+
+TEST(TsvLoaderTest, MissingFilesReturnNotFound) {
+  EXPECT_FALSE(LoadTsv("/no/ratings", "/no/trust").ok());
+}
+
+TEST(TsvLoaderTest, RoundTripThroughSave) {
+  SyntheticConfig config;
+  config.num_users = 30;
+  config.num_items = 40;
+  config.num_ratings = 200;
+  config.num_social_links = 60;
+  Rng rng(5);
+  const Dataset original = GenerateSynthetic(config, &rng);
+
+  const std::string ratings_path = ::testing::TempDir() + "/ratings.tsv";
+  const std::string trust_path = ::testing::TempDir() + "/trust.tsv";
+  ASSERT_TRUE(SaveTsv(original, ratings_path, trust_path).ok());
+
+  auto loaded = LoadTsv(ratings_path, trust_path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().ratings.size(), original.ratings.size());
+  // Social links between rating users survive; ids are re-compacted, so
+  // compare counts only.
+  EXPECT_EQ(loaded.value().social.num_edges(), original.social.num_edges());
+  EXPECT_TRUE(loaded.value().Validate().ok());
+  std::remove(ratings_path.c_str());
+  std::remove(trust_path.c_str());
+}
+
+TEST(TsvLoaderTest, RejectsMalformedRows) {
+  const std::string ratings_path = ::testing::TempDir() + "/bad_ratings.tsv";
+  const std::string trust_path = ::testing::TempDir() + "/bad_trust.tsv";
+  {
+    FILE* f = fopen(ratings_path.c_str(), "w");
+    fputs("1\t2\tnot_a_number\n", f);
+    fclose(f);
+    f = fopen(trust_path.c_str(), "w");
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadTsv(ratings_path, trust_path).ok());
+  std::remove(ratings_path.c_str());
+  std::remove(trust_path.c_str());
+}
+
+TEST(TsvLoaderTest, RejectsOutOfRangeRating) {
+  const std::string ratings_path = ::testing::TempDir() + "/oor_ratings.tsv";
+  const std::string trust_path = ::testing::TempDir() + "/oor_trust.tsv";
+  {
+    FILE* f = fopen(ratings_path.c_str(), "w");
+    fputs("1\t2\t9\n", f);
+    fclose(f);
+    f = fopen(trust_path.c_str(), "w");
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadTsv(ratings_path, trust_path).ok());
+  std::remove(ratings_path.c_str());
+  std::remove(trust_path.c_str());
+}
+
+TEST(TsvLoaderTest, LastDuplicateWins) {
+  const std::string ratings_path = ::testing::TempDir() + "/dup_ratings.tsv";
+  const std::string trust_path = ::testing::TempDir() + "/dup_trust.tsv";
+  {
+    FILE* f = fopen(ratings_path.c_str(), "w");
+    fputs("1\t2\t3\n1\t2\t5\n", f);
+    fclose(f);
+    f = fopen(trust_path.c_str(), "w");
+    fclose(f);
+  }
+  auto loaded = LoadTsv(ratings_path, trust_path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().ratings.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.value().ratings[0].value, 5.0);
+  std::remove(ratings_path.c_str());
+  std::remove(trust_path.c_str());
+}
+
+class DemographicsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig config;
+    config.num_users = 120;
+    config.num_items = 200;
+    config.num_ratings = 1500;
+    config.num_social_links = 400;
+    Rng rng(17);
+    dataset_ = GenerateSynthetic(config, &rng);
+  }
+  Dataset dataset_;
+};
+
+TEST_F(DemographicsTest, SharedMarketAcrossPlayers) {
+  Rng rng(3);
+  const auto players = SampleDemographics(dataset_, 3, &rng);
+  ASSERT_EQ(players.size(), 3u);
+  for (size_t p = 1; p < players.size(); ++p) {
+    EXPECT_EQ(players[p].target_item, players[0].target_item);
+    EXPECT_EQ(players[p].target_audience, players[0].target_audience);
+    EXPECT_EQ(players[p].compete_items, players[0].compete_items);
+  }
+}
+
+TEST_F(DemographicsTest, TargetIsLowestRatedOfPoolAndExcluded) {
+  Rng rng(4);
+  const auto players = SampleDemographics(dataset_, 1, &rng);
+  const auto averages = dataset_.ItemAverageRatings();
+  const double target_avg =
+      averages[static_cast<size_t>(players[0].target_item)];
+  for (int64_t item : players[0].compete_items) {
+    EXPECT_NE(item, players[0].target_item);
+    EXPECT_LE(target_avg, averages[static_cast<size_t>(item)]);
+  }
+}
+
+TEST_F(DemographicsTest, SizesFollowOptions) {
+  Rng rng(5);
+  DemographicsOptions options;
+  options.target_audience_fraction = 0.10;
+  options.customer_base_size = 25;
+  options.compete_items = 20;
+  options.product_items = 30;
+  const auto players = SampleDemographics(dataset_, 2, &rng, options);
+  EXPECT_EQ(players[0].target_audience.size(), 12u);
+  EXPECT_EQ(players[0].customer_base.size(), 25u);
+  EXPECT_EQ(players[0].compete_items.size(), 19u);  // pool minus target
+  EXPECT_EQ(players[0].product_items.size(), 30u);
+}
+
+TEST_F(DemographicsTest, ProductsExcludeMarketItems) {
+  Rng rng(6);
+  const auto players = SampleDemographics(dataset_, 2, &rng);
+  std::unordered_set<int64_t> market(players[0].compete_items.begin(),
+                                     players[0].compete_items.end());
+  market.insert(players[0].target_item);
+  for (const auto& player : players) {
+    for (int64_t item : player.product_items) {
+      EXPECT_EQ(market.count(item), 0u);
+    }
+  }
+}
+
+TEST_F(DemographicsTest, PlayersGetDistinctBases) {
+  Rng rng(7);
+  const auto players = SampleDemographics(dataset_, 2, &rng);
+  // Random 100-of-120 samples almost surely differ in order/content.
+  EXPECT_NE(players[0].customer_base, players[1].customer_base);
+}
+
+}  // namespace
+}  // namespace msopds

@@ -1,0 +1,83 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.h"
+
+namespace msopds {
+namespace {
+
+Dataset SplitWorld() {
+  SyntheticConfig config;
+  config.num_users = 40;
+  config.num_items = 50;
+  config.num_ratings = 500;
+  config.num_social_links = 100;
+  Rng rng(61);
+  return GenerateSynthetic(config, &rng);
+}
+
+class SplitTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitTest, PartitionIsExactAndDisjoint) {
+  const Dataset world = SplitWorld();
+  Rng rng(1);
+  SplitOptions options;
+  options.test_fraction = GetParam();
+  const RatingSplit split = SplitRatings(world, &rng, options);
+  EXPECT_EQ(split.train.size() + split.test.size(), world.ratings.size());
+
+  std::set<std::pair<int64_t, int64_t>> train_pairs;
+  for (const Rating& r : split.train) train_pairs.insert({r.user, r.item});
+  for (const Rating& r : split.test) {
+    EXPECT_EQ(train_pairs.count({r.user, r.item}), 0u);
+  }
+  // Test size within one of the target (user-floor constraint may shave).
+  const double target =
+      GetParam() * static_cast<double>(world.ratings.size());
+  EXPECT_LE(static_cast<double>(split.test.size()), target + 1.0);
+}
+
+TEST_P(SplitTest, EveryUserKeepsATrainingRating) {
+  const Dataset world = SplitWorld();
+  Rng rng(2);
+  SplitOptions options;
+  options.test_fraction = GetParam();
+  const RatingSplit split = SplitRatings(world, &rng, options);
+  std::set<int64_t> train_users;
+  for (const Rating& r : split.train) train_users.insert(r.user);
+  for (int64_t u = 0; u < world.num_users; ++u) {
+    if (world.UserRatingCounts()[static_cast<size_t>(u)] > 0) {
+      EXPECT_EQ(train_users.count(u), 1u) << "user " << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitTest,
+                         ::testing::Values(0.1, 0.2, 0.5));
+
+TEST(SplitTest, ZeroFractionKeepsEverythingInTrain) {
+  const Dataset world = SplitWorld();
+  Rng rng(3);
+  SplitOptions options;
+  options.test_fraction = 0.0;
+  const RatingSplit split = SplitRatings(world, &rng, options);
+  EXPECT_TRUE(split.test.empty());
+  EXPECT_EQ(split.train.size(), world.ratings.size());
+}
+
+TEST(SplitTest, DeterministicGivenSeed) {
+  const Dataset world = SplitWorld();
+  Rng rng1(9), rng2(9);
+  const RatingSplit a = SplitRatings(world, &rng1);
+  const RatingSplit b = SplitRatings(world, &rng2);
+  ASSERT_EQ(a.test.size(), b.test.size());
+  for (size_t i = 0; i < a.test.size(); ++i) {
+    EXPECT_TRUE(a.test[i] == b.test[i]);
+  }
+}
+
+}  // namespace
+}  // namespace msopds

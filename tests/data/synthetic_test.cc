@@ -1,0 +1,118 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph_stats.h"
+
+namespace msopds {
+namespace {
+
+class ProfileTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  SyntheticConfig Config() const {
+    const std::string name = GetParam();
+    if (name == "ciao") return CiaoProfile(0.1);
+    if (name == "epinions") return EpinionsProfile(0.1);
+    return LibraryThingProfile(0.1);
+  }
+};
+
+TEST_P(ProfileTest, GeneratesValidDataset) {
+  Rng rng(7);
+  const Dataset d = GenerateSynthetic(Config(), &rng);
+  EXPECT_TRUE(d.Validate().ok());
+  EXPECT_EQ(d.name, Config().name);
+}
+
+TEST_P(ProfileTest, HitsConfiguredSizesApproximately) {
+  Rng rng(8);
+  const SyntheticConfig config = Config();
+  const Dataset d = GenerateSynthetic(config, &rng);
+  EXPECT_EQ(d.num_users, config.num_users);
+  EXPECT_EQ(d.num_items, config.num_items);
+  // Rating and link volume within 25% of target (rejection sampling may
+  // fall short on dense configs).
+  EXPECT_GT(static_cast<double>(d.ratings.size()),
+            0.75 * static_cast<double>(config.num_ratings));
+  EXPECT_GT(static_cast<double>(d.social.num_edges()),
+            0.75 * static_cast<double>(config.num_social_links));
+}
+
+TEST_P(ProfileTest, DeterministicGivenSeed) {
+  Rng rng1(42), rng2(42);
+  const Dataset a = GenerateSynthetic(Config(), &rng1);
+  const Dataset b = GenerateSynthetic(Config(), &rng2);
+  ASSERT_EQ(a.ratings.size(), b.ratings.size());
+  for (size_t i = 0; i < a.ratings.size(); ++i) {
+    EXPECT_TRUE(a.ratings[i] == b.ratings[i]);
+  }
+  EXPECT_EQ(a.social.num_edges(), b.social.num_edges());
+  EXPECT_EQ(a.items.num_edges(), b.items.num_edges());
+}
+
+TEST_P(ProfileTest, EveryUserHasAtLeastOneRating) {
+  Rng rng(9);
+  const Dataset d = GenerateSynthetic(Config(), &rng);
+  for (int64_t count : d.UserRatingCounts()) EXPECT_GE(count, 1);
+}
+
+TEST_P(ProfileTest, RatingsAreSkewedPositive) {
+  Rng rng(10);
+  const Dataset d = GenerateSynthetic(Config(), &rng);
+  int64_t high = 0;
+  for (const Rating& r : d.ratings) {
+    EXPECT_GE(r.value, kMinRating);
+    EXPECT_LE(r.value, kMaxRating);
+    if (r.value >= 4.0) ++high;
+  }
+  // The J-shaped histogram yields far more 4-5s than a uniform draw.
+  EXPECT_GT(static_cast<double>(high),
+            0.45 * static_cast<double>(d.ratings.size()));
+}
+
+TEST_P(ProfileTest, SocialDegreeIsHeavyTailed) {
+  Rng rng(11);
+  const Dataset d = GenerateSynthetic(Config(), &rng);
+  const GraphStats stats = ComputeGraphStats(d.social);
+  EXPECT_GT(static_cast<double>(stats.max_degree), 3.0 * stats.mean_degree);
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ProfileTest,
+                         ::testing::Values("ciao", "epinions",
+                                           "librarything"));
+
+TEST(SyntheticTest, ProfilesMatchPaperRatios) {
+  // At scale 1.0 the profile sizes are exactly the published counts.
+  EXPECT_EQ(CiaoProfile(1.0).num_users, 2611);
+  EXPECT_EQ(CiaoProfile(1.0).num_items, 3823);
+  EXPECT_EQ(CiaoProfile(1.0).num_ratings, 44453);
+  EXPECT_EQ(CiaoProfile(1.0).num_social_links, 49953);
+  EXPECT_EQ(EpinionsProfile(1.0).num_users, 1929);
+  EXPECT_EQ(EpinionsProfile(1.0).num_items, 9962);
+  EXPECT_EQ(LibraryThingProfile(1.0).num_users, 1108);
+  EXPECT_EQ(LibraryThingProfile(1.0).num_ratings, 19615);
+}
+
+TEST(SyntheticTest, ScaleShrinksLinearly) {
+  const SyntheticConfig half = CiaoProfile(0.5);
+  EXPECT_NEAR(static_cast<double>(half.num_users), 2611 * 0.5, 1.0);
+  EXPECT_NEAR(static_cast<double>(half.num_ratings), 44453 * 0.5, 1.0);
+}
+
+TEST(SyntheticTest, TinyConfigStillValid) {
+  SyntheticConfig config;
+  config.num_users = 5;
+  config.num_items = 4;
+  config.num_ratings = 30;  // more than the 20 possible pairs
+  config.num_social_links = 100;
+  Rng rng(3);
+  const Dataset d = GenerateSynthetic(config, &rng);
+  EXPECT_TRUE(d.Validate().ok());
+  EXPECT_LE(static_cast<int64_t>(d.ratings.size()), 20);
+  EXPECT_LE(d.social.num_edges(), 10);
+}
+
+}  // namespace
+}  // namespace msopds

@@ -1,0 +1,124 @@
+#include "defense/trust_rank.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/baselines.h"
+#include "attack/capacity.h"
+#include "data/demographics.h"
+#include "data/synthetic.h"
+
+namespace msopds {
+namespace {
+
+Dataset TrustWorld(uint64_t seed = 91) {
+  SyntheticConfig config;
+  config.num_users = 80;
+  config.num_items = 90;
+  config.num_ratings = 900;
+  config.num_social_links = 320;
+  Rng rng(seed);
+  return GenerateSynthetic(config, &rng);
+}
+
+TEST(TrustRankTest, ScoresNormalizedAndComplete) {
+  const Dataset world = TrustWorld();
+  const auto trust = TrustScores(world);
+  ASSERT_EQ(static_cast<int64_t>(trust.size()), world.num_users);
+  double max_trust = 0.0;
+  for (double t : trust) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+    max_trust = std::max(max_trust, t);
+  }
+  EXPECT_DOUBLE_EQ(max_trust, 1.0);
+}
+
+TEST(TrustRankTest, HubsOutrankIsolatedAccounts) {
+  Dataset world = TrustWorld();
+  const auto fakes = AddFakeUsers(&world, 3);  // isolated accounts
+  const auto trust = TrustScores(world);
+  // Highest-degree real account.
+  int64_t hub = 0;
+  for (int64_t u = 1; u < world.num_users; ++u) {
+    if (world.social.Degree(u) > world.social.Degree(hub)) hub = u;
+  }
+  for (int64_t fake : fakes) {
+    EXPECT_LT(trust[static_cast<size_t>(fake)],
+              trust[static_cast<size_t>(hub)]);
+    EXPECT_DOUBLE_EQ(trust[static_cast<size_t>(fake)], 0.0);
+  }
+}
+
+TEST(TrustRankTest, BoughtLinksBuyOnlyLimitedTrust) {
+  // A fake account wired to a handful of hired users must still rank
+  // below the typical organic account.
+  Dataset world = TrustWorld();
+  Rng rng(5);
+  const Demographics demo = SampleDemographics(world, 1, &rng)[0];
+  const auto fakes = AddFakeUsers(&world, 2);
+  for (int64_t fake : fakes) {
+    for (size_t k = 0; k < 5; ++k) {
+      world.social.AddEdge(demo.customer_base[k], fake);
+    }
+  }
+  const auto trust = TrustScores(world);
+  std::vector<double> real_trust(trust.begin(),
+                                 trust.begin() + (world.num_users - 2));
+  std::nth_element(real_trust.begin(),
+                   real_trust.begin() + real_trust.size() / 2,
+                   real_trust.end());
+  const double median = real_trust[real_trust.size() / 2];
+  for (int64_t fake : fakes) {
+    EXPECT_LT(trust[static_cast<size_t>(fake)], median) << "fake " << fake;
+  }
+}
+
+TEST(TrustRankTest, DetectByTrustFlagsIsolatedFakesFirst) {
+  Dataset world = TrustWorld(92);
+  const int64_t real_users = world.num_users;
+  const auto fakes = AddFakeUsers(&world, 4);
+  const auto flagged = DetectByTrust(world, 4);
+  int64_t caught = 0;
+  for (int64_t u : flagged) {
+    if (u >= real_users) ++caught;
+  }
+  // Isolated accounts have exactly zero trust; only organic isolated
+  // accounts can compete with them, and this profile has none.
+  EXPECT_EQ(caught + static_cast<int64_t>(std::count_if(
+                         flagged.begin(), flagged.end(),
+                         [&](int64_t u) {
+                           return u < real_users &&
+                                  world.social.Degree(u) == 0;
+                         })),
+            4);
+  (void)fakes;
+}
+
+TEST(TrustRankTest, DetectCountClamped) {
+  const Dataset world = TrustWorld();
+  EXPECT_EQ(static_cast<int64_t>(
+                DetectByTrust(world, world.num_users + 99).size()),
+            world.num_users);
+}
+
+TEST(TrustRankTest, SeedFractionControlsSeeds) {
+  const Dataset world = TrustWorld();
+  TrustRankOptions narrow;
+  narrow.seed_fraction = 0.02;
+  TrustRankOptions broad;
+  broad.seed_fraction = 0.5;
+  const auto trust_narrow = TrustScores(world, narrow);
+  const auto trust_broad = TrustScores(world, broad);
+  // Broad seeding spreads trust: more users with non-trivial trust.
+  auto nontrivial = [](const std::vector<double>& t) {
+    int64_t count = 0;
+    for (double v : t) count += v > 0.05;
+    return count;
+  };
+  EXPECT_GT(nontrivial(trust_broad), nontrivial(trust_narrow));
+}
+
+}  // namespace
+}  // namespace msopds

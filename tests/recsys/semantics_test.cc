@@ -1,0 +1,146 @@
+// Semantic tests of the poisoning channels on the victim model: each of
+// the three heterogeneous channels (ratings, social edges, item edges)
+// must actually influence the trained Het-RecSys in the direction the
+// attack framework assumes.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "recsys/het_recsys.h"
+#include "recsys/metrics.h"
+#include "recsys/trainer.h"
+
+namespace msopds {
+namespace {
+
+Dataset BaseWorld() {
+  SyntheticConfig config;
+  config.num_users = 50;
+  config.num_items = 60;
+  config.num_ratings = 600;
+  config.num_social_links = 150;
+  Rng rng(88);
+  return GenerateSynthetic(config, &rng);
+}
+
+double TrainedTargetRating(const Dataset& world, int64_t target,
+                           const std::vector<int64_t>& audience) {
+  Rng rng(5);
+  HetRecSys model(world, HetRecSysConfig{}, &rng);
+  TrainOptions options;
+  options.epochs = 40;
+  TrainModel(&model, world.ratings, options);
+  return AverageTargetRating(&model, audience, target);
+}
+
+int64_t ColdItem(const Dataset& world) {
+  const auto counts = world.ItemRatingCounts();
+  int64_t best = 0;
+  for (int64_t i = 1; i < world.num_items; ++i) {
+    if (counts[static_cast<size_t>(i)] < counts[static_cast<size_t>(best)])
+      best = i;
+  }
+  return best;
+}
+
+TEST(PoisonChannelTest, FiveStarRatingsRaiseTargetPrediction) {
+  Dataset world = BaseWorld();
+  const int64_t target = ColdItem(world);
+  const std::vector<int64_t> audience = {0, 1, 2, 3, 4};
+  const double before = TrainedTargetRating(world, target, audience);
+
+  Dataset poisoned = world;
+  for (int64_t u = 10; u < 25; ++u) {
+    if (!poisoned.HasRating(u, target)) {
+      poisoned.ratings.push_back({u, target, 5.0});
+    }
+  }
+  const double after = TrainedTargetRating(poisoned, target, audience);
+  EXPECT_GT(after, before + 0.2);
+}
+
+TEST(PoisonChannelTest, OneStarRatingsLowerTargetPrediction) {
+  Dataset world = BaseWorld();
+  // A popular, well-liked item, judged by an audience that has NOT rated
+  // it (members with their own rating are anchored by it and barely
+  // move — which is correct model behaviour, not a demotion failure).
+  const auto counts = world.ItemRatingCounts();
+  int64_t target = 0;
+  for (int64_t i = 1; i < world.num_items; ++i) {
+    if (counts[static_cast<size_t>(i)] > counts[static_cast<size_t>(target)])
+      target = i;
+  }
+  std::vector<int64_t> audience;
+  for (int64_t u = 0; u < world.num_users && audience.size() < 5; ++u) {
+    if (!world.HasRating(u, target)) audience.push_back(u);
+  }
+  ASSERT_GE(audience.size(), 3u);
+  const double before = TrainedTargetRating(world, target, audience);
+  Dataset poisoned = world;
+  // Overwhelm the item's signal: every non-audience rating becomes 1.
+  for (Rating& r : poisoned.ratings) {
+    if (r.item == target) r.value = 1.0;
+  }
+  for (int64_t u = 0; u < world.num_users; ++u) {
+    bool is_audience = false;
+    for (int64_t a : audience) is_audience = is_audience || a == u;
+    if (!is_audience && !poisoned.HasRating(u, target)) {
+      poisoned.ratings.push_back({u, target, 1.0});
+    }
+  }
+  const double after = TrainedTargetRating(poisoned, target, audience);
+  EXPECT_LT(after, before - 0.5);
+}
+
+TEST(PoisonChannelTest, ItemGraphLinksCoupleEmbeddings) {
+  // Linking a cold target to several highly-rated items must lift the
+  // target's predictions through the item-graph convolution.
+  Dataset world = BaseWorld();
+  const int64_t target = ColdItem(world);
+  const std::vector<int64_t> audience = {0, 1, 2, 3, 4};
+  const double before = TrainedTargetRating(world, target, audience);
+
+  const auto averages = world.ItemAverageRatings();
+  const auto counts = world.ItemRatingCounts();
+  Dataset poisoned = world;
+  int added = 0;
+  for (int64_t i = 0; i < world.num_items && added < 6; ++i) {
+    if (i != target && counts[static_cast<size_t>(i)] >= 5 &&
+        averages[static_cast<size_t>(i)] >= 4.0) {
+      if (poisoned.items.AddEdge(i, target)) ++added;
+    }
+  }
+  ASSERT_GT(added, 0);
+  // Item links couple the target's final embedding to its neighbors —
+  // the channel must be live (a material prediction change). Whether a
+  // specific link helps or hurts a specific audience depends on the
+  // embeddings, which is exactly why PDS selects links by gradient
+  // instead of assuming all product links help.
+  const double after = TrainedTargetRating(poisoned, target, audience);
+  EXPECT_GT(std::fabs(after - before), 0.05);
+}
+
+TEST(PoisonChannelTest, SocialLinksPropagateTaste) {
+  // Connecting audience members to enthusiastic raters of the target
+  // changes their final embeddings (the social channel is live).
+  Dataset world = BaseWorld();
+  const int64_t target = ColdItem(world);
+  const std::vector<int64_t> audience = {0, 1, 2};
+  // Create two enthusiast accounts and wire the audience to them.
+  Dataset poisoned = world;
+  poisoned.num_users += 2;
+  poisoned.social.AddNodes(2);
+  for (int64_t fan = world.num_users; fan < poisoned.num_users; ++fan) {
+    poisoned.ratings.push_back({fan, target, 5.0});
+    for (int64_t member : audience) poisoned.social.AddEdge(member, fan);
+  }
+  const double before = TrainedTargetRating(world, target, audience);
+  const double after = TrainedTargetRating(poisoned, target, audience);
+  EXPECT_NE(after, before);
+  EXPECT_GT(after, before - 0.05);  // should not hurt, typically helps
+}
+
+}  // namespace
+}  // namespace msopds

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/conjugate_gradient.h"
+#include "solver/dense_solver.h"
+#include "util/rng.h"
+
+namespace msopds {
+namespace {
+
+// Random symmetric positive definite matrix A = M M^T + d I.
+Tensor RandomSpd(int64_t n, Rng* rng, double diag = 0.5) {
+  Tensor m({n, n});
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Uniform(-1, 1);
+  Tensor a({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int64_t k = 0; k < n; ++k) s += m.at(i, k) * m.at(j, k);
+      a.at(i, j) = s + (i == j ? diag : 0.0);
+    }
+  }
+  return a;
+}
+
+Tensor MatVec(const Tensor& a, const Tensor& x) {
+  const int64_t n = a.dim(0);
+  Tensor y({n});
+  for (int64_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (int64_t j = 0; j < n; ++j) s += a.at(i, j) * x.at(j);
+    y.at(i) = s;
+  }
+  return y;
+}
+
+TEST(DenseSolverTest, SolvesKnownSystem) {
+  const Tensor a = Tensor::FromMatrix(2, 2, {2, 1, 1, 3});
+  const Tensor b = Tensor::FromVector({5, 10});
+  auto x = SolveDense(a, b);
+  ASSERT_TRUE(x.ok());
+  // 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+  EXPECT_NEAR(x.value().at(0), 1.0, 1e-10);
+  EXPECT_NEAR(x.value().at(1), 3.0, 1e-10);
+}
+
+TEST(DenseSolverTest, SingularMatrixFails) {
+  const Tensor a = Tensor::FromMatrix(2, 2, {1, 2, 2, 4});
+  const Tensor b = Tensor::FromVector({1, 2});
+  EXPECT_FALSE(SolveDense(a, b).ok());
+}
+
+TEST(DenseSolverTest, PivotingHandlesZeroDiagonal) {
+  const Tensor a = Tensor::FromMatrix(2, 2, {0, 1, 1, 0});
+  const Tensor b = Tensor::FromVector({3, 7});
+  auto x = SolveDense(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value().at(0), 7.0, 1e-12);
+  EXPECT_NEAR(x.value().at(1), 3.0, 1e-12);
+}
+
+TEST(DenseSolverTest, MaterializeReconstructsOperator) {
+  const Tensor a = Tensor::FromMatrix(2, 2, {1, 2, 3, 4});
+  const Tensor m =
+      Materialize([&](const Tensor& v) { return MatVec(a, v); }, 2);
+  EXPECT_TRUE(AllClose(m, a));
+}
+
+TEST(CgTest, SolvesIdentityInOneIteration) {
+  const Tensor b = Tensor::FromVector({1, 2, 3});
+  const CgResult result =
+      ConjugateGradient([](const Tensor& v) { return v.Clone(); }, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 2);
+  EXPECT_TRUE(AllClose(result.solution, b, 1e-8));
+}
+
+TEST(CgTest, ZeroRhsReturnsZero) {
+  const Tensor b = Tensor::Zeros({4});
+  const CgResult result =
+      ConjugateGradient([](const Tensor& v) { return v.Clone(); }, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+  EXPECT_TRUE(AllClose(result.solution, b));
+}
+
+TEST(CgTest, DampingSolvesShiftedSystem) {
+  // A = I, damping 1 -> solves 2x = b.
+  CgOptions options;
+  options.damping = 1.0;
+  const Tensor b = Tensor::FromVector({2, 4});
+  const CgResult result =
+      ConjugateGradient([](const Tensor& v) { return v.Clone(); }, b, options);
+  EXPECT_TRUE(AllClose(result.solution, Tensor::FromVector({1, 2}), 1e-8));
+}
+
+class CgRandomSpdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgRandomSpdTest, MatchesDenseSolver) {
+  const int64_t n = 3 + GetParam() % 6;
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  const Tensor a = RandomSpd(n, &rng);
+  Tensor b({n});
+  for (int64_t i = 0; i < n; ++i) b.at(i) = rng.Uniform(-2, 2);
+
+  CgOptions options;
+  options.max_iterations = 200;
+  options.relative_tolerance = 1e-10;
+  const CgResult cg = ConjugateGradient(
+      [&](const Tensor& v) { return MatVec(a, v); }, b, options);
+  const auto dense = SolveDense(a, b);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_TRUE(cg.converged);
+  EXPECT_TRUE(AllClose(cg.solution, dense.value(), 1e-6))
+      << "cg " << cg.solution.DebugString() << " dense "
+      << dense.value().DebugString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSystems, CgRandomSpdTest,
+                         ::testing::Range(0, 12));
+
+TEST(CgTest, RespectsIterationLimit) {
+  Rng rng(99);
+  const Tensor a = RandomSpd(8, &rng, 0.01);
+  Tensor b({8});
+  for (int64_t i = 0; i < 8; ++i) b.at(i) = rng.Uniform(-1, 1);
+  CgOptions options;
+  options.max_iterations = 2;
+  options.relative_tolerance = 1e-14;
+  const CgResult result = ConjugateGradient(
+      [&](const Tensor& v) { return MatVec(a, v); }, b, options);
+  EXPECT_LE(result.iterations, 2);
+}
+
+}  // namespace
+}  // namespace msopds

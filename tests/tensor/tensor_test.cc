@@ -1,0 +1,88 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace msopds {
+namespace {
+
+TEST(TensorTest, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(TensorTest, ScalarRoundTrip) {
+  Tensor t = Tensor::Scalar(2.5);
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_DOUBLE_EQ(t.item(), 2.5);
+}
+
+TEST(TensorTest, ZerosInitializesAllElements) {
+  Tensor t = Tensor::Zeros({3, 4});
+  EXPECT_EQ(t.size(), 12);
+  for (int64_t i = 0; i < 3; ++i)
+    for (int64_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(t.at(i, j), 0.0);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full({5}, 7.0);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(t.at(i), 7.0);
+  t.Fill(-1.0);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(t.at(i), -1.0);
+}
+
+TEST(TensorTest, FromVectorPreservesOrder) {
+  Tensor t = Tensor::FromVector({1.0, 2.0, 3.0});
+  EXPECT_EQ(t.rank(), 1);
+  EXPECT_DOUBLE_EQ(t.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(2), 3.0);
+}
+
+TEST(TensorTest, FromMatrixIsRowMajor) {
+  Tensor t = Tensor::FromMatrix(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(t.at(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 4.0);
+}
+
+TEST(TensorTest, CopySharesBufferCloneDoesNot) {
+  Tensor a = Tensor::FromVector({1.0, 2.0});
+  Tensor shared = a;
+  Tensor cloned = a.Clone();
+  a.at(0) = 9.0;
+  EXPECT_DOUBLE_EQ(shared.at(0), 9.0);
+  EXPECT_DOUBLE_EQ(cloned.at(0), 1.0);
+}
+
+TEST(TensorTest, SumAndMaxAbs) {
+  Tensor t = Tensor::FromVector({1.0, -4.0, 2.0});
+  EXPECT_DOUBLE_EQ(t.Sum(), -1.0);
+  EXPECT_DOUBLE_EQ(t.MaxAbs(), 4.0);
+}
+
+TEST(TensorTest, AllCloseDetectsDifferences) {
+  Tensor a = Tensor::FromVector({1.0, 2.0});
+  Tensor b = Tensor::FromVector({1.0, 2.0 + 1e-12});
+  Tensor c = Tensor::FromVector({1.0, 2.1});
+  EXPECT_TRUE(AllClose(a, b));
+  EXPECT_FALSE(AllClose(a, c));
+  EXPECT_FALSE(AllClose(a, Tensor::FromMatrix(1, 2, {1.0, 2.0})));
+}
+
+TEST(TensorTest, EmptyRankOneTensorIsAllowed) {
+  Tensor t = Tensor::Zeros({0});
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_DOUBLE_EQ(t.Sum(), 0.0);
+}
+
+TEST(TensorTest, DebugStringTruncates) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5});
+  const std::string s = t.DebugString(2);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msopds

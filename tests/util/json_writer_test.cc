@@ -1,0 +1,89 @@
+#include "util/json_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace msopds {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("msopds");
+  json.Key("count").Int(3);
+  json.Key("score").Double(1.5);
+  json.Key("ok").Bool(true);
+  json.Key("missing").Null();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(),
+            "{\"name\":\"msopds\",\"count\":3,\"score\":1.5,\"ok\":true,"
+            "\"missing\":null}");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("rows").BeginArray();
+  json.BeginObject();
+  json.Key("b").Int(2);
+  json.EndObject();
+  json.Int(7);
+  json.BeginArray().Int(1).Int(2).EndArray();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(), "{\"rows\":[{\"b\":2},7,[1,2]]}");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  JsonWriter json;
+  json.String("a\"b\\c\nd\te");
+  EXPECT_EQ(json.TakeString(), "\"a\\\"b\\\\c\\nd\\te\"");
+}
+
+TEST(JsonWriterTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(std::numeric_limits<double>::infinity());
+  json.Double(std::numeric_limits<double>::quiet_NaN());
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(), "[null,null]");
+}
+
+TEST(JsonWriterTest, TopLevelScalarAllowed) {
+  JsonWriter json;
+  json.Int(42);
+  EXPECT_EQ(json.TakeString(), "42");
+}
+
+TEST(JsonWriterTest, ResetAfterTake) {
+  JsonWriter json;
+  json.Int(1);
+  EXPECT_EQ(json.TakeString(), "1");
+  json.BeginArray().EndArray();
+  EXPECT_EQ(json.TakeString(), "[]");
+}
+
+TEST(JsonWriterDeathTest, UnbalancedContainersDie) {
+  JsonWriter json;
+  json.BeginObject();
+  EXPECT_DEATH(json.TakeString(), "unclosed");
+}
+
+TEST(JsonWriterDeathTest, ValueWithoutKeyInObjectDies) {
+  JsonWriter json;
+  json.BeginObject();
+  EXPECT_DEATH(json.Int(1), "Key");
+}
+
+TEST(JsonWriterDeathTest, TwoKeysInARowDie) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("a");
+  EXPECT_DEATH(json.Key("b"), "two keys");
+}
+
+}  // namespace
+}  // namespace msopds

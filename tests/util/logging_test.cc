@@ -1,0 +1,45 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace msopds {
+namespace {
+
+TEST(LoggingTest, SeverityRoundTrip) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, InfoDoesNotAbort) {
+  MSOPDS_LOG(Info) << "informational message " << 42;
+  MSOPDS_LOG(Warning) << "warning message";
+  SUCCEED();
+}
+
+TEST(LoggingTest, PassingChecksDoNotAbort) {
+  MSOPDS_CHECK(true) << "never shown";
+  MSOPDS_CHECK_EQ(1, 1);
+  MSOPDS_CHECK_NE(1, 2);
+  MSOPDS_CHECK_LT(1, 2);
+  MSOPDS_CHECK_LE(2, 2);
+  MSOPDS_CHECK_GT(3, 2);
+  MSOPDS_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(MSOPDS_CHECK(false) << "boom", "Check failed: false");
+}
+
+TEST(LoggingDeathTest, FailedCheckOpPrintsValues) {
+  EXPECT_DEATH(MSOPDS_CHECK_EQ(1, 2), "1 vs 2");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(MSOPDS_LOG(Fatal) << "fatal message", "fatal message");
+}
+
+}  // namespace
+}  // namespace msopds

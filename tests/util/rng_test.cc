@@ -1,0 +1,168 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace msopds {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanApproximatesHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const int64_t v = rng.UniformInt(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  const int n = 30000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(29);
+  const int n = 20000;
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < n; ++i) {
+    const int64_t k = rng.Zipf(50, 1.1);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 50);
+    ++counts[static_cast<size_t>(k)];
+  }
+  // Head heavier than tail.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0] + counts[1] + counts[2], n / 5);
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(31);
+  EXPECT_EQ(rng.Zipf(1, 1.0), 0);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(37);
+  const std::vector<int64_t> sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), 9);
+}
+
+TEST(RngTest, SampleWithoutReplacementPartial) {
+  Rng rng(41);
+  const std::vector<int64_t> sample = rng.SampleWithoutReplacement(100, 5);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (int64_t v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleFromPool) {
+  Rng rng(43);
+  const std::vector<int64_t> pool = {10, 20, 30, 40};
+  const std::vector<int64_t> sample = rng.SampleFrom(pool, 2);
+  EXPECT_EQ(sample.size(), 2u);
+  for (int64_t v : sample) {
+    EXPECT_TRUE(std::find(pool.begin(), pool.end(), v) != pool.end());
+  }
+  EXPECT_NE(sample[0], sample[1]);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(47);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6};
+  std::vector<int> sorted = values;
+  rng.Shuffle(&values);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, sorted);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(51);
+  Rng b = a.Split();
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace msopds
