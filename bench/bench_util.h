@@ -10,6 +10,17 @@
 //   --budgets=2,3  attacker budget levels b
 //   --opponents=1,2 opponent counts (fig6) / opponent budgets (fig7)
 //   --methods=a,b  override the method list
+//
+// Resilience-runtime flags (see DESIGN.md "Resilience runtime"):
+//   --checkpoint=PATH       JSONL cell checkpoint file; completed cells are
+//                           skipped on rerun, so an interrupted sweep
+//                           resumes where it stopped
+//   --fault_nan=P           inject NaNs into trainer + surrogate gradient
+//                           steps with probability P per step
+//   --fault_cg=P            simulated CG operator breakdown probability
+//   --fault_seed=N          seed of the deterministic fault streams
+//   --fault_crash_cell=N    simulate a harness crash (exit 42) before the
+//                           N-th executed (non-resumed) cell
 
 #include <algorithm>
 #include <cstdio>
@@ -18,6 +29,8 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "util/checkpoint.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace msopds {
@@ -31,6 +44,14 @@ struct BenchFlags {
   std::vector<int> budgets = {2, 3, 4, 5};
   std::vector<int> opponents = {1, 2, 3, 4};
   std::vector<std::string> methods;
+
+  /// Checkpoint file (JSONL); empty = no persistence.
+  std::string checkpoint;
+  /// Fault-injection plan (all zero/disabled by default).
+  double fault_nan = 0.0;
+  double fault_cg = 0.0;
+  uint64_t fault_seed = 17;
+  int fault_crash_cell = -1;
 
   static BenchFlags Parse(int argc, char** argv) {
     BenchFlags flags;
@@ -61,6 +82,16 @@ struct BenchFlags {
       } else if (const char* v = value_of("--methods=")) {
         flags.methods.clear();
         for (auto& part : StrSplit(v, ',')) flags.methods.push_back(part);
+      } else if (const char* v = value_of("--checkpoint=")) {
+        flags.checkpoint = v;
+      } else if (const char* v = value_of("--fault_nan=")) {
+        flags.fault_nan = std::atof(v);
+      } else if (const char* v = value_of("--fault_cg=")) {
+        flags.fault_cg = std::atof(v);
+      } else if (const char* v = value_of("--fault_seed=")) {
+        flags.fault_seed = static_cast<uint64_t>(std::atoll(v));
+      } else if (const char* v = value_of("--fault_crash_cell=")) {
+        flags.fault_crash_cell = std::atoi(v);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
         std::exit(2);
@@ -73,6 +104,75 @@ struct BenchFlags {
   int ResolveRepeats(int bench_default) const {
     return repeats > 0 ? repeats : bench_default;
   }
+
+  FaultConfig MakeFaultConfig() const {
+    FaultConfig config;
+    config.seed = fault_seed;
+    config.trainer_nan_probability = fault_nan;
+    config.surrogate_nan_probability = fault_nan;
+    config.solver_breakdown_probability = fault_cg;
+    config.crash_at_cell = fault_crash_cell;
+    return config;
+  }
+};
+
+/// Runs one sweep's cells with checkpoint/resume and fault injection
+/// (the bench-layer leg of the resilience runtime). Completed cells found
+/// in the checkpoint are returned without re-running the game; fresh
+/// cells run through RunRepeatedCellChecked, so a cell that exhausts the
+/// recovery budget degrades to an explicit recorded failure instead of a
+/// silent NaN row. Installs the fault plan from the flags on
+/// construction, so fault-free runs with no checkpoint behave (and
+/// print) exactly as before this layer existed.
+class SweepRunner {
+ public:
+  explicit SweepRunner(const BenchFlags& flags) : store_(flags.checkpoint) {
+    FaultInjector::Global().Configure(flags.MakeFaultConfig());
+    if (store_.persistent() && store_.size() > 0) {
+      std::fprintf(stderr,
+                   "[checkpoint] %s: %zu completed cell(s) will be skipped\n",
+                   store_.path().c_str(), store_.size());
+    }
+  }
+
+  /// Runs (or restores) the cell identified by `key`. Simulates the
+  /// configured harness crash (exit 42) before the crash_at_cell-th
+  /// *executed* cell, so a rerun with the same checkpoint resumes past
+  /// the crash point.
+  CellRecord Cell(const std::string& key, const MultiplayerGame& game,
+                  const std::string& method, int budget_level, uint64_t seed,
+                  int repeats) {
+    if (const CellRecord* cached = store_.Find(key)) {
+      return *cached;
+    }
+    if (FaultInjector::Global().ShouldCrashAtCell(executed_cells_)) {
+      std::fprintf(stderr,
+                   "[fault] simulated crash before cell '%s' (executed %d); "
+                   "rerun with the same --checkpoint to resume\n",
+                   key.c_str(), executed_cells_);
+      std::exit(42);
+    }
+    ++executed_cells_;
+    const CellOutcome outcome =
+        RunRepeatedCellChecked(game, method, budget_level, seed, repeats);
+    CellRecord record;
+    record.key = key;
+    record.ok = outcome.ok;
+    record.mean_average_rating = outcome.stats.mean_average_rating;
+    record.mean_hit_rate = outcome.stats.mean_hit_rate;
+    record.repeats = outcome.stats.repeats;
+    record.unhealthy_repeats = outcome.unhealthy_repeats;
+    record.error = outcome.error;
+    store_.Append(record);
+    return record;
+  }
+
+  /// Executed (non-resumed) cells so far.
+  int executed_cells() const { return executed_cells_; }
+
+ private:
+  CheckpointStore store_;
+  int executed_cells_ = 0;
 };
 
 /// Prints one table row: method name then (rbar, hr) pairs per column.
@@ -82,6 +182,22 @@ inline void PrintRow(const std::string& label,
   for (const CellStats& cell : cells) {
     std::printf("  %6.4f %6.4f", cell.mean_average_rating,
                 cell.mean_hit_rate);
+  }
+  std::printf("\n");
+}
+
+/// Record-aware row: recorded-failure cells print as FAIL instead of a
+/// bogus 0.0000 metric pair; healthy cells print exactly like PrintRow.
+inline void PrintRow(const std::string& label,
+                     const std::vector<CellRecord>& cells) {
+  std::printf("%-22s", label.c_str());
+  for (const CellRecord& cell : cells) {
+    if (cell.ok) {
+      std::printf("  %6.4f %6.4f", cell.mean_average_rating,
+                  cell.mean_hit_rate);
+    } else {
+      std::printf("  %6s %6s", "FAIL", "-");
+    }
   }
   std::printf("\n");
 }

@@ -22,6 +22,7 @@ int Main(int argc, char** argv) {
       "=== Fig. 6: number of opponents (b = %d, b_op = 2), scale %.2f ===\n",
       attacker_budget, flags.scale);
 
+  SweepRunner runner(flags);
   for (const std::string& dataset_name : flags.datasets) {
     const Dataset base =
         MakeExperimentDataset(dataset_name, flags.scale, flags.seed);
@@ -33,12 +34,14 @@ int Main(int argc, char** argv) {
     std::vector<double> msopds_series;
     std::vector<double> best_baseline_series(flags.opponents.size(), 0.0);
     for (const std::string& method : methods) {
-      std::vector<CellStats> row;
+      std::vector<CellRecord> row;
       for (size_t i = 0; i < flags.opponents.size(); ++i) {
         GameConfig config = DefaultGameConfig();
         config.num_opponents = flags.opponents[i];
         MultiplayerGame game(base, config);
-        const CellStats cell = RunRepeatedCell(
+        const CellRecord cell = runner.Cell(
+            StrFormat("%s|%s|N=%d", dataset_name.c_str(), method.c_str(),
+                      flags.opponents[i]),
             game, method, attacker_budget, flags.seed + 1, flags.repeats);
         if (method == "MSOPDS") {
           msopds_series.push_back(cell.mean_average_rating);

@@ -23,6 +23,7 @@ int Main(int argc, char** argv) {
       "%.2f ===\n",
       attacker_budget, flags.scale);
 
+  SweepRunner runner(flags);
   for (const std::string& dataset_name : flags.datasets) {
     const Dataset base =
         MakeExperimentDataset(dataset_name, flags.scale, flags.seed);
@@ -35,13 +36,15 @@ int Main(int argc, char** argv) {
     std::vector<double> msopds_series;
     std::vector<double> baseline_best(flags.opponents.size(), 0.0);
     for (const std::string& method : methods) {
-      std::vector<CellStats> row;
+      std::vector<CellRecord> row;
       for (size_t i = 0; i < flags.opponents.size(); ++i) {
         GameConfig config = DefaultGameConfig();
         config.num_opponents = 1;
         config.opponent_budget_level = flags.opponents[i];
         MultiplayerGame game(base, config);
-        const CellStats cell = RunRepeatedCell(
+        const CellRecord cell = runner.Cell(
+            StrFormat("%s|%s|b_op=%d", dataset_name.c_str(), method.c_str(),
+                      flags.opponents[i]),
             game, method, attacker_budget, flags.seed + 1, flags.repeats);
         if (method == "MSOPDS") {
           msopds_series.push_back(cell.mean_average_rating);

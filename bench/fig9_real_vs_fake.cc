@@ -25,6 +25,7 @@ int Main(int argc, char** argv) {
       "===\n",
       flags.scale);
 
+  SweepRunner runner(flags);
   for (const std::string& dataset_name : flags.datasets) {
     const Dataset base =
         MakeExperimentDataset(dataset_name, flags.scale, flags.seed);
@@ -35,10 +36,11 @@ int Main(int argc, char** argv) {
 
     MultiplayerGame game(base, DefaultGameConfig());
     for (const std::string& method : flags.methods) {
-      std::vector<CellStats> row;
+      std::vector<CellRecord> row;
       for (int b : flags.budgets) {
-        row.push_back(
-            RunRepeatedCell(game, method, b, flags.seed + 1, flags.repeats));
+        row.push_back(runner.Cell(
+            StrFormat("%s|%s|b=%d", dataset_name.c_str(), method.c_str(), b),
+            game, method, b, flags.seed + 1, flags.repeats));
       }
       PrintRow(method, row);
     }

@@ -22,6 +22,7 @@ int Main(int argc, char** argv) {
       "repeat(s) ===\n",
       flags.scale, flags.repeats);
 
+  SweepRunner runner(flags);
   int msopds_best_cells = 0;
   int total_cells = 0;
   for (const std::string& dataset_name : flags.datasets) {
@@ -34,12 +35,13 @@ int Main(int argc, char** argv) {
     PrintHeader("method", columns);
 
     MultiplayerGame game(base, DefaultGameConfig());
-    std::vector<std::vector<CellStats>> table;
+    std::vector<std::vector<CellRecord>> table;
     for (const std::string& method : methods) {
-      std::vector<CellStats> row;
+      std::vector<CellRecord> row;
       for (int b : flags.budgets) {
-        row.push_back(
-            RunRepeatedCell(game, method, b, flags.seed + 1, flags.repeats));
+        row.push_back(runner.Cell(
+            StrFormat("%s|%s|b=%d", dataset_name.c_str(), method.c_str(), b),
+            game, method, b, flags.seed + 1, flags.repeats));
       }
       PrintRow(method, row);
       table.push_back(std::move(row));

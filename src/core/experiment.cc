@@ -158,19 +158,42 @@ GameConfig DefaultGameConfig() {
 CellStats RunRepeatedCell(const MultiplayerGame& game,
                           const std::string& method, int budget_level,
                           uint64_t seed, int repeats) {
+  return RunRepeatedCellChecked(game, method, budget_level, seed, repeats)
+      .stats;
+}
+
+CellOutcome RunRepeatedCellChecked(const MultiplayerGame& game,
+                                   const std::string& method,
+                                   int budget_level, uint64_t seed,
+                                   int repeats) {
   MSOPDS_CHECK_GT(repeats, 0);
   const AttackFactory factory = MakeAttackFactory(method);
-  CellStats stats;
-  stats.repeats = repeats;
+  CellOutcome outcome;
   for (int r = 0; r < repeats; ++r) {
     const GameResult result =
         game.Run(factory, budget_level, seed + static_cast<uint64_t>(r));
-    stats.mean_average_rating += result.average_rating;
-    stats.mean_hit_rate += result.hit_rate_at_3;
+    if (!result.healthy) {
+      ++outcome.unhealthy_repeats;
+      outcome.error = result.failure;
+      MSOPDS_LOG(Warning) << method << " b=" << budget_level << " repeat " << r
+                          << " unhealthy, excluded from mean: "
+                          << result.failure;
+      continue;
+    }
+    outcome.stats.mean_average_rating += result.average_rating;
+    outcome.stats.mean_hit_rate += result.hit_rate_at_3;
+    ++outcome.stats.repeats;
   }
-  stats.mean_average_rating /= repeats;
-  stats.mean_hit_rate /= repeats;
-  return stats;
+  if (outcome.stats.repeats == 0) {
+    outcome.ok = false;
+    outcome.stats.mean_average_rating = 0.0;
+    outcome.stats.mean_hit_rate = 0.0;
+    if (outcome.error.empty()) outcome.error = "no healthy repeats";
+    return outcome;
+  }
+  outcome.stats.mean_average_rating /= outcome.stats.repeats;
+  outcome.stats.mean_hit_rate /= outcome.stats.repeats;
+  return outcome;
 }
 
 std::string GameResultToJson(const GameResult& result) {
@@ -181,6 +204,9 @@ std::string GameResultToJson(const GameResult& result) {
   json.Key("hit_rate_at_3").Double(result.hit_rate_at_3);
   json.Key("victim_final_loss").Double(result.victim_final_loss);
   json.Key("opponent_ratings").Int(result.opponent_ratings);
+  json.Key("healthy").Bool(result.healthy);
+  json.Key("victim_retries").Int(result.victim_retries);
+  if (!result.failure.empty()) json.Key("failure").String(result.failure);
   json.Key("attacker_plan").BeginObject();
   json.Key("ratings").Int(result.attacker_plan.CountType(ActionType::kRating));
   json.Key("social_edges")

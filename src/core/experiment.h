@@ -50,6 +50,26 @@ CellStats RunRepeatedCell(const MultiplayerGame& game,
                           const std::string& method, int budget_level,
                           uint64_t seed, int repeats);
 
+/// Health-aware cell outcome: `stats` averages only healthy repeats
+/// (those whose victim training recovered to a finite model and whose
+/// metrics are finite). When every repeat failed, `ok` is false, the
+/// stats are zero and `error` records the last failure — the cell
+/// degrades to a recorded-failure row instead of a silent NaN.
+struct CellOutcome {
+  CellStats stats;
+  bool ok = true;
+  /// Repeats excluded from the mean because they ended unhealthy.
+  int unhealthy_repeats = 0;
+  std::string error;
+};
+
+/// Like RunRepeatedCell but never lets a numerically-failed game poison
+/// the mean; fault-free behaviour is arithmetically identical.
+CellOutcome RunRepeatedCellChecked(const MultiplayerGame& game,
+                                   const std::string& method,
+                                   int budget_level, uint64_t seed,
+                                   int repeats);
+
 /// Machine-readable export of one game outcome (method, metrics, plan
 /// composition) for downstream tooling.
 std::string GameResultToJson(const GameResult& result);

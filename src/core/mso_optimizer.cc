@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/grad.h"
+#include "util/health.h"
 #include "util/logging.h"
 
 namespace msopds {
@@ -64,18 +65,35 @@ std::vector<MsoIterationStats> MsoOptimizer::Optimize(
       follower_updates[q] = follower_grad.value().Clone();
 
       // Step 9: solve xi * d^2L^q/dXhat^q^2 = dL^p/dXhat^q by CG over
-      // exact Hessian-vector products (double backward).
+      // exact Hessian-vector products (double backward). A non-finite
+      // right-hand side or follower gradient (e.g. an injected NaN in
+      // the surrogate inner loop) skips the implicit term for this
+      // iteration instead of poisoning the leader update.
       const Tensor& rhs = leader_grads[q].value();
+      if (!AllFinite(rhs) || !AllFinite(follower_updates[q])) {
+        ++stats.non_finite_events;
+        continue;
+      }
       if (rhs.MaxAbs() > 0.0 && follower_grad.requires_grad()) {
         LinearOperator hvp = [&](const Tensor& v) {
           return HessianVectorProduct(follower_grad, xhats[q], v);
         };
         const CgResult solve = ConjugateGradient(hvp, rhs, config_.cg);
         stats.cg_iterations += solve.iterations;
+        stats.cg_breakdowns += solve.breakdowns;
+        if (solve.outcome == CgOutcome::kDenseFallback) ++stats.cg_fallbacks;
+        if (solve.outcome == CgOutcome::kBreakdown) {
+          // Unrecovered solve: fall back to the first-order leader step.
+          continue;
+        }
 
         // Step 10's implicit term: xi * d^2 L^q / (dXhat^p dXhat^q).
         const Tensor implicit =
             MixedVectorJacobian(follower_grad, xhats[0], solve.solution);
+        if (!AllFinite(implicit)) {
+          ++stats.non_finite_events;
+          continue;
+        }
         stats.implicit_term_norm += Norm(implicit);
         for (int64_t i = 0; i < leader_total.size(); ++i) {
           leader_total.data()[i] -= implicit.data()[i];
@@ -84,14 +102,28 @@ std::vector<MsoIterationStats> MsoOptimizer::Optimize(
     }
 
     stats.leader_grad_norm = Norm(leader_total);
-    history.push_back(std::move(stats));
 
-    // Step 10: leader update with the total derivative.
-    players[0]->ApplyUpdate(leader_total, config_.leader_step);
-    // Step 11: follower updates with their partial derivatives.
-    for (size_t q = 1; q < num_players; ++q) {
-      players[q]->ApplyUpdate(follower_updates[q], config_.follower_step);
+    // Step 10: leader update with the total derivative. Step 11:
+    // follower updates with their partial derivatives. A non-finite
+    // step is dropped (the player keeps its last healthy iterate) so
+    // one poisoned evaluation cannot destroy the whole optimization.
+    if (AllFinite(leader_total)) {
+      players[0]->ApplyUpdate(leader_total, config_.leader_step);
+    } else {
+      ++stats.skipped_updates;
+      MSOPDS_LOG(Warning) << "MSO iteration " << iteration
+                          << ": leader update non-finite, skipped";
     }
+    for (size_t q = 1; q < num_players; ++q) {
+      if (AllFinite(follower_updates[q])) {
+        players[q]->ApplyUpdate(follower_updates[q], config_.follower_step);
+      } else {
+        ++stats.skipped_updates;
+        MSOPDS_LOG(Warning) << "MSO iteration " << iteration << ": follower "
+                            << q << " update non-finite, skipped";
+      }
+    }
+    history.push_back(std::move(stats));
   }
   return history;
 }

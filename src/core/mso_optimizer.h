@@ -30,6 +30,21 @@ struct MsoIterationStats {
   double leader_grad_norm = 0.0;
   double implicit_term_norm = 0.0;
   int cg_iterations = 0;
+
+  // --- Resilience diagnostics (all zero on a healthy iteration) ---
+  /// CG breakdown events and dense-solver fallbacks this iteration.
+  int cg_breakdowns = 0;
+  int cg_fallbacks = 0;
+  /// Non-finite losses/gradients/implicit terms detected and contained.
+  int non_finite_events = 0;
+  /// Player updates skipped because the proposed step was non-finite
+  /// (the player keeps its last healthy iterate for the next round).
+  int skipped_updates = 0;
+
+  bool healthy() const {
+    return cg_breakdowns == 0 && non_finite_events == 0 &&
+           skipped_updates == 0;
+  }
 };
 
 /// Multilevel Stackelberg Optimization (paper §IV-B).

@@ -133,6 +133,23 @@ PoisonPlan Msopds::Execute(Dataset* world, const Demographics& demo,
   const MsoOptimizer optimizer(config_.mso);
   history_ = optimizer.Optimize(losses, players, budgets);
 
+  // Outer-loop health summary (Algorithm 1 resilience): contained
+  // numerical failures are fine — every iteration either applied a
+  // finite update or kept the previous iterate — but they are worth a
+  // trace in long sweeps.
+  int unhealthy_iterations = 0;
+  for (const MsoIterationStats& stats : history_) {
+    if (!stats.healthy()) ++unhealthy_iterations;
+  }
+  if (unhealthy_iterations > 0) {
+    MSOPDS_LOG(Warning) << name() << ": " << unhealthy_iterations << "/"
+                        << history_.size()
+                        << " MSO iterations hit numerical faults ("
+                        << surrogate.non_finite_inner_events()
+                        << " non-finite inner losses); updates were "
+                           "skipped, not poisoned";
+  }
+
   // Extract and inject the leader's plan.
   PoisonPlan planned = leader_iv.ExtractPlan(leader_budget);
   planned.ApplyTo(world);

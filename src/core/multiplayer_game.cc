@@ -1,5 +1,7 @@
 #include "core/multiplayer_game.h"
 
+#include <cmath>
+
 #include "core/bopds.h"
 #include "recsys/metrics.h"
 #include "util/logging.h"
@@ -67,6 +69,11 @@ GameResult MultiplayerGame::Run(const AttackFactory& attacker_factory,
   const TrainResult training =
       TrainModel(&victim, world.ratings, config_.victim_training);
   result.victim_final_loss = training.final_loss;
+  result.victim_retries = training.retries;
+  if (!training.healthy) {
+    result.healthy = false;
+    result.failure = "victim training: " + training.failure;
+  }
 
   // 4) The attacker's metrics on his market.
   const Demographics& market = context.demos[0];
@@ -75,6 +82,11 @@ GameResult MultiplayerGame::Run(const AttackFactory& attacker_factory,
   result.hit_rate_at_3 = HitRateAtK(&victim, market.target_audience,
                                     market.target_item, market.compete_items,
                                     /*k=*/3);
+  if (result.healthy && (!std::isfinite(result.average_rating) ||
+                         !std::isfinite(result.hit_rate_at_3))) {
+    result.healthy = false;
+    result.failure = "non-finite attacker metrics";
+  }
   return result;
 }
 

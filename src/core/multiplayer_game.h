@@ -55,6 +55,15 @@ struct GameResult {
   PoisonPlan attacker_plan;
   /// Total ratings opponents injected.
   int64_t opponent_ratings = 0;
+
+  // --- Resilience diagnostics ---
+  /// False when the victim's training exhausted its numerical-health
+  /// retry budget or the measured metrics came out non-finite; `failure`
+  /// then says why. Metrics of an unhealthy game must not enter means.
+  bool healthy = true;
+  /// Victim-training epochs rolled back and retried.
+  int victim_retries = 0;
+  std::string failure;
 };
 
 /// Runs the paper's evaluation protocol: the attacker poisons first given

@@ -1,8 +1,11 @@
 #include "core/pds_surrogate.h"
 
 #include <cmath>
+#include <limits>
 
 #include "tensor/grad.h"
+#include "util/fault.h"
+#include "util/health.h"
 #include "util/logging.h"
 
 namespace msopds {
@@ -251,6 +254,22 @@ PdsSurrogate::Outcome PdsSurrogate::TrainUnrolled(
   // Recorded inner loop (Algorithm 1 steps 5-6).
   for (int step = 0; step < config_.inner_steps; ++step) {
     Variable loss = TrainLoss(theta, social_weights, item_weights, xhats);
+    if (FaultInjector::Global().ShouldCorruptSurrogateStep()) {
+      // Inject the NaN through the recorded graph so the corruption
+      // propagates into gradients exactly like a real numerical failure
+      // of the inner loop (resilience drills; no-op when disabled).
+      loss = AddScalar(loss, std::numeric_limits<double>::quiet_NaN());
+    }
+    // Numerical-health probe: a non-finite inner loss poisons every
+    // derivative taken through this graph, so record it for the outer
+    // loop's diagnostics (the MSO guards then drop the resulting step).
+    if (!std::isfinite(loss.value().item())) {
+      if (non_finite_inner_events_ == 0) {
+        MSOPDS_LOG(Warning)
+            << "PDS inner loop: non-finite loss at step " << step;
+      }
+      ++non_finite_inner_events_;
+    }
     const std::vector<Variable> grads = Grad(loss, theta);
     for (size_t i = 0; i < theta.size(); ++i) {
       theta[i] = Sub(theta[i],

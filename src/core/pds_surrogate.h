@@ -66,6 +66,10 @@ class PdsSurrogate {
   Variable Predict(const Outcome& outcome, const std::vector<int64_t>& users,
                    const std::vector<int64_t>& items) const;
 
+  /// Numerical-health diagnostic: non-finite inner-loop losses observed
+  /// across all TrainUnrolled calls (real failures and injected faults).
+  int64_t non_finite_inner_events() const { return non_finite_inner_events_; }
+
  private:
   struct GraphBundle {
     IndexVec dst;
@@ -116,6 +120,9 @@ class PdsSurrogate {
 
   // Fixed parameter initialization (theta_0).
   std::vector<Tensor> theta_init_;
+
+  // Health diagnostic counter (TrainUnrolled is logically const).
+  mutable int64_t non_finite_inner_events_ = 0;
 };
 
 }  // namespace msopds

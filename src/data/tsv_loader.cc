@@ -4,6 +4,7 @@
 
 #include "graph/item_graph_builder.h"
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace msopds {
@@ -19,12 +20,33 @@ int64_t Intern(std::unordered_map<int64_t, int64_t>* table, int64_t raw) {
 }  // namespace
 
 StatusOr<Dataset> LoadTsv(const std::string& ratings_path,
-                          const std::string& trust_path, char delimiter,
-                          const std::string& name) {
-  auto rating_rows = ReadDelimited(ratings_path, delimiter);
+                          const std::string& trust_path,
+                          const TsvOptions& options) {
+  auto rating_rows = ReadDelimitedWithLines(ratings_path, options.delimiter);
   if (!rating_rows.ok()) return rating_rows.status();
-  auto trust_rows = ReadDelimited(trust_path, delimiter);
+  auto trust_rows = ReadDelimitedWithLines(trust_path, options.delimiter);
   if (!trust_rows.ok()) return trust_rows.status();
+
+  // Bad-row tolerance shared across both files: a row that fails to
+  // parse is skipped (with its source location logged) until the budget
+  // runs out; the row that exhausts it fails the whole load.
+  int bad_rows = 0;
+  auto tolerate = [&](const std::string& path, int64_t line,
+                      const std::string& reason) {
+    ++bad_rows;
+    const bool tolerated = bad_rows <= options.max_bad_rows;
+    if (tolerated) {
+      MSOPDS_LOG(Warning) << path << ":" << line << ": " << reason
+                          << " (skipped; bad row " << bad_rows << "/"
+                          << options.max_bad_rows << " tolerated)";
+    }
+    return tolerated;
+  };
+  auto located = [](const std::string& path, int64_t line,
+                    const std::string& reason) {
+    return StrFormat("%s:%lld: %s", path.c_str(),
+                     static_cast<long long>(line), reason.c_str());
+  };
 
   std::unordered_map<int64_t, int64_t> user_ids;
   std::unordered_map<int64_t, int64_t> item_ids;
@@ -33,17 +55,25 @@ StatusOr<Dataset> LoadTsv(const std::string& ratings_path,
   std::vector<uint64_t> order;
 
   for (const auto& row : rating_rows.value()) {
-    if (row.size() < 3) {
-      return Status::InvalidArgument("ratings row needs 3 fields");
+    if (row.fields.size() < 3) {
+      const std::string reason = "ratings row needs 3 fields";
+      if (tolerate(ratings_path, row.line, reason)) continue;
+      return Status::InvalidArgument(located(ratings_path, row.line, reason));
     }
     int64_t raw_user = 0, raw_item = 0;
     double value = 0.0;
-    if (!ParseInt64(row[0], &raw_user) || !ParseInt64(row[1], &raw_item) ||
-        !ParseDouble(row[2], &value)) {
-      return Status::InvalidArgument("malformed ratings row");
+    if (!ParseInt64(row.fields[0], &raw_user) ||
+        !ParseInt64(row.fields[1], &raw_item) ||
+        !ParseDouble(row.fields[2], &value)) {
+      const std::string reason = "malformed ratings row";
+      if (tolerate(ratings_path, row.line, reason)) continue;
+      return Status::InvalidArgument(located(ratings_path, row.line, reason));
     }
     if (value < kMinRating || value > kMaxRating) {
-      return Status::OutOfRange(StrFormat("rating %.3f outside [1,5]", value));
+      const std::string reason =
+          StrFormat("rating %.3f outside [1,5]", value);
+      if (tolerate(ratings_path, row.line, reason)) continue;
+      return Status::OutOfRange(located(ratings_path, row.line, reason));
     }
     const int64_t user = Intern(&user_ids, raw_user);
     const int64_t item = Intern(&item_ids, raw_item);
@@ -57,7 +87,7 @@ StatusOr<Dataset> LoadTsv(const std::string& ratings_path,
   }
 
   Dataset dataset;
-  dataset.name = name;
+  dataset.name = options.name;
   dataset.num_users = static_cast<int64_t>(user_ids.size());
   dataset.num_items = static_cast<int64_t>(item_ids.size());
   dataset.social = UndirectedGraph(dataset.num_users);
@@ -68,12 +98,17 @@ StatusOr<Dataset> LoadTsv(const std::string& ratings_path,
   }
 
   for (const auto& row : trust_rows.value()) {
-    if (row.size() < 2) {
-      return Status::InvalidArgument("trust row needs 2 fields");
+    if (row.fields.size() < 2) {
+      const std::string reason = "trust row needs 2 fields";
+      if (tolerate(trust_path, row.line, reason)) continue;
+      return Status::InvalidArgument(located(trust_path, row.line, reason));
     }
     int64_t raw_a = 0, raw_b = 0;
-    if (!ParseInt64(row[0], &raw_a) || !ParseInt64(row[1], &raw_b)) {
-      return Status::InvalidArgument("malformed trust row");
+    if (!ParseInt64(row.fields[0], &raw_a) ||
+        !ParseInt64(row.fields[1], &raw_b)) {
+      const std::string reason = "malformed trust row";
+      if (tolerate(trust_path, row.line, reason)) continue;
+      return Status::InvalidArgument(located(trust_path, row.line, reason));
     }
     // Only keep links between users that appear in the rating records.
     auto ia = user_ids.find(raw_a);
@@ -90,6 +125,15 @@ StatusOr<Dataset> LoadTsv(const std::string& ratings_path,
   const Status status = dataset.Validate();
   if (!status.ok()) return status;
   return dataset;
+}
+
+StatusOr<Dataset> LoadTsv(const std::string& ratings_path,
+                          const std::string& trust_path, char delimiter,
+                          const std::string& name) {
+  TsvOptions options;
+  options.delimiter = delimiter;
+  options.name = name;
+  return LoadTsv(ratings_path, trust_path, options);
 }
 
 Status SaveTsv(const Dataset& dataset, const std::string& ratings_path,

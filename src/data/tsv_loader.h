@@ -8,6 +8,18 @@
 
 namespace msopds {
 
+/// Options for LoadTsv.
+struct TsvOptions {
+  char delimiter = '\t';
+  std::string name = "tsv";
+  /// Malformed rows (wrong field count, unparsable numbers, out-of-range
+  /// ratings) tolerated across both files before the load fails. Each
+  /// skipped row is logged with its "path:line" location. 0 = strict:
+  /// the first bad row fails the load (the default, and the historical
+  /// behaviour).
+  int max_bad_rows = 0;
+};
+
 /// Loads a real heterogeneous dataset from two delimiter-separated files:
 ///  - ratings: lines of "user item rating" (rating in [1, 5]);
 ///  - trust:   lines of "user user" social links.
@@ -15,7 +27,14 @@ namespace msopds {
 /// pairs keep the last value; the item graph is built from co-rating
 /// overlap exactly as in GenerateSynthetic. This is the path for running
 /// the suite on the actual Ciao/Epinions/LibraryThing dumps when they are
-/// available (they are not bundled).
+/// available (they are not bundled). Errors are reported as
+/// "path:line: reason"; real dumps with a few corrupt lines can be
+/// loaded by raising options.max_bad_rows.
+StatusOr<Dataset> LoadTsv(const std::string& ratings_path,
+                          const std::string& trust_path,
+                          const TsvOptions& options);
+
+/// Legacy convenience overload (strict: any bad row fails the load).
 StatusOr<Dataset> LoadTsv(const std::string& ratings_path,
                           const std::string& trust_path, char delimiter = '\t',
                           const std::string& name = "tsv");

@@ -2,6 +2,7 @@
 #define MSOPDS_SOLVER_CONJUGATE_GRADIENT_H_
 
 #include <functional>
+#include <string>
 
 #include "tensor/tensor.h"
 
@@ -12,7 +13,7 @@ using LinearOperator = std::function<Tensor(const Tensor&)>;
 
 /// Options for the conjugate gradient solve.
 struct CgOptions {
-  /// Maximum CG iterations.
+  /// Maximum CG iterations (per attempt).
   int max_iterations = 32;
   /// Stop when ||r||_2 <= tolerance * max(1, ||b||_2).
   double relative_tolerance = 1e-6;
@@ -20,20 +21,64 @@ struct CgOptions {
   /// damping so the opponent Hessian solve (Algorithm 1 step 9) stays
   /// well-posed even when the Hessian is near-singular.
   double damping = 0.0;
+
+  // --- Breakdown recovery ---
+  /// On breakdown — a non-finite residual/curvature or p·Ap <= 0, i.e.
+  /// the operator is not positive definite at this damping — the solve
+  /// restarts with damping escalated by this factor, up to
+  /// `max_damping_retries` restarts.
+  double damping_escalation = 10.0;
+  int max_damping_retries = 2;
+  /// Damping installed by the first escalation when `damping` is 0.
+  double min_recovery_damping = 1e-8;
+  /// When every damped restart also breaks down and the system is at
+  /// most this large, the (damped) operator is materialized column by
+  /// column and handed to the dense Gaussian-elimination solver as a
+  /// final fallback. 0 disables the fallback.
+  int64_t dense_fallback_size = 256;
 };
+
+/// How a solve ended. Anything except kBreakdown yields a usable
+/// (finite) solution; kBreakdown means even the recovery ladder failed
+/// and the solution is the best finite iterate (possibly zero).
+enum class CgOutcome {
+  kConverged = 0,
+  kMaxIterations = 1,
+  kDenseFallback = 2,
+  kBreakdown = 3,
+};
+
+/// Human-readable outcome name.
+std::string CgOutcomeToString(CgOutcome outcome);
 
 /// Result of a conjugate gradient solve.
 struct CgResult {
   Tensor solution;
+  /// Total CG iterations across all attempts.
   int iterations = 0;
   double residual_norm = 0.0;
   bool converged = false;
+  CgOutcome outcome = CgOutcome::kMaxIterations;
+  /// Breakdown events observed across all attempts.
+  int breakdowns = 0;
+  /// Damping-escalation restarts performed.
+  int damping_retries = 0;
+  /// Effective damping of the attempt that produced `solution`.
+  double damping_used = 0.0;
 };
 
 /// Solves (A + damping I) x = b for symmetric positive (semi-)definite A
-/// given only matrix-vector products. This implements Algorithm 1 step 9 of
-/// the paper: solving xi * (d^2 L^q / dX^q^2) = dL^p / dX^q where the
+/// given only matrix-vector products. This implements Algorithm 1 step 9
+/// of the paper: solving xi * (d^2 L^q / dX^q^2) = dL^p / dX^q where the
 /// Hessian is only available through Hessian-vector products.
+///
+/// Resilience: a breakdown (NaN from the operator, or an indefinite
+/// curvature p·Ap <= 0) no longer returns garbage silently — the solve
+/// escalates damping, then falls back to a dense solve for small
+/// systems, and every outcome is reported in CgResult. A non-finite
+/// right-hand side is rejected up front as kBreakdown with a zero
+/// solution. The FaultInjector's solver hook can simulate an operator
+/// breakdown on the first application to exercise this ladder.
 CgResult ConjugateGradient(const LinearOperator& apply, const Tensor& b,
                            const CgOptions& options = CgOptions());
 

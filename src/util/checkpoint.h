@@ -1,0 +1,69 @@
+#ifndef MSOPDS_UTIL_CHECKPOINT_H_
+#define MSOPDS_UTIL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace msopds {
+
+/// One completed benchmark cell persisted to a checkpoint file. A cell is
+/// either a valid metric pair (ok = true) or an explicit recorded failure
+/// (ok = false with a human-readable error) — never a silent NaN.
+struct CellRecord {
+  /// Unique cell identity within one sweep, e.g. "ciao|MSOPDS|b=2".
+  std::string key;
+  bool ok = true;
+  double mean_average_rating = 0.0;
+  double mean_hit_rate = 0.0;
+  int repeats = 0;
+  /// Repeats whose victim training needed the recovery path but still
+  /// produced finite metrics (diagnostics; does not fail the cell).
+  int unhealthy_repeats = 0;
+  /// Failure description when !ok.
+  std::string error;
+};
+
+/// Serializes one record as a single-line JSON object (no newline).
+std::string CellRecordToJson(const CellRecord& record);
+
+/// Parses a line produced by CellRecordToJson. Understands the writer's
+/// "nan"/"inf"/"-inf" string encoding for non-finite metrics. Returns
+/// InvalidArgument (with context) on malformed input.
+StatusOr<CellRecord> ParseCellRecord(const std::string& line);
+
+/// Append-only JSONL checkpoint store backing resumable benchmark
+/// sweeps. Construction loads any existing records from `path` (missing
+/// file = empty store; a torn trailing line from a crash mid-write is
+/// dropped with a warning). Append() writes one line and flushes, so a
+/// killed process loses at most the cell in flight. Duplicate keys keep
+/// the last record.
+///
+/// An empty path disables persistence: the store works purely in memory,
+/// which lets the same driver code run with and without checkpointing.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string path);
+
+  const std::string& path() const { return path_; }
+  bool persistent() const { return !path_.empty(); }
+  size_t size() const { return records_.size(); }
+
+  /// Record for `key`, or nullptr when the cell has not completed yet.
+  const CellRecord* Find(const std::string& key) const;
+
+  /// Records one completed cell (and persists it when backed by a file).
+  void Append(const CellRecord& record);
+
+ private:
+  std::string path_;
+  std::vector<CellRecord> records_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_UTIL_CHECKPOINT_H_

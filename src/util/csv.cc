@@ -8,16 +8,30 @@ namespace msopds {
 
 StatusOr<std::vector<std::vector<std::string>>> ReadDelimited(
     const std::string& path, char delimiter) {
+  auto with_lines = ReadDelimitedWithLines(path, delimiter);
+  if (!with_lines.ok()) return with_lines.status();
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(with_lines.value().size());
+  for (auto& row : with_lines.value()) {
+    rows.push_back(std::move(row.fields));
+  }
+  return rows;
+}
+
+StatusOr<std::vector<DelimitedRow>> ReadDelimitedWithLines(
+    const std::string& path, char delimiter) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::NotFound("cannot open " + path);
   }
-  std::vector<std::vector<std::string>> rows;
+  std::vector<DelimitedRow> rows;
   std::string line;
+  int64_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     const std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped.front() == '#') continue;
-    rows.push_back(StrSplit(stripped, delimiter));
+    rows.push_back({StrSplit(stripped, delimiter), line_number});
   }
   return rows;
 }

@@ -14,6 +14,18 @@ namespace msopds {
 StatusOr<std::vector<std::vector<std::string>>> ReadDelimited(
     const std::string& path, char delimiter);
 
+/// One parsed row plus the 1-based line it came from in the source file,
+/// so loaders can report errors as "path:line: reason".
+struct DelimitedRow {
+  std::vector<std::string> fields;
+  int64_t line = 0;
+};
+
+/// Like ReadDelimited but preserves source line numbers (skipped blank /
+/// comment lines still advance the counter).
+StatusOr<std::vector<DelimitedRow>> ReadDelimitedWithLines(
+    const std::string& path, char delimiter);
+
 /// Writes rows as a delimiter-separated file (no quoting; fields must not
 /// contain the delimiter or newlines — CHECKed).
 Status WriteDelimited(const std::string& path,

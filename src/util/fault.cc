@@ -1,0 +1,106 @@
+#include "util/fault.h"
+
+#include <limits>
+
+#include "tensor/tensor.h"
+#include "util/logging.h"
+
+namespace msopds {
+namespace {
+
+// Mixes the base seed with the site id so each site gets an independent
+// stream (golden-ratio odd constant, as in SplitMix64).
+uint64_t SiteSeed(uint64_t seed, FaultSite site) {
+  return seed ^ (0x9e3779b97f4a7c15ULL *
+                 (static_cast<uint64_t>(site) + 1));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() { Configure(FaultConfig()); }
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Configure(const FaultConfig& config) {
+  config_ = config;
+  streams_.clear();
+  for (int site = 0; site < kNumFaultSites; ++site) {
+    streams_.push_back(
+        Rng(SiteSeed(config.seed, static_cast<FaultSite>(site))));
+  }
+  injected_.assign(kNumFaultSites, 0);
+  crash_fired_ = false;
+}
+
+Rng& FaultInjector::stream(FaultSite site) {
+  return streams_[static_cast<size_t>(site)];
+}
+
+void FaultInjector::RecordInjection(FaultSite site) {
+  ++injected_[static_cast<size_t>(site)];
+}
+
+bool FaultInjector::MaybeCorruptTrainerGradients(std::vector<Tensor>* grads) {
+  if (config_.trainer_nan_probability <= 0.0) return false;
+  MSOPDS_CHECK(grads != nullptr);
+  Rng& rng = stream(FaultSite::kTrainerGradient);
+  if (!rng.Bernoulli(config_.trainer_nan_probability)) return false;
+  for (Tensor& grad : *grads) {
+    if (grad.size() == 0) continue;
+    grad.data()[rng.UniformInt(grad.size())] =
+        std::numeric_limits<double>::quiet_NaN();
+  }
+  RecordInjection(FaultSite::kTrainerGradient);
+  return true;
+}
+
+bool FaultInjector::ShouldCorruptSurrogateStep() {
+  if (config_.surrogate_nan_probability <= 0.0) return false;
+  if (!stream(FaultSite::kSurrogateGradient)
+           .Bernoulli(config_.surrogate_nan_probability)) {
+    return false;
+  }
+  RecordInjection(FaultSite::kSurrogateGradient);
+  return true;
+}
+
+bool FaultInjector::ShouldBreakSolver() {
+  if (config_.solver_breakdown_probability <= 0.0) return false;
+  if (!stream(FaultSite::kSolver)
+           .Bernoulli(config_.solver_breakdown_probability)) {
+    return false;
+  }
+  RecordInjection(FaultSite::kSolver);
+  return true;
+}
+
+bool FaultInjector::ShouldCrashAtCell(int executed_cell_index) {
+  if (config_.crash_at_cell < 0 || crash_fired_) return false;
+  if (executed_cell_index != config_.crash_at_cell) return false;
+  crash_fired_ = true;
+  RecordInjection(FaultSite::kSweepCell);
+  return true;
+}
+
+int64_t FaultInjector::injected_count(FaultSite site) const {
+  return injected_[static_cast<size_t>(site)];
+}
+
+int64_t FaultInjector::total_injected() const {
+  int64_t total = 0;
+  for (int64_t count : injected_) total += count;
+  return total;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const FaultConfig& config) {
+  FaultInjector::Global().Configure(config);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  FaultInjector::Global().Configure(FaultConfig());
+}
+
+}  // namespace msopds

@@ -1,0 +1,124 @@
+#ifndef MSOPDS_UTIL_FAULT_H_
+#define MSOPDS_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace msopds {
+
+class Tensor;
+
+/// Where a fault can be injected. Each site draws from its own
+/// deterministic RNG stream so adding probes at one site never perturbs
+/// the injection pattern of another.
+enum class FaultSite {
+  /// Victim-trainer gradient step (TrainModel).
+  kTrainerGradient = 0,
+  /// PDS surrogate recorded inner-loop gradient step (TrainUnrolled).
+  kSurrogateGradient = 1,
+  /// Conjugate-gradient solve (simulated operator breakdown).
+  kSolver = 2,
+  /// Benchmark sweep cell boundary (simulated harness crash).
+  kSweepCell = 3,
+};
+
+constexpr int kNumFaultSites = 4;
+
+/// Deterministic, seed-driven fault plan. All probabilities default to
+/// zero, so a default-constructed config injects nothing.
+struct FaultConfig {
+  /// Base seed of the per-site injection streams.
+  uint64_t seed = 0;
+  /// Probability that one trainer gradient step gets a NaN injected.
+  double trainer_nan_probability = 0.0;
+  /// Probability that one surrogate inner-loop step gets a NaN injected.
+  double surrogate_nan_probability = 0.0;
+  /// Probability that one CG solve sees a simulated operator breakdown
+  /// (the operator output is replaced by NaNs).
+  double solver_breakdown_probability = 0.0;
+  /// Simulated harness crash: the sweep driver exits before completing
+  /// its `crash_at_cell`-th executed (non-resumed) cell. -1 disables.
+  int crash_at_cell = -1;
+
+  bool any_enabled() const {
+    return trainer_nan_probability > 0.0 || surrogate_nan_probability > 0.0 ||
+           solver_breakdown_probability > 0.0 || crash_at_cell >= 0;
+  }
+};
+
+/// Process-wide deterministic fault injector (the chaos layer of the
+/// resilience runtime). Production code consults the hook points below;
+/// with the default (disabled) config every hook is a cheap no-op that
+/// never perturbs numerics, so fault-free runs are bit-identical to a
+/// build without the injector.
+///
+/// Determinism: each FaultSite owns an independent Rng seeded from
+/// (config.seed, site), advanced once per query, so the injection
+/// pattern is a pure function of the config and the query order at that
+/// site.
+///
+/// Not thread-safe: configure and query from one thread (the library is
+/// single-threaded today; revisit alongside any parallelism PR).
+class FaultInjector {
+ public:
+  /// The process-wide injector consulted by library hook points.
+  static FaultInjector& Global();
+
+  /// Installs a new plan and resets all per-site streams and counters.
+  void Configure(const FaultConfig& config);
+
+  const FaultConfig& config() const { return config_; }
+  bool enabled() const { return config_.any_enabled(); }
+
+  /// Trainer hook: corrupts `grads` with probability
+  /// trainer_nan_probability (one NaN into one deterministic element of
+  /// each tensor). Returns true when a fault was injected.
+  bool MaybeCorruptTrainerGradients(std::vector<Tensor>* grads);
+
+  /// Surrogate hook: should this recorded inner-loop step be poisoned?
+  /// (The surrogate injects the NaN through its own graph so that the
+  /// corruption propagates exactly like a real numerical failure.)
+  bool ShouldCorruptSurrogateStep();
+
+  /// Solver hook: should this CG solve see a simulated breakdown?
+  bool ShouldBreakSolver();
+
+  /// Sweep hook: should the driver simulate a crash before executing the
+  /// cell with this 0-based executed-cell index? Fires at most once per
+  /// process so a resumed run can get past the crash point.
+  bool ShouldCrashAtCell(int executed_cell_index);
+
+  /// Count of faults injected per site since the last Configure().
+  int64_t injected_count(FaultSite site) const;
+  /// Total faults injected since the last Configure().
+  int64_t total_injected() const;
+
+ private:
+  FaultInjector();
+
+  Rng& stream(FaultSite site);
+  void RecordInjection(FaultSite site);
+
+  FaultConfig config_;
+  std::vector<Rng> streams_;
+  std::vector<int64_t> injected_;
+  bool crash_fired_ = false;
+};
+
+/// RAII installer for tests and drivers: installs `config` on
+/// construction and restores a fully-disabled injector on destruction.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultConfig& config);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_UTIL_FAULT_H_

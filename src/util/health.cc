@@ -1,0 +1,74 @@
+#include "util/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "util/logging.h"
+
+namespace msopds {
+
+std::string HealthToString(Health health) {
+  switch (health) {
+    case Health::kHealthy:
+      return "healthy";
+    case Health::kNonFinite:
+      return "non-finite";
+    case Health::kDiverged:
+      return "diverged";
+  }
+  return "unknown";
+}
+
+bool AllFinite(const Tensor& t) {
+  const double* data = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    if (!std::isfinite(data[i])) return false;
+  }
+  return true;
+}
+
+bool AllFinite(const std::vector<Tensor>& ts) {
+  for (const Tensor& t : ts) {
+    if (!AllFinite(t)) return false;
+  }
+  return true;
+}
+
+int64_t CountNonFinite(const Tensor& t) {
+  int64_t count = 0;
+  const double* data = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    if (!std::isfinite(data[i])) ++count;
+  }
+  return count;
+}
+
+DivergenceDetector::DivergenceDetector(const DivergenceOptions& options)
+    : options_(options) {
+  MSOPDS_CHECK_GT(options.window, 0);
+  MSOPDS_CHECK_GT(options.factor, 1.0);
+}
+
+Health DivergenceDetector::Observe(double loss) {
+  if (!std::isfinite(loss)) {
+    ++unhealthy_count_;
+    return Health::kNonFinite;
+  }
+  if (static_cast<int>(window_.size()) >= options_.window) {
+    const double best = *std::min_element(window_.begin(), window_.end());
+    if (loss > options_.factor * std::fabs(best) + options_.slack) {
+      ++unhealthy_count_;
+      return Health::kDiverged;
+    }
+  }
+  window_.push_back(loss);
+  while (static_cast<int>(window_.size()) > options_.window) {
+    window_.pop_front();
+  }
+  return Health::kHealthy;
+}
+
+void DivergenceDetector::Reset() { window_.clear(); }
+
+}  // namespace msopds

@@ -1,0 +1,74 @@
+#ifndef MSOPDS_UTIL_HEALTH_H_
+#define MSOPDS_UTIL_HEALTH_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace msopds {
+
+class Tensor;
+
+/// Numerical health verdict used by the resilience runtime. Components
+/// that consume a verdict treat anything but kHealthy as a failed step.
+enum class Health {
+  kHealthy = 0,
+  /// A NaN or infinity was observed in a loss or gradient.
+  kNonFinite = 1,
+  /// The loss blew up relative to the recent window (training unstable).
+  kDiverged = 2,
+};
+
+/// Human-readable verdict name ("healthy", "non-finite", "diverged").
+std::string HealthToString(Health health);
+
+/// True iff every element of `t` is finite (no NaN / +-inf).
+bool AllFinite(const Tensor& t);
+
+/// True iff every tensor in `ts` is entirely finite.
+bool AllFinite(const std::vector<Tensor>& ts);
+
+/// Number of non-finite elements in `t` (diagnostics).
+int64_t CountNonFinite(const Tensor& t);
+
+/// Configuration of the loss-divergence detector.
+struct DivergenceOptions {
+  /// Number of most recent losses the detector compares against. The
+  /// detector never fires before it has seen `window` losses.
+  int window = 5;
+  /// A loss is divergent when it exceeds `factor` times the best (lowest)
+  /// loss in the window plus `slack` (the slack keeps near-zero losses
+  /// from tripping the ratio test on harmless noise).
+  double factor = 100.0;
+  double slack = 1e-3;
+};
+
+/// Streaming loss-divergence detector with a configurable window.
+///
+/// Feed every epoch/step loss through Observe(); it returns kNonFinite on
+/// NaN/inf, kDiverged when the loss exceeds the windowed threshold, and
+/// kHealthy otherwise. Unhealthy observations are NOT added to the
+/// window, so a caller that retries the step resumes from a clean state.
+class DivergenceDetector {
+ public:
+  explicit DivergenceDetector(const DivergenceOptions& options = {});
+
+  /// Observes one loss value and classifies it.
+  Health Observe(double loss);
+
+  /// Forgets all history (e.g. after a learning-rate reset).
+  void Reset();
+
+  /// Total unhealthy observations since construction (diagnostics).
+  int64_t unhealthy_count() const { return unhealthy_count_; }
+
+ private:
+  DivergenceOptions options_;
+  std::deque<double> window_;
+  int64_t unhealthy_count_ = 0;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_UTIL_HEALTH_H_

@@ -1,6 +1,7 @@
 #include "util/json_writer.h"
 
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -111,8 +112,13 @@ JsonWriter& JsonWriter::Int(int64_t value) {
 
 JsonWriter& JsonWriter::Double(double value) {
   BeforeValue();
-  if (!std::isfinite(value)) {
-    Append("null");  // JSON has no NaN/Inf
+  if (std::isnan(value)) {
+    // JSON has no NaN/Inf literals. Checkpoint readers must be able to
+    // tell "metric was NaN" (a recorded failure) from "metric missing"
+    // (null), so non-finite doubles round-trip as explicit strings.
+    Append("\"nan\"");
+  } else if (std::isinf(value)) {
+    Append(value > 0 ? "\"inf\"" : "\"-inf\"");
   } else {
     Append(StrFormat("%.10g", value));
   }
@@ -129,6 +135,23 @@ JsonWriter& JsonWriter::Null() {
   BeforeValue();
   Append("null");
   return *this;
+}
+
+bool ParseJsonDouble(const std::string& token, double* value) {
+  MSOPDS_CHECK(value != nullptr);
+  if (token == "\"nan\"") {
+    *value = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (token == "\"inf\"") {
+    *value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "\"-inf\"") {
+    *value = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  return ParseDouble(token, value);
 }
 
 std::string JsonWriter::TakeString() {

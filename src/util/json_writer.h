@@ -37,6 +37,8 @@ class JsonWriter {
 
   JsonWriter& String(const std::string& value);
   JsonWriter& Int(int64_t value);
+  /// Non-finite values are written as the strings "nan" / "inf" / "-inf"
+  /// (JSON has no such literals); ParseJsonDouble() reverses the mapping.
   JsonWriter& Double(double value);
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
@@ -60,6 +62,11 @@ class JsonWriter {
 
 /// Escapes a string per JSON rules (quotes not included).
 std::string JsonEscape(const std::string& text);
+
+/// Parses a raw JSON scalar token into a double: a plain number, or one
+/// of the quoted "nan" / "inf" / "-inf" strings emitted by Double().
+/// Returns false on any other token (including null).
+bool ParseJsonDouble(const std::string& token, double* value);
 
 }  // namespace msopds
 

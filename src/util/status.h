@@ -1,6 +1,7 @@
 #ifndef MSOPDS_UTIL_STATUS_H_
 #define MSOPDS_UTIL_STATUS_H_
 
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -57,6 +58,8 @@ class Status {
 };
 
 /// Holds either a value or an error Status. value() CHECK-fails on error.
+/// The value lives in a std::optional, so T does not need to be
+/// default-constructible (error StatusOrs simply hold no value).
 template <typename T>
 class StatusOr {
  public:
@@ -71,20 +74,20 @@ class StatusOr {
 
   const T& value() const& {
     MSOPDS_CHECK(ok()) << status_.ToString();
-    return value_;
+    return *value_;
   }
   T& value() & {
     MSOPDS_CHECK(ok()) << status_.ToString();
-    return value_;
+    return *value_;
   }
   T&& value() && {
     MSOPDS_CHECK(ok()) << status_.ToString();
-    return std::move(value_);
+    return *std::move(value_);
   }
 
  private:
   Status status_;
-  T value_{};
+  std::optional<T> value_;
 };
 
 }  // namespace msopds

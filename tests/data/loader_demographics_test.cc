@@ -68,6 +68,56 @@ TEST(TsvLoaderTest, RejectsOutOfRangeRating) {
   std::remove(trust_path.c_str());
 }
 
+TEST(TsvLoaderTest, ErrorsCarryPathAndLineNumber) {
+  const std::string ratings_path = ::testing::TempDir() + "/loc_ratings.tsv";
+  const std::string trust_path = ::testing::TempDir() + "/loc_trust.tsv";
+  {
+    FILE* f = fopen(ratings_path.c_str(), "w");
+    fputs("# comment\n1\t2\t3\n1\t2\tgarbage\n", f);
+    fclose(f);
+    f = fopen(trust_path.c_str(), "w");
+    fclose(f);
+  }
+  auto loaded = LoadTsv(ratings_path, trust_path);
+  ASSERT_FALSE(loaded.ok());
+  // "path:line: reason" — the bad row sits on line 3 of the file.
+  EXPECT_NE(loaded.status().message().find(ratings_path + ":3:"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(ratings_path.c_str());
+  std::remove(trust_path.c_str());
+}
+
+TEST(TsvLoaderTest, MaxBadRowsToleratesCorruptLines) {
+  const std::string ratings_path = ::testing::TempDir() + "/tol_ratings.tsv";
+  const std::string trust_path = ::testing::TempDir() + "/tol_trust.tsv";
+  {
+    FILE* f = fopen(ratings_path.c_str(), "w");
+    // Two good rows, one malformed, one out of range.
+    fputs("1\t2\t3\nbroken row\n2\t3\t4\n3\t4\t99\n", f);
+    fclose(f);
+    f = fopen(trust_path.c_str(), "w");
+    fputs("1\t2\nonly_one_field\n", f);
+    fclose(f);
+  }
+  TsvOptions strict;
+  EXPECT_FALSE(LoadTsv(ratings_path, trust_path, strict).ok());
+
+  TsvOptions tolerant;
+  tolerant.max_bad_rows = 3;  // budget shared across both files
+  auto loaded = LoadTsv(ratings_path, trust_path, tolerant);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().ratings.size(), 2u);
+  EXPECT_EQ(loaded.value().social.num_edges(), 1);
+
+  TsvOptions too_tight;
+  too_tight.max_bad_rows = 2;  // the third bad row exhausts the budget
+  EXPECT_FALSE(LoadTsv(ratings_path, trust_path, too_tight).ok());
+
+  std::remove(ratings_path.c_str());
+  std::remove(trust_path.c_str());
+}
+
 TEST(TsvLoaderTest, LastDuplicateWins) {
   const std::string ratings_path = ::testing::TempDir() + "/dup_ratings.tsv";
   const std::string trust_path = ::testing::TempDir() + "/dup_trust.tsv";

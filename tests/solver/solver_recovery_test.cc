@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "solver/conjugate_gradient.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace msopds {
+namespace {
+
+// Random symmetric positive definite matrix A = M M^T + d I.
+Tensor RandomSpd(int64_t n, Rng* rng, double diag = 0.5) {
+  Tensor m({n, n});
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Uniform(-1, 1);
+  Tensor a({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int64_t k = 0; k < n; ++k) s += m.at(i, k) * m.at(j, k);
+      a.at(i, j) = s + (i == j ? diag : 0.0);
+    }
+  }
+  return a;
+}
+
+LinearOperator MatVecOperator(const Tensor& a) {
+  return [&a](const Tensor& x) {
+    const int64_t n = a.dim(0);
+    Tensor y({n});
+    for (int64_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (int64_t j = 0; j < n; ++j) s += a.at(i, j) * x.at(j);
+      y.at(i) = s;
+    }
+    return y;
+  };
+}
+
+double ResidualNorm(const Tensor& a, const Tensor& x, const Tensor& b) {
+  const Tensor ax = MatVecOperator(a)(x);
+  double s = 0.0;
+  for (int64_t i = 0; i < b.size(); ++i) {
+    const double r = b.at(i) - ax.at(i);
+    s += r * r;
+  }
+  return std::sqrt(s);
+}
+
+TEST(CgRecoveryTest, HealthySolveReportsConvergedWithNoRetries) {
+  Rng rng(11);
+  const Tensor a = RandomSpd(12, &rng);
+  Tensor b({12});
+  for (int64_t i = 0; i < b.size(); ++i) b.at(i) = rng.Uniform(-1, 1);
+
+  const CgResult result = ConjugateGradient(MatVecOperator(a), b);
+  EXPECT_EQ(result.outcome, CgOutcome::kConverged);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.breakdowns, 0);
+  EXPECT_EQ(result.damping_retries, 0);
+  EXPECT_LT(ResidualNorm(a, result.solution, b), 1e-4);
+}
+
+TEST(CgRecoveryTest, InjectedOperatorBreakdownRecoversViaDampingRestart) {
+  Rng rng(12);
+  const Tensor a = RandomSpd(10, &rng);
+  Tensor b({10});
+  for (int64_t i = 0; i < b.size(); ++i) b.at(i) = rng.Uniform(-1, 1);
+
+  FaultConfig faults;
+  faults.solver_breakdown_probability = 1.0;
+  ScopedFaultInjection scope(faults);
+
+  // The injected fault NaNs only the first operator application, so the
+  // damping-escalated restart runs against the true operator and must
+  // still produce an accurate solution.
+  const CgResult result = ConjugateGradient(MatVecOperator(a), b);
+  EXPECT_EQ(result.outcome, CgOutcome::kConverged);
+  EXPECT_GE(result.breakdowns, 1);
+  EXPECT_GE(result.damping_retries, 1);
+  EXPECT_LT(ResidualNorm(a, result.solution, b), 1e-3);
+}
+
+TEST(CgRecoveryTest, IndefiniteOperatorFallsBackToDenseSolve) {
+  // A = -I is as far from positive definite as it gets: every damped CG
+  // attempt sees negative curvature, so the ladder must end in the dense
+  // Gaussian-elimination fallback, which solves -x = b exactly.
+  const int64_t n = 6;
+  const LinearOperator negate = [](const Tensor& x) {
+    Tensor y = x.Clone();
+    for (int64_t i = 0; i < y.size(); ++i) y.data()[i] = -y.data()[i];
+    return y;
+  };
+  Tensor b({n});
+  for (int64_t i = 0; i < n; ++i) b.at(i) = static_cast<double>(i + 1);
+
+  const CgResult result = ConjugateGradient(negate, b);
+  EXPECT_EQ(result.outcome, CgOutcome::kDenseFallback);
+  EXPECT_GE(result.breakdowns, 1);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.solution.at(i), -b.at(i), 1e-10);
+  }
+  EXPECT_LT(result.residual_norm, 1e-10);
+}
+
+TEST(CgRecoveryTest, BreakdownWithoutFallbackStaysFinite) {
+  const LinearOperator negate = [](const Tensor& x) {
+    Tensor y = x.Clone();
+    for (int64_t i = 0; i < y.size(); ++i) y.data()[i] = -y.data()[i];
+    return y;
+  };
+  const Tensor b = Tensor::FromVector({1.0, 2.0, 3.0});
+  CgOptions options;
+  options.dense_fallback_size = 0;  // disable the last rung
+
+  const CgResult result = ConjugateGradient(negate, b, options);
+  EXPECT_EQ(result.outcome, CgOutcome::kBreakdown);
+  EXPECT_FALSE(result.converged);
+  for (int64_t i = 0; i < result.solution.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(result.solution.data()[i]));
+  }
+}
+
+TEST(CgRecoveryTest, NonFiniteRhsRejectedUpFront) {
+  Tensor b = Tensor::FromVector({1.0, 2.0});
+  b.at(1) = std::numeric_limits<double>::quiet_NaN();
+  int applications = 0;
+  const LinearOperator identity = [&applications](const Tensor& x) {
+    ++applications;
+    return x.Clone();
+  };
+  const CgResult result = ConjugateGradient(identity, b);
+  EXPECT_EQ(result.outcome, CgOutcome::kBreakdown);
+  EXPECT_EQ(applications, 0);
+  EXPECT_TRUE(std::isnan(result.residual_norm));
+  for (int64_t i = 0; i < result.solution.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.solution.data()[i], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace msopds

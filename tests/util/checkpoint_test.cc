@@ -1,0 +1,136 @@
+#include "util/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+
+namespace msopds {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+CellRecord MakeRecord(const std::string& key, double rbar, double hr) {
+  CellRecord record;
+  record.key = key;
+  record.mean_average_rating = rbar;
+  record.mean_hit_rate = hr;
+  record.repeats = 3;
+  return record;
+}
+
+TEST(CellRecordTest, JsonRoundTrip) {
+  CellRecord record = MakeRecord("ciao|MSOPDS|b=2", 3.75, 0.5);
+  record.unhealthy_repeats = 1;
+  auto parsed = ParseCellRecord(CellRecordToJson(record));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().key, record.key);
+  EXPECT_TRUE(parsed.value().ok);
+  EXPECT_DOUBLE_EQ(parsed.value().mean_average_rating, 3.75);
+  EXPECT_DOUBLE_EQ(parsed.value().mean_hit_rate, 0.5);
+  EXPECT_EQ(parsed.value().repeats, 3);
+  EXPECT_EQ(parsed.value().unhealthy_repeats, 1);
+  EXPECT_TRUE(parsed.value().error.empty());
+}
+
+TEST(CellRecordTest, FailureRecordRoundTrip) {
+  CellRecord record;
+  record.key = "epinions|MSOPDS|b=5";
+  record.ok = false;
+  record.error = "victim training: epoch 3 non-finite after 3 retries";
+  auto parsed = ParseCellRecord(CellRecordToJson(record));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().ok);
+  EXPECT_EQ(parsed.value().error, record.error);
+}
+
+TEST(CellRecordTest, NonFiniteMetricsRoundTrip) {
+  CellRecord record = MakeRecord("k", std::numeric_limits<double>::quiet_NaN(),
+                                 std::numeric_limits<double>::infinity());
+  auto parsed = ParseCellRecord(CellRecordToJson(record));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(std::isnan(parsed.value().mean_average_rating));
+  EXPECT_TRUE(std::isinf(parsed.value().mean_hit_rate));
+}
+
+TEST(CellRecordTest, KeyWithQuotesAndBackslashesRoundTrips) {
+  CellRecord record = MakeRecord("odd \"key\"\\with\tescapes", 1.0, 0.0);
+  auto parsed = ParseCellRecord(CellRecordToJson(record));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().key, record.key);
+}
+
+TEST(CellRecordTest, MalformedLineRejected) {
+  EXPECT_FALSE(ParseCellRecord("{\"key\":\"a\",\"ok\":tr").ok());
+  EXPECT_FALSE(ParseCellRecord("not json at all").ok());
+  EXPECT_FALSE(ParseCellRecord("").ok());
+}
+
+TEST(CheckpointStoreTest, InMemoryWhenPathEmpty) {
+  CheckpointStore store("");
+  EXPECT_FALSE(store.persistent());
+  store.Append(MakeRecord("a", 1.0, 0.0));
+  ASSERT_NE(store.Find("a"), nullptr);
+  EXPECT_EQ(store.Find("missing"), nullptr);
+}
+
+TEST(CheckpointStoreTest, PersistsAndReloads) {
+  const std::string path = TempPath("ckpt_reload.jsonl");
+  std::remove(path.c_str());
+  {
+    CheckpointStore store(path);
+    EXPECT_EQ(store.size(), 0u);
+    store.Append(MakeRecord("a", 1.5, 0.25));
+    store.Append(MakeRecord("b", 2.5, 0.75));
+  }
+  CheckpointStore reloaded(path);
+  EXPECT_EQ(reloaded.size(), 2u);
+  ASSERT_NE(reloaded.Find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(reloaded.Find("a")->mean_average_rating, 1.5);
+  ASSERT_NE(reloaded.Find("b"), nullptr);
+  EXPECT_DOUBLE_EQ(reloaded.Find("b")->mean_hit_rate, 0.75);
+}
+
+TEST(CheckpointStoreTest, DuplicateKeysKeepTheLastRecord) {
+  const std::string path = TempPath("ckpt_dupes.jsonl");
+  std::remove(path.c_str());
+  {
+    CheckpointStore store(path);
+    store.Append(MakeRecord("a", 1.0, 0.0));
+    store.Append(MakeRecord("a", 9.0, 1.0));
+  }
+  CheckpointStore reloaded(path);
+  ASSERT_NE(reloaded.Find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(reloaded.Find("a")->mean_average_rating, 9.0);
+}
+
+TEST(CheckpointStoreTest, TornTrailingLineIsDropped) {
+  const std::string path = TempPath("ckpt_torn.jsonl");
+  std::remove(path.c_str());
+  {
+    CheckpointStore store(path);
+    store.Append(MakeRecord("whole", 1.0, 0.5));
+  }
+  // Simulate a crash mid-write: an unterminated, truncated record.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"key\":\"torn\",\"ok\":tru";
+  }
+  CheckpointStore reloaded(path);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_NE(reloaded.Find("whole"), nullptr);
+  EXPECT_EQ(reloaded.Find("torn"), nullptr);
+}
+
+TEST(CheckpointStoreTest, MissingFileStartsEmpty) {
+  CheckpointStore store(TempPath("ckpt_never_written.jsonl"));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+}  // namespace
+}  // namespace msopds

@@ -1,0 +1,113 @@
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msopds {
+namespace {
+
+FaultConfig SurrogateOnly(uint64_t seed, double probability) {
+  FaultConfig config;
+  config.seed = seed;
+  config.surrogate_nan_probability = probability;
+  return config;
+}
+
+std::vector<bool> DrawSurrogate(int n) {
+  std::vector<bool> draws;
+  draws.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    draws.push_back(FaultInjector::Global().ShouldCorruptSurrogateStep());
+  }
+  return draws;
+}
+
+TEST(FaultInjectorTest, DisabledByDefaultAndInjectsNothing) {
+  ScopedFaultInjection scope(FaultConfig{});
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+  std::vector<Tensor> grads = {Tensor::FromVector({1.0, 2.0})};
+  EXPECT_FALSE(FaultInjector::Global().MaybeCorruptTrainerGradients(&grads));
+  EXPECT_DOUBLE_EQ(grads[0].at(0), 1.0);
+  EXPECT_DOUBLE_EQ(grads[0].at(1), 2.0);
+  EXPECT_EQ(FaultInjector::Global().total_injected(), 0);
+}
+
+TEST(FaultInjectorTest, InjectionSequenceIsDeterministicInSeed) {
+  ScopedFaultInjection scope(SurrogateOnly(123, 0.5));
+  const std::vector<bool> first = DrawSurrogate(200);
+  FaultInjector::Global().Configure(SurrogateOnly(123, 0.5));
+  const std::vector<bool> second = DrawSurrogate(200);
+  EXPECT_EQ(first, second);
+
+  FaultInjector::Global().Configure(SurrogateOnly(124, 0.5));
+  const std::vector<bool> other_seed = DrawSurrogate(200);
+  EXPECT_NE(first, other_seed);
+}
+
+TEST(FaultInjectorTest, SitesDrawFromIndependentStreams) {
+  FaultConfig config = SurrogateOnly(9, 0.5);
+  config.trainer_nan_probability = 0.5;
+  ScopedFaultInjection scope(config);
+  const std::vector<bool> baseline = DrawSurrogate(100);
+
+  // Interleaving queries at the trainer site must not perturb the
+  // surrogate site's stream.
+  FaultInjector::Global().Configure(config);
+  std::vector<bool> interleaved;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<Tensor> grads = {Tensor::FromVector({1.0})};
+    FaultInjector::Global().MaybeCorruptTrainerGradients(&grads);
+    interleaved.push_back(
+        FaultInjector::Global().ShouldCorruptSurrogateStep());
+  }
+  EXPECT_EQ(baseline, interleaved);
+}
+
+TEST(FaultInjectorTest, CertainTrainerFaultPutsNanInEveryTensor) {
+  FaultConfig config;
+  config.seed = 7;
+  config.trainer_nan_probability = 1.0;
+  ScopedFaultInjection scope(config);
+  std::vector<Tensor> grads = {Tensor::FromVector({1.0, 2.0, 3.0}),
+                               Tensor::FromVector({4.0})};
+  EXPECT_TRUE(FaultInjector::Global().MaybeCorruptTrainerGradients(&grads));
+  for (const Tensor& g : grads) {
+    int nans = 0;
+    for (int64_t i = 0; i < g.size(); ++i) {
+      if (std::isnan(g.data()[i])) ++nans;
+    }
+    EXPECT_EQ(nans, 1);
+  }
+  EXPECT_EQ(
+      FaultInjector::Global().injected_count(FaultSite::kTrainerGradient), 1);
+}
+
+TEST(FaultInjectorTest, CrashFiresOnceAtTheConfiguredCell) {
+  FaultConfig config;
+  config.crash_at_cell = 2;
+  ScopedFaultInjection scope(config);
+  FaultInjector& faults = FaultInjector::Global();
+  EXPECT_FALSE(faults.ShouldCrashAtCell(0));
+  EXPECT_FALSE(faults.ShouldCrashAtCell(1));
+  EXPECT_TRUE(faults.ShouldCrashAtCell(2));
+  // One-shot: a resumed run gets past the crash point.
+  EXPECT_FALSE(faults.ShouldCrashAtCell(2));
+  EXPECT_FALSE(faults.ShouldCrashAtCell(3));
+}
+
+TEST(ScopedFaultInjectionTest, RestoresDisabledInjectorOnExit) {
+  {
+    ScopedFaultInjection scope(SurrogateOnly(1, 1.0));
+    EXPECT_TRUE(FaultInjector::Global().enabled());
+    EXPECT_TRUE(FaultInjector::Global().ShouldCorruptSurrogateStep());
+  }
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+  EXPECT_FALSE(FaultInjector::Global().ShouldCorruptSurrogateStep());
+}
+
+}  // namespace
+}  // namespace msopds

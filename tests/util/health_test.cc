@@ -1,0 +1,94 @@
+#include "util/health.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/tensor.h"
+
+namespace msopds {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(AllFiniteTest, FiniteTensorPasses) {
+  const Tensor t = Tensor::FromVector({1.0, -2.5, 0.0, 1e300});
+  EXPECT_TRUE(AllFinite(t));
+  EXPECT_EQ(CountNonFinite(t), 0);
+}
+
+TEST(AllFiniteTest, DetectsNanAndInf) {
+  EXPECT_FALSE(AllFinite(Tensor::FromVector({1.0, kNan})));
+  EXPECT_FALSE(AllFinite(Tensor::FromVector({kInf, 0.0})));
+  EXPECT_FALSE(AllFinite(Tensor::FromVector({-kInf})));
+  EXPECT_EQ(CountNonFinite(Tensor::FromVector({kNan, 1.0, kInf})), 2);
+}
+
+TEST(AllFiniteTest, VectorOverloadChecksEveryTensor) {
+  std::vector<Tensor> healthy = {Tensor::FromVector({1.0}),
+                                 Tensor::FromVector({2.0, 3.0})};
+  EXPECT_TRUE(AllFinite(healthy));
+  healthy.push_back(Tensor::FromVector({kNan}));
+  EXPECT_FALSE(AllFinite(healthy));
+}
+
+TEST(DivergenceDetectorTest, HealthyLossSequencePasses) {
+  DivergenceDetector detector(DivergenceOptions{});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(detector.Observe(1.0 / (1 + i)), Health::kHealthy);
+  }
+  EXPECT_EQ(detector.unhealthy_count(), 0);
+}
+
+TEST(DivergenceDetectorTest, NonFiniteLossFlagged) {
+  DivergenceDetector detector(DivergenceOptions{});
+  EXPECT_EQ(detector.Observe(kNan), Health::kNonFinite);
+  EXPECT_EQ(detector.Observe(kInf), Health::kNonFinite);
+  EXPECT_EQ(detector.unhealthy_count(), 2);
+}
+
+TEST(DivergenceDetectorTest, ExplosionAfterWindowFlagged) {
+  DivergenceOptions options;
+  options.window = 3;
+  options.factor = 10.0;
+  DivergenceDetector detector(options);
+  EXPECT_EQ(detector.Observe(1.0), Health::kHealthy);
+  EXPECT_EQ(detector.Observe(0.9), Health::kHealthy);
+  EXPECT_EQ(detector.Observe(0.8), Health::kHealthy);
+  // 0.8 * 10 + slack << 1000: diverged.
+  EXPECT_EQ(detector.Observe(1000.0), Health::kDiverged);
+}
+
+TEST(DivergenceDetectorTest, NoFlagBeforeWindowFull) {
+  DivergenceOptions options;
+  options.window = 4;
+  options.factor = 2.0;
+  DivergenceDetector detector(options);
+  // Big jump on the second observation: window not full yet, no verdict.
+  EXPECT_EQ(detector.Observe(1.0), Health::kHealthy);
+  EXPECT_EQ(detector.Observe(100.0), Health::kHealthy);
+}
+
+TEST(DivergenceDetectorTest, ResetClearsWindow) {
+  DivergenceOptions options;
+  options.window = 2;
+  options.factor = 10.0;
+  DivergenceDetector detector(options);
+  detector.Observe(1.0);
+  detector.Observe(1.0);
+  detector.Reset();
+  // After the reset the window refills from scratch, so a large loss is
+  // not compared against the pre-reset window.
+  EXPECT_EQ(detector.Observe(500.0), Health::kHealthy);
+}
+
+TEST(HealthToStringTest, AllValuesNamed) {
+  EXPECT_FALSE(HealthToString(Health::kHealthy).empty());
+  EXPECT_FALSE(HealthToString(Health::kNonFinite).empty());
+  EXPECT_FALSE(HealthToString(Health::kDiverged).empty());
+}
+
+}  // namespace
+}  // namespace msopds

@@ -43,13 +43,14 @@ TEST(JsonWriterTest, EscapesControlCharacters) {
   EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
 }
 
-TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+TEST(JsonWriterTest, NonFiniteDoublesBecomeExplicitStrings) {
   JsonWriter json;
   json.BeginArray();
   json.Double(std::numeric_limits<double>::infinity());
+  json.Double(-std::numeric_limits<double>::infinity());
   json.Double(std::numeric_limits<double>::quiet_NaN());
   json.EndArray();
-  EXPECT_EQ(json.TakeString(), "[null,null]");
+  EXPECT_EQ(json.TakeString(), "[\"inf\",\"-inf\",\"nan\"]");
 }
 
 TEST(JsonWriterTest, TopLevelScalarAllowed) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+#include <utility>
 
 #include "util/csv.h"
 #include "util/status.h"
@@ -32,6 +34,27 @@ TEST(StatusTest, StatusOrHoldsError) {
   StatusOr<int> v = Status::NotFound("missing");
   EXPECT_FALSE(v.ok());
   EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, StatusOrWorksWithoutDefaultConstructor) {
+  struct NoDefault {
+    explicit NoDefault(int x) : value(x) {}
+    int value;
+  };
+  StatusOr<NoDefault> ok_case = NoDefault(7);
+  ASSERT_TRUE(ok_case.ok());
+  EXPECT_EQ(ok_case.value().value, 7);
+
+  StatusOr<NoDefault> error_case = Status::Internal("boom");
+  EXPECT_FALSE(error_case.ok());
+  EXPECT_EQ(error_case.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, StatusOrMoveExtractsValue) {
+  StatusOr<std::string> v = std::string("payload");
+  ASSERT_TRUE(v.ok());
+  const std::string taken = std::move(v).value();
+  EXPECT_EQ(taken, "payload");
 }
 
 TEST(StringUtilTest, StrSplitKeepsEmptyFields) {
@@ -96,6 +119,24 @@ TEST(CsvTest, RoundTripSkipsCommentsAndBlanks) {
   ASSERT_EQ(rows.value().size(), 2u);
   EXPECT_EQ(rows.value()[0][2], "3");
   EXPECT_EQ(rows.value()[1][0], "a");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WithLinesTracksSourceLineNumbers) {
+  const std::string path = ::testing::TempDir() + "/csv_lines_test.tsv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("# header comment\nfirst\trow\n\nsecond\trow\n", f);
+    fclose(f);
+  }
+  auto rows = ReadDelimitedWithLines(path, '\t');
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0].fields[0], "first");
+  EXPECT_EQ(rows.value()[0].line, 2);  // the comment still counts a line
+  EXPECT_EQ(rows.value()[1].fields[0], "second");
+  EXPECT_EQ(rows.value()[1].line, 4);  // so does the blank line
   std::remove(path.c_str());
 }
 
