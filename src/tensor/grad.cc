@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "tensor/verify.h"
 #include "util/logging.h"
 
 namespace msopds {
@@ -37,6 +38,20 @@ std::vector<Variable> Grad(const Variable& output,
   MSOPDS_CHECK(output.defined());
   MSOPDS_CHECK(output.requires_grad())
       << "Grad() of an output that does not require grad";
+
+  // Debug builds statically verify the recorded graph before walking it, so
+  // a malformed graph fails loudly here instead of corrupting gradients.
+  if (internal::AutoVerifyEnabled() && !internal::GradRecordingActive()) {
+    const VerifyResult verification = VerifyGraph(output);
+    MSOPDS_CHECK(verification.ok())
+        << "autodiff graph failed verification before Grad():\n"
+        << verification.Report()
+        << "(use GraphToDot() on the output to visualize the failing graph)";
+  }
+  // Ops recorded while building the backward graph are tagged as gradient
+  // consumers of their inputs; mutable_value() guards against mutating
+  // leaves those live gradient graphs still reference.
+  internal::ScopedGradRecording recording;
 
   Variable seed = grad_output.defined()
                       ? grad_output

@@ -1,9 +1,12 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <sstream>
 #include <utility>
 
+#include "tensor/verify.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace msopds {
 namespace {
@@ -24,7 +27,7 @@ Variable MakeOp(const char* name, Tensor value, std::vector<Variable> inputs,
   node->requires_grad = requires_grad;
   node->op_name = name;
   if (requires_grad) {
-    node->inputs = std::move(inputs);
+    internal::AttachInputs(node.get(), std::move(inputs));
     node->backward = std::move(backward);
   }
   return Variable::FromNode(std::move(node));
@@ -600,5 +603,518 @@ Variable SegmentSoftmax(const Variable& scores, const IndexVec& seg,
 }
 
 Variable SquaredNorm(const Variable& x) { return Sum(Mul(x, x)); }
+
+// ---------------------------------------------------------------------------
+// Shape-inference registry. One OpSpec per primitive recorded above; the
+// GraphVerifier replays these checks over recorded graphs, and the
+// gradcheck examples let tools/verify_graph sweep every op with first- and
+// second-order finite-difference checks.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string ShapeOf(const Tensor& t) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < t.shape().size(); ++i) {
+    if (i > 0) out << ",";
+    out << t.shape()[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Status ShapeError(const char* what, const std::vector<const Tensor*>& inputs,
+                  const Tensor& output) {
+  std::ostringstream msg;
+  msg << what << "; inputs";
+  for (const Tensor* in : inputs) msg << " " << ShapeOf(*in);
+  msg << " -> output " << ShapeOf(output);
+  return Status::InvalidArgument(msg.str());
+}
+
+Status ExpectRank(const Tensor& t, int64_t rank, const char* what) {
+  if (t.rank() != rank) {
+    std::ostringstream msg;
+    msg << what << " must have rank " << rank << ", got " << ShapeOf(t);
+    return Status::InvalidArgument(msg.str());
+  }
+  return Status::Ok();
+}
+
+// Output shape of the scalar-broadcast elementwise rule (EvalBinary).
+Status InferBinary(const std::vector<const Tensor*>& inputs,
+                   const Tensor& output) {
+  const Tensor& a = *inputs[0];
+  const Tensor& b = *inputs[1];
+  const bool a_scalar = IsScalarLike(a);
+  const bool b_scalar = IsScalarLike(b);
+  if (!(a.SameShape(b) || a_scalar || b_scalar)) {
+    return ShapeError("operands neither same-shape nor scalar", inputs,
+                      output);
+  }
+  const Tensor& shaped = !a_scalar ? a
+                         : !b_scalar ? b
+                         : (a.rank() >= b.rank() ? a : b);
+  if (!output.SameShape(shaped)) {
+    return ShapeError("output shape must match the non-scalar operand",
+                      inputs, output);
+  }
+  return Status::Ok();
+}
+
+Status InferUnarySameShape(const std::vector<const Tensor*>& inputs,
+                           const Tensor& output) {
+  if (!output.SameShape(*inputs[0])) {
+    return ShapeError("elementwise output must match input shape", inputs,
+                      output);
+  }
+  return Status::Ok();
+}
+
+// Deterministic example operands (values chosen away from the kinks and
+// poles of Log/Sqrt/Div).
+Tensor ExA23() {
+  return Tensor::FromMatrix(2, 3, {0.5, -1.2, 0.3, 1.1, 0.7, -0.4});
+}
+Tensor ExB23() {
+  return Tensor::FromMatrix(2, 3, {0.9, 0.4, -0.8, 0.2, -1.5, 0.6});
+}
+Tensor ExPos23() {
+  return Tensor::FromMatrix(2, 3, {0.7, 1.3, 0.5, 2.1, 0.9, 1.6});
+}
+Tensor ExV4() { return Tensor::FromVector({0.8, -0.3, 1.2, 0.4}); }
+Tensor ExW4() { return Tensor::FromVector({-0.6, 1.1, 0.2, 0.9}); }
+Tensor ExM32() {
+  return Tensor::FromMatrix(3, 2, {0.3, -0.9, 1.4, 0.2, -0.5, 0.8});
+}
+
+// Scalar reduction with a nonzero Hessian so HVP checks are nontrivial.
+Variable SumSq(const Variable& x) { return Sum(Mul(x, x)); }
+
+GradcheckCase Case1(const char* description,
+                    std::function<Variable(const Variable&)> build,
+                    Tensor point) {
+  GradcheckCase c;
+  c.description = description;
+  c.points = {std::move(point)};
+  c.fn = [build = std::move(build)](const std::vector<Variable>& p) {
+    return build(p[0]);
+  };
+  return c;
+}
+
+GradcheckCase Case2(const char* description,
+                    std::function<Variable(const Variable&, const Variable&)>
+                        build,
+                    Tensor point0, Tensor point1, size_t hvp_arg = 0) {
+  GradcheckCase c;
+  c.description = description;
+  c.points = {std::move(point0), std::move(point1)};
+  c.hvp_arg = hvp_arg;
+  c.fn = [build = std::move(build)](const std::vector<Variable>& p) {
+    return build(p[0], p[1]);
+  };
+  return c;
+}
+
+std::vector<OpSpec> BuildOpRegistry() {
+  std::vector<OpSpec> registry;
+  auto add = [&registry](const char* name, int arity,
+                         std::function<Status(
+                             const std::vector<const Tensor*>&, const Tensor&)>
+                             infer,
+                         std::function<GradcheckCase()> example) {
+    OpSpec spec;
+    spec.name = name;
+    spec.arity = arity;
+    spec.infer = std::move(infer);
+    spec.example = std::move(example);
+    registry.push_back(std::move(spec));
+  };
+
+  add("Add", 2, InferBinary, [] {
+    return Case2("SumSq(Add(a, b))",
+                 [](const Variable& a, const Variable& b) {
+                   return SumSq(Add(a, b));
+                 },
+                 ExA23(), ExB23());
+  });
+  add("Sub", 2, InferBinary, [] {
+    return Case2("SumSq(Sub(a, b))",
+                 [](const Variable& a, const Variable& b) {
+                   return SumSq(Sub(a, b));
+                 },
+                 ExA23(), ExB23(), /*hvp_arg=*/1);
+  });
+  add("Mul", 2, InferBinary, [] {
+    return Case2("Sum(Mul(Mul(a, b), a))",
+                 [](const Variable& a, const Variable& b) {
+                   return Sum(Mul(Mul(a, b), a));
+                 },
+                 ExA23(), ExB23());
+  });
+  add("Div", 2, InferBinary, [] {
+    return Case2("SumSq(Div(a, b))",
+                 [](const Variable& a, const Variable& b) {
+                   return SumSq(Div(a, b));
+                 },
+                 ExA23(), ExPos23(), /*hvp_arg=*/1);
+  });
+  add("Neg", 1, InferUnarySameShape, [] {
+    return Case1("Sum(Mul(Neg(a), Exp(a)))",
+                 [](const Variable& a) { return Sum(Mul(Neg(a), Exp(a))); },
+                 ExA23());
+  });
+  add("ScalarMul", 1, InferUnarySameShape, [] {
+    return Case1("SumSq(ScalarMul(a, 1.7))",
+                 [](const Variable& a) { return SumSq(ScalarMul(a, 1.7)); },
+                 ExA23());
+  });
+  add("AddScalar", 1, InferUnarySameShape, [] {
+    return Case1("SumSq(AddScalar(a, 0.9))",
+                 [](const Variable& a) { return SumSq(AddScalar(a, 0.9)); },
+                 ExA23());
+  });
+  add("Exp", 1, InferUnarySameShape, [] {
+    return Case1("Sum(Exp(a))",
+                 [](const Variable& a) { return Sum(Exp(a)); }, ExA23());
+  });
+  add("Log", 1, InferUnarySameShape, [] {
+    return Case1("Sum(Log(a))",
+                 [](const Variable& a) { return Sum(Log(a)); }, ExPos23());
+  });
+  add("Sqrt", 1, InferUnarySameShape, [] {
+    return Case1("Sum(Sqrt(a))",
+                 [](const Variable& a) { return Sum(Sqrt(a)); }, ExPos23());
+  });
+  add("Reshape", 1,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        if (output.size() != inputs[0]->size()) {
+          return ShapeError("Reshape must preserve element count", inputs,
+                            output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case1("SumSq(Reshape(a, {3,2}))",
+                     [](const Variable& a) {
+                       return SumSq(Reshape(a, {3, 2}));
+                     },
+                     ExA23());
+      });
+  add("Where", 2,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        if (!inputs[0]->SameShape(*inputs[1]) ||
+            !output.SameShape(*inputs[0])) {
+          return ShapeError("Where branches and output must share one shape",
+                            inputs, output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case2("SumSq(Where(mask, a, b))",
+                     [](const Variable& a, const Variable& b) {
+                       const Tensor mask = Tensor::FromMatrix(
+                           2, 3, {1.0, 0.0, 1.0, 0.0, 1.0, 0.0});
+                       return SumSq(Where(mask, a, b));
+                     },
+                     ExA23(), ExB23(), /*hvp_arg=*/1);
+      });
+  add("MatMul", 2,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        const Tensor& b = *inputs[1];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 2, "MatMul lhs"));
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(b, 2, "MatMul rhs"));
+        if (a.dim(1) != b.dim(0) || output.rank() != 2 ||
+            output.dim(0) != a.dim(0) || output.dim(1) != b.dim(1)) {
+          return ShapeError("MatMul shapes must chain [n,k]x[k,m]->[n,m]",
+                            inputs, output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case2("SumSq(MatMul(a, b))",
+                     [](const Variable& a, const Variable& b) {
+                       return SumSq(MatMul(a, b));
+                     },
+                     ExA23(), ExM32());
+      });
+  add("Transpose", 1,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 2, "Transpose input"));
+        if (output.rank() != 2 || output.dim(0) != a.dim(1) ||
+            output.dim(1) != a.dim(0)) {
+          return ShapeError("Transpose must swap dims", inputs, output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case1("SumSq(Transpose(a))",
+                     [](const Variable& a) { return SumSq(Transpose(a)); },
+                     ExA23());
+      });
+  add("Sum", 1,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        if (output.size() != 1 || output.rank() != 0) {
+          return ShapeError("Sum output must be a scalar", inputs, output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case1("Square(Sum(Mul(a, a)))",
+                     [](const Variable& a) { return Square(Sum(Mul(a, a))); },
+                     ExA23());
+      });
+  add("RowSum", 1,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 2, "RowSum input"));
+        if (output.rank() != 1 || output.dim(0) != a.dim(0)) {
+          return ShapeError("RowSum output must be [rows]", inputs, output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case1("SumSq(RowSum(a))",
+                     [](const Variable& a) { return SumSq(RowSum(a)); },
+                     ExA23());
+      });
+  add("TileCols", 1,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 1, "TileCols input"));
+        if (output.rank() != 2 || output.dim(0) != a.dim(0)) {
+          return ShapeError("TileCols output must be [n, cols]", inputs,
+                            output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case1("SumSq(TileCols(a, 3))",
+                     [](const Variable& a) { return SumSq(TileCols(a, 3)); },
+                     ExV4());
+      });
+  add("ConcatCols", 2,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        const Tensor& b = *inputs[1];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 2, "ConcatCols lhs"));
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(b, 2, "ConcatCols rhs"));
+        if (a.dim(0) != b.dim(0) || output.rank() != 2 ||
+            output.dim(0) != a.dim(0) ||
+            output.dim(1) != a.dim(1) + b.dim(1)) {
+          return ShapeError("ConcatCols must stack columns of equal-row "
+                            "matrices",
+                            inputs, output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case2("SumSq(ConcatCols(a, b))",
+                     [](const Variable& a, const Variable& b) {
+                       return SumSq(ConcatCols(a, b));
+                     },
+                     ExA23(), ExB23());
+      });
+  add("SliceCols", 1,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 2, "SliceCols input"));
+        if (output.rank() != 2 || output.dim(0) != a.dim(0) ||
+            output.dim(1) > a.dim(1)) {
+          return ShapeError("SliceCols output must keep rows and narrow "
+                            "columns",
+                            inputs, output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case1("SumSq(SliceCols(a, 1, 3))",
+                     [](const Variable& a) {
+                       return SumSq(SliceCols(a, 1, 3));
+                     },
+                     ExA23());
+      });
+  add("PadCols", 1,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 2, "PadCols input"));
+        if (output.rank() != 2 || output.dim(0) != a.dim(0) ||
+            output.dim(1) < a.dim(1)) {
+          return ShapeError("PadCols output must keep rows and widen columns",
+                            inputs, output);
+        }
+        return Status::Ok();
+      },
+      // Only reachable as the backward of SliceCols; exercised by that op's
+      // second-order check.
+      nullptr);
+  add("Concat1", 2,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        const Tensor& b = *inputs[1];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 1, "Concat1 lhs"));
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(b, 1, "Concat1 rhs"));
+        if (output.rank() != 1 || output.dim(0) != a.dim(0) + b.dim(0)) {
+          return ShapeError("Concat1 output must be [na+nb]", inputs, output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case2("SumSq(Concat1(a, b))",
+                     [](const Variable& a, const Variable& b) {
+                       return SumSq(Concat1(a, b));
+                     },
+                     ExV4(), ExW4(), /*hvp_arg=*/1);
+      });
+  add("Slice1", 1,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 1, "Slice1 input"));
+        if (output.rank() != 1 || output.dim(0) > a.dim(0)) {
+          return ShapeError("Slice1 output must be a narrower vector", inputs,
+                            output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case1("SumSq(Slice1(a, 1, 4))",
+                     [](const Variable& a) { return SumSq(Slice1(a, 1, 4)); },
+                     ExV4());
+      });
+  add("Pad1", 1,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 1, "Pad1 input"));
+        if (output.rank() != 1 || output.dim(0) < a.dim(0)) {
+          return ShapeError("Pad1 output must be a wider vector", inputs,
+                            output);
+        }
+        return Status::Ok();
+      },
+      // Only reachable as the backward of Slice1.
+      nullptr);
+  add("GatherRows", 1,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 2, "GatherRows input"));
+        if (output.rank() != 2 || output.dim(1) != a.dim(1)) {
+          return ShapeError("GatherRows output must keep the column count",
+                            inputs, output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case1("SumSq(GatherRows(a, {0,2,1,2}))",
+                     [](const Variable& a) {
+                       return SumSq(GatherRows(a, MakeIndex({0, 2, 1, 2})));
+                     },
+                     ExM32());
+      });
+  add("ScatterAddRows", 1,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 2, "ScatterAddRows input"));
+        if (output.rank() != 2 || output.dim(1) != a.dim(1)) {
+          return ShapeError("ScatterAddRows output must keep the column "
+                            "count",
+                            inputs, output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case1("SumSq(ScatterAddRows(a, {2,0,2}, 4))",
+                     [](const Variable& a) {
+                       return SumSq(
+                           ScatterAddRows(a, MakeIndex({2, 0, 2}), 4));
+                     },
+                     ExM32());
+      });
+  add("Gather1", 1,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(*inputs[0], 1, "Gather1 input"));
+        return ExpectRank(output, 1, "Gather1 output");
+      },
+      [] {
+        return Case1("SumSq(Gather1(a, {3,0,0,2}))",
+                     [](const Variable& a) {
+                       return SumSq(Gather1(a, MakeIndex({3, 0, 0, 2})));
+                     },
+                     ExV4());
+      });
+  add("ScatterAdd1", 1,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        MSOPDS_RETURN_IF_ERROR(
+            ExpectRank(*inputs[0], 1, "ScatterAdd1 input"));
+        return ExpectRank(output, 1, "ScatterAdd1 output");
+      },
+      [] {
+        return Case1("SumSq(ScatterAdd1(a, {1,1,4,0}, 5))",
+                     [](const Variable& a) {
+                       return SumSq(
+                           ScatterAdd1(a, MakeIndex({1, 1, 4, 0}), 5));
+                     },
+                     ExV4());
+      });
+  add("SpMM", 2,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& w = *inputs[0];
+        const Tensor& x = *inputs[1];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(w, 1, "SpMM weights"));
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(x, 2, "SpMM features"));
+        if (output.rank() != 2 || output.dim(1) != x.dim(1)) {
+          return ShapeError("SpMM output must keep the feature width", inputs,
+                            output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case2("SumSq(SpMM(dst, src, w, x, 2))",
+                     [](const Variable& w, const Variable& x) {
+                       return SumSq(SpMM(MakeIndex({0, 1, 1, 0}),
+                                         MakeIndex({0, 1, 2, 2}), w, x, 2));
+                     },
+                     ExV4(), ExM32());
+  });
+  add("EdgeDot", 2,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        const Tensor& b = *inputs[1];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 2, "EdgeDot lhs"));
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(b, 2, "EdgeDot rhs"));
+        if (a.dim(1) != b.dim(1)) {
+          return ShapeError("EdgeDot operands must share the feature width",
+                            inputs, output);
+        }
+        return ExpectRank(output, 1, "EdgeDot output");
+      },
+      [] {
+        return Case2("SumSq(EdgeDot(a, b, ai, bi))",
+                     [](const Variable& a, const Variable& b) {
+                       return SumSq(EdgeDot(a, b, MakeIndex({0, 1, 1, 2}),
+                                            MakeIndex({1, 0, 2, 2})));
+                     },
+                     ExM32(), ExM32().Clone(), /*hvp_arg=*/1);
+      });
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<OpSpec>& OpRegistry() {
+  static const std::vector<OpSpec>* const registry =
+      new std::vector<OpSpec>(BuildOpRegistry());
+  return *registry;
+}
+
+const OpSpec* FindOpSpec(const std::string& name) {
+  for (const OpSpec& spec : OpRegistry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
 
 }  // namespace msopds

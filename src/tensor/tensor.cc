@@ -26,6 +26,7 @@ Tensor::Tensor(std::vector<int64_t> shape)
   MSOPDS_CHECK_LE(rank(), 2) << "only rank 0..2 tensors are supported";
   data_ = std::make_shared<std::vector<double>>(
       static_cast<size_t>(size_), 0.0);
+  generation_ = std::make_shared<uint64_t>(1);
 }
 
 Tensor Tensor::Scalar(double value) {
@@ -68,6 +69,7 @@ Tensor Tensor::Clone() const {
   t.shape_ = shape_;
   t.size_ = size_;
   t.data_ = std::make_shared<std::vector<double>>(*data_);
+  t.generation_ = std::make_shared<uint64_t>(1);
   return t;
 }
 

@@ -62,6 +62,20 @@ class Tensor {
   /// True if both shapes are identical.
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
+  /// Monotonic version stamp of the underlying buffer, shared by every
+  /// Tensor aliasing it. Ops snapshot their inputs' generations when they
+  /// are recorded; the graph verifier compares the snapshots against the
+  /// current values to flag tensors mutated after being captured by a
+  /// graph (the "stale leaf" hazard). 0 for undefined tensors.
+  uint64_t generation() const { return generation_ ? *generation_ : 0; }
+
+  /// Marks the buffer as mutated. Called by Variable::mutable_value();
+  /// call it directly after writing through data() to a tensor that a
+  /// recorded graph may alias.
+  void BumpGeneration() {
+    if (generation_) ++*generation_;
+  }
+
   /// Sets every element to `value`.
   void Fill(double value);
 
@@ -78,6 +92,7 @@ class Tensor {
   std::vector<int64_t> shape_;
   int64_t size_ = 0;
   std::shared_ptr<std::vector<double>> data_;
+  std::shared_ptr<uint64_t> generation_;
 };
 
 /// True if `a` and `b` have equal shape and elements within `tolerance`.

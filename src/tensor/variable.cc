@@ -5,6 +5,58 @@
 #include "util/logging.h"
 
 namespace msopds {
+namespace internal {
+namespace {
+
+bool g_grad_recording = false;
+
+#ifndef NDEBUG
+bool g_leaf_mutation_guard = true;
+#else
+bool g_leaf_mutation_guard = false;
+#endif
+
+}  // namespace
+
+Node::~Node() {
+  for (const Variable& input : inputs) {
+    Node* in = input.node().get();
+    if (in == nullptr) continue;
+    --in->live_consumers;
+    if (in_grad_graph) --in->live_grad_consumers;
+  }
+}
+
+void AttachInputs(Node* node, std::vector<Variable> inputs) {
+  node->inputs = std::move(inputs);
+  node->in_grad_graph = GradRecordingActive();
+  node->input_generations.reserve(node->inputs.size());
+  for (const Variable& input : node->inputs) {
+    Node* in = input.node().get();
+    node->input_generations.push_back(in ? in->value.generation() : 0);
+    if (in == nullptr) continue;
+    ++in->live_consumers;
+    if (node->in_grad_graph) ++in->live_grad_consumers;
+  }
+}
+
+bool GradRecordingActive() { return g_grad_recording; }
+
+ScopedGradRecording::ScopedGradRecording() : previous_(g_grad_recording) {
+  g_grad_recording = true;
+}
+
+ScopedGradRecording::~ScopedGradRecording() { g_grad_recording = previous_; }
+
+bool LeafMutationGuardEnabled() { return g_leaf_mutation_guard; }
+
+bool SetLeafMutationGuard(bool enabled) {
+  const bool previous = g_leaf_mutation_guard;
+  g_leaf_mutation_guard = enabled;
+  return previous;
+}
+
+}  // namespace internal
 
 Variable::Variable() = default;
 
@@ -23,6 +75,14 @@ Tensor& Variable::mutable_value() {
   MSOPDS_CHECK(defined());
   MSOPDS_CHECK(is_leaf()) << "mutable_value() on derived node "
                           << node_->op_name;
+  if (internal::LeafMutationGuardEnabled()) {
+    MSOPDS_CHECK_EQ(node_->live_grad_consumers, 0)
+        << "mutable_value() on a leaf still referenced by a live gradient "
+           "graph from a previous Grad() call; re-differentiating that graph "
+           "would use stale values. Drop the gradient Variables before "
+           "stepping the optimizer.";
+  }
+  node_->value.BumpGeneration();
   return node_->value;
 }
 

@@ -30,7 +30,58 @@ struct Node {
   std::vector<Variable> inputs;
   BackwardFn backward;
   const char* op_name = "leaf";
+
+  /// Version stamps of each input's tensor at record time (parallel to
+  /// `inputs`). GraphVerifier flags nodes whose inputs were mutated after
+  /// recording — re-differentiating such a graph silently uses stale
+  /// values.
+  std::vector<uint64_t> input_generations;
+
+  /// Number of live recorded nodes holding this node as an input, and the
+  /// subset of those recorded while Grad() was building a gradient graph.
+  /// Maintained by AttachInputs()/~Node. mutable_value() refuses (in
+  /// Debug) to mutate a leaf with live gradient-graph consumers; forward
+  /// graphs routinely outlive one optimizer step, so they are counted
+  /// separately and not guarded.
+  int live_consumers = 0;
+  int live_grad_consumers = 0;
+  bool in_grad_graph = false;
+
+  Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  ~Node();
 };
+
+/// Records `inputs` on `node`: stores them, snapshots their tensor
+/// generations, and increments their consumer counts (paired with the
+/// decrements in ~Node). Every recorded op must attach inputs through
+/// this helper so the verifier's bookkeeping stays consistent.
+void AttachInputs(Node* node, std::vector<Variable> inputs);
+
+/// True while Grad() is recording backward ops; nodes recorded in that
+/// scope are tagged as gradient-graph consumers of their inputs.
+bool GradRecordingActive();
+
+/// RAII scope used by Grad() to tag recorded nodes as gradient-graph
+/// nodes. Nests (HVP calls Grad on a graph built by Grad).
+class ScopedGradRecording {
+ public:
+  ScopedGradRecording();
+  ScopedGradRecording(const ScopedGradRecording&) = delete;
+  ScopedGradRecording& operator=(const ScopedGradRecording&) = delete;
+  ~ScopedGradRecording();
+
+ private:
+  bool previous_;
+};
+
+/// The leaf-mutation guard makes Variable::mutable_value() CHECK-fail on
+/// a leaf with live gradient-graph consumers. Defaults to on in Debug
+/// builds (NDEBUG not defined), off in Release; the setter returns the
+/// previous value so tests can restore it.
+bool LeafMutationGuardEnabled();
+bool SetLeafMutationGuard(bool enabled);
 
 }  // namespace internal
 

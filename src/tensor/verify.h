@@ -1,0 +1,164 @@
+#ifndef MSOPDS_TENSOR_VERIFY_H_
+#define MSOPDS_TENSOR_VERIFY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/gradcheck.h"
+#include "tensor/variable.h"
+#include "util/status.h"
+
+namespace msopds {
+
+// ---------------------------------------------------------------------------
+// Per-op shape-inference registry. Every primitive recorded by ops.cc has an
+// OpSpec describing its arity, a consistency check of the recorded output
+// value against the recorded input values, and (for most ops) a small
+// deterministic gradcheck example. The registry is the ground truth the
+// GraphVerifier checks recorded graphs against, and the op inventory that
+// tools/verify_graph exhaustively gradchecks.
+// ---------------------------------------------------------------------------
+
+/// A deterministic scalar-valued test point exercising one op, suitable for
+/// MaxGradError / MaxHvpError.
+struct GradcheckCase {
+  std::string description;
+  ScalarFn fn;
+  std::vector<Tensor> points;
+  /// Argument index to probe with the Hessian-vector product check.
+  size_t hvp_arg = 0;
+};
+
+struct OpSpec {
+  std::string name;
+  /// Expected number of *recorded* inputs (constants captured in the
+  /// backward closure, e.g. Where's mask or Gather's indices, don't count).
+  int arity = 0;
+  /// Validates the recorded output tensor against the recorded inputs.
+  /// Returns InvalidArgument with a human-readable message on mismatch.
+  /// Attribute-dependent dimensions (slice bounds, scatter sizes) are
+  /// checked as inequalities since the attributes live in closures.
+  std::function<Status(const std::vector<const Tensor*>& inputs,
+                       const Tensor& output)>
+      infer;
+  /// Builds a gradcheck case exercising this op, or null for ops that are
+  /// only reachable as the backward of another registered op (Pad1,
+  /// PadCols) and are exercised through that op's second-order check.
+  std::function<GradcheckCase()> example;
+};
+
+/// All registered primitive ops, in registration order. Defined in ops.cc
+/// next to the kernels it describes.
+const std::vector<OpSpec>& OpRegistry();
+
+/// Registry lookup by op name; nullptr if unknown.
+const OpSpec* FindOpSpec(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Graph verification.
+// ---------------------------------------------------------------------------
+
+enum class DiagSeverity { kWarning = 0, kError = 1 };
+
+/// One finding from a verification pass. `node` identifies the offending
+/// node for DOT highlighting and is not owned (valid only while the
+/// verified graph is alive).
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kError;
+  const internal::Node* node = nullptr;
+  const char* op_name = "leaf";
+  std::string message;
+};
+
+std::string DiagnosticToString(const Diagnostic& diagnostic);
+
+/// Node/byte accounting for a recorded graph.
+struct GraphStats {
+  int64_t num_nodes = 0;
+  int64_t num_leaves = 0;     // nodes with no recorded inputs
+  int64_t num_params = 0;     // leaves with requires_grad
+  int64_t num_edges = 0;
+  int64_t value_bytes = 0;    // payload bytes across unique node tensors
+  int64_t max_depth = 0;      // longest input chain, leaves at depth 1
+  std::map<std::string, int64_t> op_counts;
+};
+
+struct VerifyResult {
+  std::vector<Diagnostic> diagnostics;
+  GraphStats stats;
+
+  bool ok() const { return num_errors() == 0; }
+  int num_errors() const;
+  int num_warnings() const;
+  /// All diagnostics, one per line.
+  std::string Report() const;
+};
+
+/// Walks a recorded autodiff DAG without executing it and checks structural
+/// invariants against the op registry:
+///   - per-node shape consistency (output vs inputs, via OpSpec::infer),
+///   - requires_grad propagation soundness (a recorded node requires grad
+///     iff one of its inputs does; interior requires-grad nodes must carry
+///     a backward),
+///   - cycle detection (a cycle would both break backprop's topological
+///     schedule and leak the ref-counted graph),
+///   - stale-input hazards (an input tensor whose generation changed after
+///     the node recorded it, e.g. a leaf mutated by mutable_value()),
+///   - node/byte accounting (GraphStats).
+/// The two-argument overload additionally flags requested gradient inputs
+/// that are detached from `root` (not reachable, or not requiring grad):
+/// Grad() returns zeros for those, which is almost always a wiring bug.
+class GraphVerifier {
+ public:
+  struct Options {
+    bool check_shapes = true;
+    bool check_requires_grad = true;
+    bool check_cycles = true;
+    bool check_stale_inputs = true;
+    /// Emit a warning for recorded ops missing from the registry.
+    bool warn_unknown_ops = true;
+  };
+
+  GraphVerifier() = default;
+  explicit GraphVerifier(const Options& options) : options_(options) {}
+
+  VerifyResult Verify(const Variable& root) const;
+  VerifyResult Verify(const Variable& root,
+                      const std::vector<Variable>& inputs) const;
+
+ private:
+  Options options_;
+};
+
+/// Convenience: default-option verification of one graph.
+VerifyResult VerifyGraph(const Variable& root);
+
+/// Graphviz DOT rendering of the graph under `root`. Nodes named by op and
+/// shape; params are boxes; nodes mentioned in `diagnostics` are filled red
+/// (errors) or orange (warnings) with the message in the tooltip.
+std::string GraphToDot(const Variable& root,
+                       const std::vector<Diagnostic>& diagnostics = {});
+
+namespace internal {
+
+/// Auto-verification runs VerifyGraph on the output inside every top-level
+/// Grad() call and CHECK-fails on error diagnostics. Defaults to on in
+/// Debug builds, off in Release (compiled out of the hot path). The setter
+/// returns the previous value so tests can restore it.
+bool AutoVerifyEnabled();
+bool SetAutoVerify(bool enabled);
+
+/// Test-only: records a node with arbitrary value/inputs/op_name, bypassing
+/// the kernels' shape checks, so tests can hand the verifier deliberately
+/// malformed graphs. Consumer/generation bookkeeping is still performed.
+Variable MakeTestNode(const char* op_name, Tensor value,
+                      std::vector<Variable> inputs, bool requires_grad);
+
+}  // namespace internal
+
+}  // namespace msopds
+
+#endif  // MSOPDS_TENSOR_VERIFY_H_

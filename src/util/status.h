@@ -92,4 +92,13 @@ class StatusOr {
 
 }  // namespace msopds
 
+/// Early-returns the evaluated Status when it is not OK. For use in
+/// functions returning Status (e.g. the op shape-inference registry).
+#define MSOPDS_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::msopds::Status status_macro_internal_ = (expr);  \
+    if (!status_macro_internal_.ok())                  \
+      return status_macro_internal_;                   \
+  } while (false)
+
 #endif  // MSOPDS_UTIL_STATUS_H_
