@@ -10,6 +10,8 @@
 //   --budgets=2,3  attacker budget levels b
 //   --opponents=1,2 opponent counts (fig6) / opponent budgets (fig7)
 //   --methods=a,b  override the method list
+//   --threads=N    kernel thread count (0 = MSOPDS_THREADS / hardware);
+//                  metrics are bit-identical at any N, timings are not
 //
 // Resilience-runtime flags (see DESIGN.md "Resilience runtime"):
 //   --checkpoint=PATH       JSONL cell checkpoint file; completed cells are
@@ -32,6 +34,7 @@
 #include "util/checkpoint.h"
 #include "util/fault.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace msopds {
 
@@ -44,6 +47,9 @@ struct BenchFlags {
   std::vector<int> budgets = {2, 3, 4, 5};
   std::vector<int> opponents = {1, 2, 3, 4};
   std::vector<std::string> methods;
+  /// Kernel thread count; 0 keeps the global pool's default
+  /// (MSOPDS_THREADS or hardware concurrency).
+  int threads = 0;
 
   /// Checkpoint file (JSONL); empty = no persistence.
   std::string checkpoint;
@@ -82,6 +88,8 @@ struct BenchFlags {
       } else if (const char* v = value_of("--methods=")) {
         flags.methods.clear();
         for (auto& part : StrSplit(v, ',')) flags.methods.push_back(part);
+      } else if (const char* v = value_of("--threads=")) {
+        flags.threads = std::atoi(v);
       } else if (const char* v = value_of("--checkpoint=")) {
         flags.checkpoint = v;
       } else if (const char* v = value_of("--fault_nan=")) {
@@ -128,6 +136,10 @@ class SweepRunner {
  public:
   explicit SweepRunner(const BenchFlags& flags) : store_(flags.checkpoint) {
     FaultInjector::Global().Configure(flags.MakeFaultConfig());
+    if (flags.threads > 0) {
+      ThreadPool::Global().SetNumThreads(flags.threads);
+    }
+    threads_ = ThreadPool::Global().num_threads();
     if (store_.persistent() && store_.size() > 0) {
       std::fprintf(stderr,
                    "[checkpoint] %s: %zu completed cell(s) will be skipped\n",
@@ -143,6 +155,17 @@ class SweepRunner {
                   const std::string& method, int budget_level, uint64_t seed,
                   int repeats) {
     if (const CellRecord* cached = store_.Find(key)) {
+      // Metrics are thread-count invariant, but a sweep whose timings mix
+      // cells run at different thread counts is not one experiment.
+      // Refuse to resume rather than produce a silently inconsistent run.
+      if (cached->threads != threads_) {
+        std::fprintf(stderr,
+                     "[checkpoint] cell '%s' was recorded at %d thread(s) "
+                     "but this run uses %d; rerun with --threads=%d or a "
+                     "fresh --checkpoint file\n",
+                     key.c_str(), cached->threads, threads_, cached->threads);
+        std::exit(2);
+      }
       return *cached;
     }
     if (FaultInjector::Global().ShouldCrashAtCell(executed_cells_)) {
@@ -162,6 +185,7 @@ class SweepRunner {
     record.mean_hit_rate = outcome.stats.mean_hit_rate;
     record.repeats = outcome.stats.repeats;
     record.unhealthy_repeats = outcome.unhealthy_repeats;
+    record.threads = threads_;
     record.error = outcome.error;
     store_.Append(record);
     return record;
@@ -170,9 +194,13 @@ class SweepRunner {
   /// Executed (non-resumed) cells so far.
   int executed_cells() const { return executed_cells_; }
 
+  /// Kernel thread count this sweep runs (and records) its cells at.
+  int threads() const { return threads_; }
+
  private:
   CheckpointStore store_;
   int executed_cells_ = 0;
+  int threads_ = 1;
 };
 
 /// Prints one table row: method name then (rbar, hr) pairs per column.

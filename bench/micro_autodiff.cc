@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/parallel_bench.h"
 #include "solver/conjugate_gradient.h"
 #include "tensor/grad.h"
 #include "tensor/ops.h"
@@ -101,6 +102,88 @@ void BM_DoubleBackwardUnrolledStep(benchmark::State& state) {
 }
 BENCHMARK(BM_DoubleBackwardUnrolledStep)->Arg(64)->Arg(512);
 
+// --- Serial-vs-parallel comparison cases (bench/parallel_bench.h). ---
+// Each runs at threads:1 and threads:N over identical inputs; the main
+// pairs the rows into the BENCH_parallel.json speedup table. Sizes are
+// chosen so every kernel spans several chunks of the fixed grid.
+
+void BM_MatMulForwardParallel(benchmark::State& state) {
+  bench::SetThreadsFromState(state);
+  const int64_t n = state.range(0);
+  Rng rng(11);
+  Variable a = Constant(RandomTensor({n, n}, &rng));
+  Variable b = Constant(RandomTensor({n, n}, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulForwardParallel)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      bench::ParallelArgs(b, {128, 256});
+    });
+
+void BM_MatMulBackwardParallel(benchmark::State& state) {
+  bench::SetThreadsFromState(state);
+  const int64_t n = state.range(0);
+  Rng rng(12);
+  Variable a = Param(RandomTensor({n, n}, &rng));
+  Variable b = Param(RandomTensor({n, n}, &rng));
+  for (auto _ : state) {
+    Variable loss = Sum(MatMul(a, b));
+    benchmark::DoNotOptimize(GradValues(loss, {a, b}));
+  }
+}
+BENCHMARK(BM_MatMulBackwardParallel)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      bench::ParallelArgs(b, {128, 256});
+    });
+
+void BM_SpMMParallel(benchmark::State& state) {
+  bench::SetThreadsFromState(state);
+  const int64_t nodes = state.range(0);
+  const int64_t edges = nodes * 10;
+  const int64_t dim = 8;
+  Rng rng(13);
+  std::vector<int64_t> dst, src;
+  for (int64_t e = 0; e < edges; ++e) {
+    dst.push_back(rng.UniformInt(nodes));
+    src.push_back(rng.UniformInt(nodes));
+  }
+  const IndexVec dst_index = MakeIndex(std::move(dst));
+  const IndexVec src_index = MakeIndex(std::move(src));
+  Variable w = Param(RandomTensor({edges}, &rng));
+  Variable x = Param(RandomTensor({nodes, dim}, &rng));
+  for (auto _ : state) {
+    Variable out = SpMM(dst_index, src_index, w, x, nodes);
+    Variable loss = Sum(Square(out));
+    benchmark::DoNotOptimize(GradValues(loss, {w, x}));
+  }
+  state.SetItemsProcessed(state.iterations() * edges * dim);
+}
+BENCHMARK(BM_SpMMParallel)->Apply([](benchmark::internal::Benchmark* b) {
+  bench::ParallelArgs(b, {2048, 8192});
+});
+
+void BM_SegmentSoftmaxParallel(benchmark::State& state) {
+  bench::SetThreadsFromState(state);
+  const int64_t nodes = state.range(0);
+  const int64_t edges = nodes * 8;
+  Rng rng(14);
+  std::vector<int64_t> seg;
+  for (int64_t e = 0; e < edges; ++e) seg.push_back(rng.UniformInt(nodes));
+  const IndexVec seg_index = MakeIndex(std::move(seg));
+  Variable scores = Param(RandomTensor({edges}, &rng));
+  for (auto _ : state) {
+    Variable out = SegmentSoftmax(scores, seg_index, nodes);
+    benchmark::DoNotOptimize(GradValues(Sum(Square(out)), {scores}));
+  }
+}
+BENCHMARK(BM_SegmentSoftmaxParallel)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      bench::ParallelArgs(b, {4096});
+    });
+
 void BM_ConjugateGradientSolve(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(6);
@@ -133,4 +216,4 @@ BENCHMARK(BM_ConjugateGradientSolve)->Arg(64)->Arg(256);
 }  // namespace
 }  // namespace msopds
 
-BENCHMARK_MAIN();
+MSOPDS_PARALLEL_BENCH_MAIN("BENCH_parallel.json");

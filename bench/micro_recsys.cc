@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/parallel_bench.h"
+
 #include "attack/baselines.h"
 #include "core/losses.h"
 #include "core/mso_optimizer.h"
@@ -129,6 +131,29 @@ void BM_MsoLeaderIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_MsoLeaderIteration)->Arg(100)->Arg(200);
 
+// Serial-vs-parallel comparison of a full victim training epoch (the
+// end-to-end path every sweep cell spends most of its time in); rows
+// pair into BENCH_parallel_recsys.json. Results are bit-identical at
+// either thread count — only the wall time may differ.
+void BM_VictimTrainingEpochParallel(benchmark::State& state) {
+  bench::SetThreadsFromState(state);
+  World world(state.range(0));
+  Rng rng(11);
+  HetRecSys model(world.dataset, HetRecSysConfig{}, &rng);
+  std::vector<Variable>* params = model.MutableParams();
+  Adam optimizer(0.05);
+  for (auto _ : state) {
+    Variable loss = model.TrainingLoss(world.dataset.ratings);
+    optimizer.Step(params, GradValues(loss, *params));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(world.dataset.ratings.size()));
+}
+BENCHMARK(BM_VictimTrainingEpochParallel)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      bench::ParallelArgs(b, {300});
+    });
+
 void BM_StepRatioAblation(benchmark::State& state) {
   // eta^p fixed at eta^q / ratio; reports the leader loss reached after
   // 5 iterations for each ratio (larger counter = stronger separation of
@@ -181,4 +206,4 @@ BENCHMARK(BM_StepRatioAblation)->Arg(2)->Arg(10)->Arg(50);
 }  // namespace
 }  // namespace msopds
 
-BENCHMARK_MAIN();
+MSOPDS_PARALLEL_BENCH_MAIN("BENCH_parallel_recsys.json");

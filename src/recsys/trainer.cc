@@ -10,6 +10,7 @@
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace msopds {
 namespace {
@@ -31,6 +32,10 @@ TrainResult TrainModel(RatingModel* model, const std::vector<Rating>& ratings,
   MSOPDS_CHECK_GE(options.batch_size, 0);
   MSOPDS_CHECK_GE(options.max_retries, 0);
   MSOPDS_CHECK_GT(options.retry_decay, 0.0);
+  MSOPDS_CHECK_GE(options.num_threads, 0);
+  if (options.num_threads > 0) {
+    ThreadPool::Global().SetNumThreads(options.num_threads);
+  }
 
   double learning_rate = options.learning_rate;
   std::unique_ptr<Optimizer> optimizer = MakeOptimizer(options, learning_rate);

@@ -26,6 +26,11 @@ struct TrainOptions {
   uint64_t shuffle_seed = 1;
   /// Log loss every `log_every` epochs (0 = silent).
   int log_every = 0;
+  /// Kernel thread count for this run: > 0 resizes the global ThreadPool
+  /// before training (overriding MSOPDS_THREADS); 0 leaves the pool
+  /// untouched. Results are bit-identical at any setting — the parallel
+  /// runtime's determinism contract (DESIGN.md "Parallel runtime").
+  int num_threads = 0;
 
   // --- Resilience (numerical-health guard + retry policy) ---
   /// Scan every epoch's loss and gradients for NaN/inf and watch the

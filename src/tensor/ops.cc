@@ -1,17 +1,96 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <unordered_set>
 #include <utility>
 
 #include "tensor/verify.h"
 #include "util/logging.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace msopds {
 namespace {
 
 bool IsScalarLike(const Tensor& t) { return t.size() == 1; }
+
+// ---------------------------------------------------------------------------
+// Parallel kernel plumbing. Every kernel partitions its work on a fixed
+// chunk grid (a function of shapes only, never of the thread count) and
+// each chunk writes a disjoint output region, so results are bit-identical
+// at any MSOPDS_THREADS setting. See DESIGN.md "Parallel runtime".
+// ---------------------------------------------------------------------------
+
+// Elementwise / flat chunk size. Inputs at or below this size form a
+// one-chunk grid and run inline on the calling thread.
+constexpr int64_t kElementGrain = 4096;
+
+// Row-partitioned kernels chunk rows so one chunk covers roughly
+// kElementGrain scalars.
+int64_t RowGrain(int64_t cols) {
+  return std::max<int64_t>(1, kElementGrain / std::max<int64_t>(1, cols));
+}
+
+// Runs fn(begin, end) over the fixed elementwise grid.
+template <typename Fn>
+void ParallelChunks(int64_t total, int64_t grain, Fn&& fn) {
+  ThreadPool::Global().ParallelFor(
+      total, grain,
+      [&fn](int64_t begin, int64_t end, int64_t) { fn(begin, end); });
+}
+
+// Clone-and-transform unary kernel.
+template <typename Fn>
+Tensor UnaryKernel(const Tensor& input, Fn&& fn) {
+  Tensor out = input.Clone();
+  double* po = out.data();
+  ParallelChunks(out.size(), kElementGrain,
+                 [po, &fn](int64_t begin, int64_t end) {
+                   for (int64_t i = begin; i < end; ++i) po[i] = fn(po[i]);
+                 });
+  return out;
+}
+
+// Typed view of an IndexVec: hoists the per-element size_t casts out of
+// the sparse kernels' inner loops; Debug-checked like TensorSpan.
+class IndexView {
+ public:
+  explicit IndexView(const IndexVec& idx)
+      : data_(idx->data()), size_(static_cast<int64_t>(idx->size())) {}
+
+  int64_t operator[](int64_t i) const {
+    MSOPDS_DCHECK_GE(i, 0);
+    MSOPDS_DCHECK_LT(i, size_);
+    return data_[i];
+  }
+
+  int64_t size() const { return size_; }
+
+ private:
+  const int64_t* data_;
+  int64_t size_;
+};
+
+// Destination-bucketed scatter plan: edge k goes to bucket dst[k]/grain.
+// Bucket order preserves edge order, so each destination row accumulates
+// its contributions in exactly the serial edge order, and buckets own
+// disjoint row ranges — no atomics. Destinations are bounds-checked here
+// in edge order, matching the serial loop's abort point.
+std::vector<std::vector<int64_t>> BucketByDestination(const IndexView& dst,
+                                                      int64_t num_rows,
+                                                      int64_t grain) {
+  std::vector<std::vector<int64_t>> buckets(
+      static_cast<size_t>(NumChunks(num_rows, grain)));
+  for (int64_t k = 0; k < dst.size(); ++k) {
+    const int64_t r = dst[k];
+    MSOPDS_CHECK_GE(r, 0);
+    MSOPDS_CHECK_LT(r, num_rows);
+    buckets[static_cast<size_t>(r / grain)].push_back(k);
+  }
+  return buckets;
+}
 
 // Creates a recorded op node. `backward` may be empty when no input
 // requires grad (the node then acts as a constant).
@@ -63,24 +142,26 @@ Tensor EvalBinary(BinaryKind kind, const Tensor& a, const Tensor& b) {
   const double* pa = a.data();
   const double* pb = b.data();
   double* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const double x = a_scalar ? pa[0] : pa[i];
-    const double y = b_scalar ? pb[0] : pb[i];
-    switch (kind) {
-      case BinaryKind::kAdd:
-        po[i] = x + y;
-        break;
-      case BinaryKind::kSub:
-        po[i] = x - y;
-        break;
-      case BinaryKind::kMul:
-        po[i] = x * y;
-        break;
-      case BinaryKind::kDiv:
-        po[i] = x / y;
-        break;
+  ParallelChunks(n, kElementGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const double x = a_scalar ? pa[0] : pa[i];
+      const double y = b_scalar ? pb[0] : pb[i];
+      switch (kind) {
+        case BinaryKind::kAdd:
+          po[i] = x + y;
+          break;
+        case BinaryKind::kSub:
+          po[i] = x - y;
+          break;
+        case BinaryKind::kMul:
+          po[i] = x * y;
+          break;
+        case BinaryKind::kDiv:
+          po[i] = x / y;
+          break;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -130,8 +211,7 @@ Variable Div(const Variable& a, const Variable& b) {
 }
 
 Variable Neg(const Variable& a) {
-  Tensor out = a.value().Clone();
-  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = -out.data()[i];
+  Tensor out = UnaryKernel(a.value(), [](double x) { return -x; });
   return MakeOp("Neg", std::move(out), {a},
                 [](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{Neg(g)};
@@ -139,8 +219,7 @@ Variable Neg(const Variable& a) {
 }
 
 Variable ScalarMul(const Variable& a, double c) {
-  Tensor out = a.value().Clone();
-  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] *= c;
+  Tensor out = UnaryKernel(a.value(), [c](double x) { return x * c; });
   return MakeOp("ScalarMul", std::move(out), {a},
                 [c](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{ScalarMul(g, c)};
@@ -148,8 +227,7 @@ Variable ScalarMul(const Variable& a, double c) {
 }
 
 Variable AddScalar(const Variable& a, double c) {
-  Tensor out = a.value().Clone();
-  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] += c;
+  Tensor out = UnaryKernel(a.value(), [c](double x) { return x + c; });
   return MakeOp("AddScalar", std::move(out), {a},
                 [](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{g};
@@ -157,8 +235,7 @@ Variable AddScalar(const Variable& a, double c) {
 }
 
 Variable Exp(const Variable& a) {
-  Tensor out = a.value().Clone();
-  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = std::exp(out.data()[i]);
+  Tensor out = UnaryKernel(a.value(), [](double x) { return std::exp(x); });
   return MakeOp("Exp", std::move(out), {a},
                 [](const Variable& g, const std::vector<Variable>& in) {
                   // Recomputed so the gradient graph depends only on inputs.
@@ -167,8 +244,7 @@ Variable Exp(const Variable& a) {
 }
 
 Variable Log(const Variable& a) {
-  Tensor out = a.value().Clone();
-  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = std::log(out.data()[i]);
+  Tensor out = UnaryKernel(a.value(), [](double x) { return std::log(x); });
   return MakeOp("Log", std::move(out), {a},
                 [](const Variable& g, const std::vector<Variable>& in) {
                   return std::vector<Variable>{Div(g, in[0])};
@@ -176,9 +252,7 @@ Variable Log(const Variable& a) {
 }
 
 Variable Sqrt(const Variable& a) {
-  Tensor out = a.value().Clone();
-  for (int64_t i = 0; i < out.size(); ++i)
-    out.data()[i] = std::sqrt(out.data()[i]);
+  Tensor out = UnaryKernel(a.value(), [](double x) { return std::sqrt(x); });
   return MakeOp("Sqrt", std::move(out), {a},
                 [](const Variable& g, const std::vector<Variable>& in) {
                   return std::vector<Variable>{
@@ -191,7 +265,11 @@ Variable Square(const Variable& a) { return Mul(a, a); }
 Variable Reshape(const Variable& a, std::vector<int64_t> shape) {
   Tensor out(shape);
   MSOPDS_CHECK_EQ(out.size(), a.value().size()) << "Reshape must keep size";
-  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] = a.value().data()[i];
+  const double* pa = a.value().data();
+  double* po = out.data();
+  ParallelChunks(out.size(), kElementGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[i] = pa[i];
+  });
   const std::vector<int64_t> original = a.value().shape();
   return MakeOp("Reshape", std::move(out), {a},
                 [original](const Variable& g, const std::vector<Variable>&) {
@@ -203,10 +281,15 @@ Variable Where(const Tensor& mask, const Variable& a, const Variable& b) {
   MSOPDS_CHECK(mask.SameShape(a.value()));
   MSOPDS_CHECK(mask.SameShape(b.value()));
   Tensor out(a.value().shape());
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out.data()[i] =
-        mask.data()[i] != 0.0 ? a.value().data()[i] : b.value().data()[i];
-  }
+  const double* pm = mask.data();
+  const double* pa = a.value().data();
+  const double* pb = b.value().data();
+  double* po = out.data();
+  ParallelChunks(out.size(), kElementGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      po[i] = pm[i] != 0.0 ? pa[i] : pb[i];
+    }
+  });
   Tensor mask_copy = mask.Clone();
   return MakeOp(
       "Where", std::move(out), {a, b},
@@ -221,8 +304,11 @@ Variable Where(const Tensor& mask, const Variable& a, const Variable& b) {
 
 Tensor GreaterZeroMask(const Tensor& x) {
   Tensor mask(x.shape());
-  for (int64_t i = 0; i < x.size(); ++i)
-    mask.data()[i] = x.data()[i] > 0.0 ? 1.0 : 0.0;
+  const double* px = x.data();
+  double* pm = mask.data();
+  ParallelChunks(x.size(), kElementGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) pm[i] = px[i] > 0.0 ? 1.0 : 0.0;
+  });
   return mask;
 }
 
@@ -237,15 +323,27 @@ Variable MatMul(const Variable& a, const Variable& b) {
   const double* pa = ta.data();
   const double* pb = tb.data();
   double* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const double aik = pa[i * k + kk];
-      if (aik == 0.0) continue;
-      const double* brow = pb + kk * m;
-      double* orow = po + i * m;
-      for (int64_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
-    }
-  }
+  // Cache-tiled over k: a kKBlock-row slab of B stays hot while every row
+  // of the chunk consumes it. k-blocks advance in order, so each output
+  // element accumulates over kk in strictly increasing order — the exact
+  // serial order, at any thread count. Output rows are chunk-disjoint.
+  constexpr int64_t kKBlock = 64;
+  ThreadPool::Global().ParallelFor(
+      n, RowGrain(m), [&](int64_t row_begin, int64_t row_end, int64_t) {
+        for (int64_t kb = 0; kb < k; kb += kKBlock) {
+          const int64_t kb_end = std::min(kb + kKBlock, k);
+          for (int64_t i = row_begin; i < row_end; ++i) {
+            const double* arow = pa + i * k;
+            double* orow = po + i * m;
+            for (int64_t kk = kb; kk < kb_end; ++kk) {
+              const double aik = arow[kk];
+              if (aik == 0.0) continue;
+              const double* brow = pb + kk * m;
+              for (int64_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
+            }
+          }
+        }
+      });
   return MakeOp("MatMul", std::move(out), {a, b},
                 [](const Variable& g, const std::vector<Variable>& in) {
                   return std::vector<Variable>{
@@ -259,8 +357,15 @@ Variable Transpose(const Variable& a) {
   MSOPDS_CHECK_EQ(t.rank(), 2);
   const int64_t n = t.dim(0), m = t.dim(1);
   Tensor out({m, n});
-  for (int64_t i = 0; i < n; ++i)
-    for (int64_t j = 0; j < m; ++j) out.at(j, i) = t.at(i, j);
+  const double* pt = t.data();
+  double* po = out.data();
+  ThreadPool::Global().ParallelFor(
+      m, RowGrain(n), [&](int64_t row_begin, int64_t row_end, int64_t) {
+        for (int64_t j = row_begin; j < row_end; ++j) {
+          double* orow = po + j * n;
+          for (int64_t i = 0; i < n; ++i) orow[i] = pt[i * m + j];
+        }
+      });
   return MakeOp("Transpose", std::move(out), {a},
                 [](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{Transpose(g)};
@@ -286,11 +391,17 @@ Variable RowSum(const Variable& a) {
   MSOPDS_CHECK_EQ(t.rank(), 2);
   const int64_t n = t.dim(0), m = t.dim(1);
   Tensor out({n});
-  for (int64_t i = 0; i < n; ++i) {
-    double s = 0.0;
-    for (int64_t j = 0; j < m; ++j) s += t.at(i, j);
-    out.at(i) = s;
-  }
+  const double* pt = t.data();
+  double* po = out.data();
+  ThreadPool::Global().ParallelFor(
+      n, RowGrain(m), [&](int64_t row_begin, int64_t row_end, int64_t) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          const double* row = pt + i * m;
+          double s = 0.0;
+          for (int64_t j = 0; j < m; ++j) s += row[j];
+          po[i] = s;
+        }
+      });
   return MakeOp("RowSum", std::move(out), {a},
                 [m](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{TileCols(g, m)};
@@ -303,8 +414,16 @@ Variable TileCols(const Variable& v, int64_t cols) {
   MSOPDS_CHECK_GT(cols, 0);
   const int64_t n = t.dim(0);
   Tensor out({n, cols});
-  for (int64_t i = 0; i < n; ++i)
-    for (int64_t j = 0; j < cols; ++j) out.at(i, j) = t.at(i);
+  const double* pt = t.data();
+  double* po = out.data();
+  ThreadPool::Global().ParallelFor(
+      n, RowGrain(cols), [&](int64_t row_begin, int64_t row_end, int64_t) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          double* orow = po + i * cols;
+          const double value = pt[i];
+          for (int64_t j = 0; j < cols; ++j) orow[j] = value;
+        }
+      });
   return MakeOp("TileCols", std::move(out), {v},
                 [](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{RowSum(g)};
@@ -327,10 +446,20 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
   MSOPDS_CHECK_EQ(ta.dim(0), tb.dim(0));
   const int64_t n = ta.dim(0), ca = ta.dim(1), cb = tb.dim(1);
   Tensor out({n, ca + cb});
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < ca; ++j) out.at(i, j) = ta.at(i, j);
-    for (int64_t j = 0; j < cb; ++j) out.at(i, ca + j) = tb.at(i, j);
-  }
+  const double* pa = ta.data();
+  const double* pb = tb.data();
+  double* po = out.data();
+  ThreadPool::Global().ParallelFor(
+      n, RowGrain(ca + cb),
+      [&](int64_t row_begin, int64_t row_end, int64_t) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          double* orow = po + i * (ca + cb);
+          const double* arow = pa + i * ca;
+          const double* brow = pb + i * cb;
+          for (int64_t j = 0; j < ca; ++j) orow[j] = arow[j];
+          for (int64_t j = 0; j < cb; ++j) orow[ca + j] = brow[j];
+        }
+      });
   return MakeOp("ConcatCols", std::move(out), {a, b},
                 [ca, cb](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{SliceCols(g, 0, ca),
@@ -345,9 +474,18 @@ Variable SliceCols(const Variable& a, int64_t lo, int64_t hi) {
   MSOPDS_CHECK_LE(lo, hi);
   MSOPDS_CHECK_LE(hi, t.dim(1));
   const int64_t n = t.dim(0), total = t.dim(1);
-  Tensor out({n, hi - lo});
-  for (int64_t i = 0; i < n; ++i)
-    for (int64_t j = lo; j < hi; ++j) out.at(i, j - lo) = t.at(i, j);
+  const int64_t w = hi - lo;
+  Tensor out({n, w});
+  const double* pt = t.data();
+  double* po = out.data();
+  ThreadPool::Global().ParallelFor(
+      n, RowGrain(w), [&](int64_t row_begin, int64_t row_end, int64_t) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          const double* row = pt + i * total + lo;
+          double* orow = po + i * w;
+          for (int64_t j = 0; j < w; ++j) orow[j] = row[j];
+        }
+      });
   return MakeOp("SliceCols", std::move(out), {a},
                 [lo, total](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{PadCols(g, lo, total)};
@@ -362,8 +500,16 @@ Variable PadCols(const Variable& a, int64_t lo, int64_t total) {
   MSOPDS_CHECK_LE(lo + t.dim(1), total);
   const int64_t n = t.dim(0), w = t.dim(1);
   Tensor out({n, total});
-  for (int64_t i = 0; i < n; ++i)
-    for (int64_t j = 0; j < w; ++j) out.at(i, lo + j) = t.at(i, j);
+  const double* pt = t.data();
+  double* po = out.data();
+  ThreadPool::Global().ParallelFor(
+      n, RowGrain(total), [&](int64_t row_begin, int64_t row_end, int64_t) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          const double* row = pt + i * w;
+          double* orow = po + i * total + lo;
+          for (int64_t j = 0; j < w; ++j) orow[j] = row[j];
+        }
+      });
   return MakeOp("PadCols", std::move(out), {a},
                 [lo, w](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{SliceCols(g, lo, lo + w)};
@@ -377,7 +523,11 @@ Variable Pad1(const Variable& a, int64_t lo, int64_t total) {
   MSOPDS_CHECK_LE(lo + t.dim(0), total);
   const int64_t w = t.dim(0);
   Tensor out({total});
-  for (int64_t i = 0; i < w; ++i) out.at(lo + i) = t.at(i);
+  const ConstTensorSpan pt = t.span();
+  const TensorSpan po = out.mutable_span();
+  ParallelChunks(w, kElementGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[lo + i] = pt[i];
+  });
   return MakeOp("Pad1", std::move(out), {a},
                 [lo, w](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{Slice1(g, lo, lo + w)};
@@ -393,8 +543,15 @@ Variable Concat1(const Variable& a, const Variable& b) {
   MSOPDS_CHECK_EQ(tb.rank(), 1);
   const int64_t na = ta.dim(0), nb = tb.dim(0);
   Tensor out({na + nb});
-  for (int64_t i = 0; i < na; ++i) out.at(i) = ta.at(i);
-  for (int64_t i = 0; i < nb; ++i) out.at(na + i) = tb.at(i);
+  const ConstTensorSpan pa = ta.span();
+  const ConstTensorSpan pb = tb.span();
+  const TensorSpan po = out.mutable_span();
+  ParallelChunks(na, kElementGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[i] = pa[i];
+  });
+  ParallelChunks(nb, kElementGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[na + i] = pb[i];
+  });
   return MakeOp("Concat1", std::move(out), {a, b},
                 [na, nb](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{Slice1(g, 0, na),
@@ -410,7 +567,11 @@ Variable Slice1(const Variable& a, int64_t lo, int64_t hi) {
   MSOPDS_CHECK_LE(hi, t.dim(0));
   const int64_t total = t.dim(0);
   Tensor out({hi - lo});
-  for (int64_t i = lo; i < hi; ++i) out.at(i - lo) = t.at(i);
+  const ConstTensorSpan pt = t.span();
+  const TensorSpan po = out.mutable_span();
+  ParallelChunks(hi - lo, kElementGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[i] = pt[lo + i];
+  });
   return MakeOp("Slice1", std::move(out), {a},
                 [lo, total](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{Pad1(g, lo, total)};
@@ -421,14 +582,24 @@ Variable GatherRows(const Variable& x, const IndexVec& idx) {
   const Tensor& t = x.value();
   MSOPDS_CHECK_EQ(t.rank(), 2);
   const int64_t n = t.dim(0), d = t.dim(1);
-  const int64_t k = static_cast<int64_t>(idx->size());
-  Tensor out({k, d});
+  const IndexView rows(idx);
+  const int64_t k = rows.size();
+  // Validate in index order (serial abort point), then copy in parallel.
   for (int64_t i = 0; i < k; ++i) {
-    const int64_t r = (*idx)[static_cast<size_t>(i)];
-    MSOPDS_CHECK_GE(r, 0);
-    MSOPDS_CHECK_LT(r, n);
-    for (int64_t j = 0; j < d; ++j) out.at(i, j) = t.at(r, j);
+    MSOPDS_CHECK_GE(rows[i], 0);
+    MSOPDS_CHECK_LT(rows[i], n);
   }
+  Tensor out({k, d});
+  const double* pt = t.data();
+  double* po = out.data();
+  ThreadPool::Global().ParallelFor(
+      k, RowGrain(d), [&](int64_t row_begin, int64_t row_end, int64_t) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          const double* row = pt + rows[i] * d;
+          double* orow = po + i * d;
+          for (int64_t j = 0; j < d; ++j) orow[j] = row[j];
+        }
+      });
   return MakeOp("GatherRows", std::move(out), {x},
                 [idx, n](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{ScatterAddRows(g, idx, n)};
@@ -440,13 +611,23 @@ Variable ScatterAddRows(const Variable& g, const IndexVec& idx, int64_t rows) {
   MSOPDS_CHECK_EQ(t.rank(), 2);
   MSOPDS_CHECK_EQ(t.dim(0), static_cast<int64_t>(idx->size()));
   const int64_t k = t.dim(0), d = t.dim(1);
+  const IndexView dst(idx);
   Tensor out({rows, d});
-  for (int64_t i = 0; i < k; ++i) {
-    const int64_t r = (*idx)[static_cast<size_t>(i)];
-    MSOPDS_CHECK_GE(r, 0);
-    MSOPDS_CHECK_LT(r, rows);
-    for (int64_t j = 0; j < d; ++j) out.at(r, j) += t.at(i, j);
-  }
+  const double* pt = t.data();
+  double* po = out.data();
+  // Destination-bucketed scatter: each chunk owns a disjoint row range
+  // and applies its bucket's updates in edge order, so no atomics and
+  // per-row accumulation order equals the serial loop's.
+  const int64_t grain = RowGrain(d);
+  const auto buckets = BucketByDestination(dst, rows, grain);
+  ThreadPool::Global().ParallelFor(
+      rows, grain, [&](int64_t, int64_t, int64_t chunk) {
+        for (const int64_t i : buckets[static_cast<size_t>(chunk)]) {
+          const double* grow = pt + i * d;
+          double* orow = po + dst[i] * d;
+          for (int64_t j = 0; j < d; ++j) orow[j] += grow[j];
+        }
+      });
   return MakeOp("ScatterAddRows", std::move(out), {g},
                 [idx](const Variable& gg, const std::vector<Variable>&) {
                   return std::vector<Variable>{GatherRows(gg, idx)};
@@ -457,14 +638,18 @@ Variable Gather1(const Variable& x, const IndexVec& idx) {
   const Tensor& t = x.value();
   MSOPDS_CHECK_EQ(t.rank(), 1);
   const int64_t n = t.dim(0);
-  const int64_t k = static_cast<int64_t>(idx->size());
-  Tensor out({k});
+  const IndexView src(idx);
+  const int64_t k = src.size();
   for (int64_t i = 0; i < k; ++i) {
-    const int64_t r = (*idx)[static_cast<size_t>(i)];
-    MSOPDS_CHECK_GE(r, 0);
-    MSOPDS_CHECK_LT(r, n);
-    out.at(i) = t.at(r);
+    MSOPDS_CHECK_GE(src[i], 0);
+    MSOPDS_CHECK_LT(src[i], n);
   }
+  Tensor out({k});
+  const ConstTensorSpan pt = t.span();
+  const TensorSpan po = out.mutable_span();
+  ParallelChunks(k, kElementGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[i] = pt[src[i]];
+  });
   return MakeOp("Gather1", std::move(out), {x},
                 [idx, n](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{ScatterAdd1(g, idx, n)};
@@ -475,13 +660,18 @@ Variable ScatterAdd1(const Variable& g, const IndexVec& idx, int64_t size) {
   const Tensor& t = g.value();
   MSOPDS_CHECK_EQ(t.rank(), 1);
   MSOPDS_CHECK_EQ(t.dim(0), static_cast<int64_t>(idx->size()));
+  const IndexView dst(idx);
   Tensor out({size});
-  for (int64_t i = 0; i < t.dim(0); ++i) {
-    const int64_t r = (*idx)[static_cast<size_t>(i)];
-    MSOPDS_CHECK_GE(r, 0);
-    MSOPDS_CHECK_LT(r, size);
-    out.at(r) += t.at(i);
-  }
+  const ConstTensorSpan pt = t.span();
+  const TensorSpan po = out.mutable_span();
+  const int64_t grain = kElementGrain;
+  const auto buckets = BucketByDestination(dst, size, grain);
+  ThreadPool::Global().ParallelFor(
+      size, grain, [&](int64_t, int64_t, int64_t chunk) {
+        for (const int64_t i : buckets[static_cast<size_t>(chunk)]) {
+          po[dst[i]] += pt[i];
+        }
+      });
   return MakeOp("ScatterAdd1", std::move(out), {g},
                 [idx](const Variable& gg, const std::vector<Variable>&) {
                   return std::vector<Variable>{Gather1(gg, idx)};
@@ -498,20 +688,30 @@ Variable SpMM(const IndexVec& dst, const IndexVec& src, const Variable& w,
   MSOPDS_CHECK_EQ(e, static_cast<int64_t>(dst->size()));
   MSOPDS_CHECK_EQ(e, static_cast<int64_t>(src->size()));
   const int64_t num_src = tx.dim(0), d = tx.dim(1);
-  Tensor out({num_dst, d});
+  const IndexView dsti(dst);
+  const IndexView srci(src);
   for (int64_t k = 0; k < e; ++k) {
-    const int64_t di = (*dst)[static_cast<size_t>(k)];
-    const int64_t si = (*src)[static_cast<size_t>(k)];
-    MSOPDS_CHECK_GE(di, 0);
-    MSOPDS_CHECK_LT(di, num_dst);
-    MSOPDS_CHECK_GE(si, 0);
-    MSOPDS_CHECK_LT(si, num_src);
-    const double wk = tw.at(k);
-    if (wk == 0.0) continue;
-    const double* xrow = tx.data() + si * d;
-    double* orow = out.data() + di * d;
-    for (int64_t j = 0; j < d; ++j) orow[j] += wk * xrow[j];
+    MSOPDS_CHECK_GE(srci[k], 0);
+    MSOPDS_CHECK_LT(srci[k], num_src);
   }
+  Tensor out({num_dst, d});
+  const double* pw = tw.data();
+  const double* px = tx.data();
+  double* po = out.data();
+  // Row-partitioned destination-bucketed scatter (see ScatterAddRows):
+  // each chunk of destination rows applies its edges in edge order.
+  const int64_t grain = RowGrain(d);
+  const auto buckets = BucketByDestination(dsti, num_dst, grain);
+  ThreadPool::Global().ParallelFor(
+      num_dst, grain, [&](int64_t, int64_t, int64_t chunk) {
+        for (const int64_t k : buckets[static_cast<size_t>(chunk)]) {
+          const double wk = pw[k];
+          if (wk == 0.0) continue;
+          const double* xrow = px + srci[k] * d;
+          double* orow = po + dsti[k] * d;
+          for (int64_t j = 0; j < d; ++j) orow[j] += wk * xrow[j];
+        }
+      });
   return MakeOp(
       "SpMM", std::move(out), {w, x},
       [dst, src, num_src](const Variable& g, const std::vector<Variable>& in) {
@@ -531,20 +731,30 @@ Variable EdgeDot(const Variable& a, const Variable& b, const IndexVec& ai,
   MSOPDS_CHECK_EQ(ai->size(), bi->size());
   const int64_t e = static_cast<int64_t>(ai->size());
   const int64_t na = ta.dim(0), nb = tb.dim(0), d = ta.dim(1);
-  Tensor out({e});
+  const IndexView aii(ai);
+  const IndexView bii(bi);
   for (int64_t k = 0; k < e; ++k) {
-    const int64_t ia = (*ai)[static_cast<size_t>(k)];
-    const int64_t ib = (*bi)[static_cast<size_t>(k)];
-    MSOPDS_CHECK_GE(ia, 0);
-    MSOPDS_CHECK_LT(ia, na);
-    MSOPDS_CHECK_GE(ib, 0);
-    MSOPDS_CHECK_LT(ib, nb);
-    const double* ra = ta.data() + ia * d;
-    const double* rb = tb.data() + ib * d;
-    double s = 0.0;
-    for (int64_t j = 0; j < d; ++j) s += ra[j] * rb[j];
-    out.at(k) = s;
+    MSOPDS_CHECK_GE(aii[k], 0);
+    MSOPDS_CHECK_LT(aii[k], na);
+    MSOPDS_CHECK_GE(bii[k], 0);
+    MSOPDS_CHECK_LT(bii[k], nb);
   }
+  Tensor out({e});
+  const double* pa = ta.data();
+  const double* pb = tb.data();
+  double* po = out.data();
+  // Edge-partitioned: each edge owns its output element; the inner dot
+  // product order is untouched, so this is trivially bit-exact.
+  ThreadPool::Global().ParallelFor(
+      e, RowGrain(d), [&](int64_t edge_begin, int64_t edge_end, int64_t) {
+        for (int64_t k = edge_begin; k < edge_end; ++k) {
+          const double* ra = pa + aii[k] * d;
+          const double* rb = pb + bii[k] * d;
+          double s = 0.0;
+          for (int64_t j = 0; j < d; ++j) s += ra[j] * rb[j];
+          po[k] = s;
+        }
+      });
   return MakeOp(
       "EdgeDot", std::move(out), {a, b},
       [ai, bi, na, nb](const Variable& g, const std::vector<Variable>& in) {
@@ -585,18 +795,29 @@ Variable SegmentSoftmax(const Variable& scores, const IndexVec& seg,
   MSOPDS_CHECK_EQ(t.rank(), 1);
   const int64_t e = t.dim(0);
   MSOPDS_CHECK_EQ(e, static_cast<int64_t>(seg->size()));
+  const IndexView segi(seg);
+  const ConstTensorSpan pt = t.span();
   // Per-segment max as a constant shift for numerical stability.
+  // Segment-partitioned like the scatter kernels: each chunk of segments
+  // folds its bucketed edges. max is exact, so any order would do, but
+  // the bucketing keeps the structure uniform with SpMM/ScatterAdd.
   std::vector<double> seg_max(static_cast<size_t>(num_segments), -1e300);
-  for (int64_t k = 0; k < e; ++k) {
-    const int64_t s = (*seg)[static_cast<size_t>(k)];
-    MSOPDS_CHECK_GE(s, 0);
-    MSOPDS_CHECK_LT(s, num_segments);
-    seg_max[static_cast<size_t>(s)] =
-        std::max(seg_max[static_cast<size_t>(s)], t.at(k));
-  }
+  const int64_t grain = kElementGrain;
+  const auto buckets = BucketByDestination(segi, num_segments, grain);
+  ThreadPool::Global().ParallelFor(
+      num_segments, grain, [&](int64_t, int64_t, int64_t chunk) {
+        for (const int64_t k : buckets[static_cast<size_t>(chunk)]) {
+          double& best = seg_max[static_cast<size_t>(segi[k])];
+          best = std::max(best, pt[k]);
+        }
+      });
   Tensor shift({e});
-  for (int64_t k = 0; k < e; ++k)
-    shift.at(k) = seg_max[static_cast<size_t>((*seg)[static_cast<size_t>(k)])];
+  const TensorSpan ps = shift.mutable_span();
+  ParallelChunks(e, kElementGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t k = begin; k < end; ++k) {
+      ps[k] = seg_max[static_cast<size_t>(segi[k])];
+    }
+  });
   Variable exps = Exp(Sub(scores, Constant(shift)));
   Variable denom = ScatterAdd1(exps, seg, num_segments);
   return Div(exps, Gather1(denom, seg));
@@ -1099,6 +1320,22 @@ std::vector<OpSpec> BuildOpRegistry() {
                      },
                      ExM32(), ExM32().Clone(), /*hvp_arg=*/1);
       });
+
+  // Kernels scheduled on the ThreadPool chunk grid (see the kernel
+  // plumbing at the top of this file). Sum/Mean reduce via the pool's
+  // deterministic tree fold inside Tensor::Sum.
+  const std::unordered_set<std::string> parallel_kernels = {
+      "Add",        "Sub",       "Mul",        "Div",
+      "Neg",        "ScalarMul", "AddScalar",  "Exp",
+      "Log",        "Sqrt",      "Reshape",    "Where",
+      "MatMul",     "Transpose", "Sum",        "RowSum",
+      "TileCols",   "ConcatCols","SliceCols",  "PadCols",
+      "Concat1",    "Slice1",    "Pad1",       "GatherRows",
+      "ScatterAddRows",          "Gather1",    "ScatterAdd1",
+      "SpMM",       "EdgeDot"};
+  for (OpSpec& spec : registry) {
+    spec.parallel_kernel = parallel_kernels.count(spec.name) > 0;
+  }
   return registry;
 }
 

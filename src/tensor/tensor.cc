@@ -4,9 +4,14 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace msopds {
 namespace {
+
+// Reduction chunk size. Tensors at or below this size form a one-chunk
+// grid and take the exact pre-pool serial code path.
+constexpr int64_t kReduceGrain = 32768;
 
 int64_t ShapeSize(const std::vector<int64_t>& shape) {
   int64_t size = 1;
@@ -125,16 +130,25 @@ void Tensor::Fill(double value) {
 
 double Tensor::Sum() const {
   if (!defined()) return 0.0;
-  double total = 0.0;
-  for (double x : *data_) total += x;
-  return total;
+  const double* values = data_->data();
+  return ThreadPool::Global().ParallelReduceSum(
+      size_, kReduceGrain, [values](int64_t begin, int64_t end) {
+        double total = 0.0;
+        for (int64_t i = begin; i < end; ++i) total += values[i];
+        return total;
+      });
 }
 
 double Tensor::MaxAbs() const {
   if (!defined()) return 0.0;
-  double best = 0.0;
-  for (double x : *data_) best = std::max(best, std::fabs(x));
-  return best;
+  const double* values = data_->data();
+  return ThreadPool::Global().ParallelReduceMax(
+      size_, kReduceGrain, 0.0, [values](int64_t begin, int64_t end) {
+        double best = 0.0;
+        for (int64_t i = begin; i < end; ++i)
+          best = std::max(best, std::fabs(values[i]));
+        return best;
+      });
 }
 
 std::string Tensor::DebugString(int64_t max_elements) const {

@@ -6,7 +6,51 @@
 #include <string>
 #include <vector>
 
+#include "util/logging.h"
+
 namespace msopds {
+
+/// Flat element view of a tensor buffer used inside kernels: indexing is
+/// bounds-checked in Debug builds (MSOPDS_DCHECK) and compiles down to a
+/// raw pointer access in Release, unlike Tensor::at() which pays rank and
+/// bounds CHECKs on every element. Views never own or extend the buffer's
+/// lifetime — take them right before the loop that uses them.
+class ConstTensorSpan {
+ public:
+  ConstTensorSpan(const double* data, int64_t size)
+      : data_(data), size_(size) {}
+
+  double operator[](int64_t i) const {
+    MSOPDS_DCHECK_GE(i, 0);
+    MSOPDS_DCHECK_LT(i, size_);
+    return data_[i];
+  }
+
+  const double* begin() const { return data_; }
+  int64_t size() const { return size_; }
+
+ private:
+  const double* data_;
+  int64_t size_;
+};
+
+class TensorSpan {
+ public:
+  TensorSpan(double* data, int64_t size) : data_(data), size_(size) {}
+
+  double& operator[](int64_t i) const {
+    MSOPDS_DCHECK_GE(i, 0);
+    MSOPDS_DCHECK_LT(i, size_);
+    return data_[i];
+  }
+
+  double* begin() const { return data_; }
+  int64_t size() const { return size_; }
+
+ private:
+  double* data_;
+  int64_t size_;
+};
 
 /// Dense row-major tensor of doubles with rank 0, 1, or 2.
 ///
@@ -47,6 +91,11 @@ class Tensor {
 
   double* data();
   const double* data() const;
+
+  /// Unchecked (Debug-checked) element views for kernel hot loops; see
+  /// ConstTensorSpan. Requires defined().
+  ConstTensorSpan span() const { return {data(), size_}; }
+  TensorSpan mutable_span() { return {data(), size_}; }
 
   /// Scalar access; requires size() == 1 (any rank).
   double item() const;

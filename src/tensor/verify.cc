@@ -251,6 +251,9 @@ VerifyResult GraphVerifier::Verify(const Variable& root) const {
     if (node->inputs.empty()) {
       ++result.stats.num_leaves;
       if (node->requires_grad) ++result.stats.num_params;
+    } else if (const OpSpec* spec = FindOpSpec(node->op_name);
+               spec != nullptr && spec->parallel_kernel) {
+      ++result.stats.num_parallel_kernel_nodes;
     }
     ++result.stats.op_counts[node->op_name];
   }

@@ -48,6 +48,11 @@ struct OpSpec {
   /// only reachable as the backward of another registered op (Pad1,
   /// PadCols) and are exercised through that op's second-order check.
   std::function<GradcheckCase()> example;
+  /// True when the op's kernel runs on the ThreadPool chunk grid (all of
+  /// them currently do, via elementwise, row-partitioned, or
+  /// destination-bucketed scheduling). Surfaces in GraphStats so
+  /// verify_graph can report how much of a recorded graph parallelizes.
+  bool parallel_kernel = false;
 };
 
 /// All registered primitive ops, in registration order. Defined in ops.cc
@@ -83,6 +88,8 @@ struct GraphStats {
   int64_t num_edges = 0;
   int64_t value_bytes = 0;    // payload bytes across unique node tensors
   int64_t max_depth = 0;      // longest input chain, leaves at depth 1
+  /// Recorded non-leaf nodes whose OpSpec has parallel_kernel set.
+  int64_t num_parallel_kernel_nodes = 0;
   std::map<std::string, int64_t> op_counts;
 };
 

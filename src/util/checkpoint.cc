@@ -152,6 +152,7 @@ std::string CellRecordToJson(const CellRecord& record) {
   json.Key("hr").Double(record.mean_hit_rate);
   json.Key("repeats").Int(record.repeats);
   json.Key("unhealthy_repeats").Int(record.unhealthy_repeats);
+  json.Key("threads").Int(record.threads);
   json.Key("error").String(record.error);
   json.EndObject();
   return json.TakeString();
@@ -194,6 +195,12 @@ StatusOr<CellRecord> ParseCellRecord(const std::string& line) {
   double unhealthy = 0.0;
   if (number("unhealthy_repeats", &unhealthy)) {
     record.unhealthy_repeats = static_cast<int>(unhealthy);
+  }
+  // Absent in records written before the parallel runtime: those ran on
+  // the serial kernels, i.e. one thread.
+  double threads = 1.0;
+  if (number("threads", &threads)) {
+    record.threads = static_cast<int>(threads);
   }
   quoted("error", &record.error);
   return record;

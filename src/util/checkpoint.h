@@ -23,6 +23,11 @@ struct CellRecord {
   /// Repeats whose victim training needed the recovery path but still
   /// produced finite metrics (diagnostics; does not fail the cell).
   int unhealthy_repeats = 0;
+  /// Kernel thread count the cell ran at. Results are bit-identical at
+  /// any thread count (the parallel runtime's determinism contract), but
+  /// timings are not, so resumed sweeps refuse to mix thread counts.
+  /// Records written before this field existed parse as 1.
+  int threads = 1;
   /// Failure description when !ok.
   std::string error;
 };

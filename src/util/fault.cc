@@ -25,6 +25,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Configure(const FaultConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
   config_ = config;
   streams_.clear();
   for (int site = 0; site < kNumFaultSites; ++site) {
@@ -44,6 +45,7 @@ void FaultInjector::RecordInjection(FaultSite site) {
 }
 
 bool FaultInjector::MaybeCorruptTrainerGradients(std::vector<Tensor>* grads) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (config_.trainer_nan_probability <= 0.0) return false;
   MSOPDS_CHECK(grads != nullptr);
   Rng& rng = stream(FaultSite::kTrainerGradient);
@@ -58,6 +60,7 @@ bool FaultInjector::MaybeCorruptTrainerGradients(std::vector<Tensor>* grads) {
 }
 
 bool FaultInjector::ShouldCorruptSurrogateStep() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (config_.surrogate_nan_probability <= 0.0) return false;
   if (!stream(FaultSite::kSurrogateGradient)
            .Bernoulli(config_.surrogate_nan_probability)) {
@@ -68,6 +71,7 @@ bool FaultInjector::ShouldCorruptSurrogateStep() {
 }
 
 bool FaultInjector::ShouldBreakSolver() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (config_.solver_breakdown_probability <= 0.0) return false;
   if (!stream(FaultSite::kSolver)
            .Bernoulli(config_.solver_breakdown_probability)) {
@@ -78,6 +82,7 @@ bool FaultInjector::ShouldBreakSolver() {
 }
 
 bool FaultInjector::ShouldCrashAtCell(int executed_cell_index) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (config_.crash_at_cell < 0 || crash_fired_) return false;
   if (executed_cell_index != config_.crash_at_cell) return false;
   crash_fired_ = true;
@@ -86,10 +91,12 @@ bool FaultInjector::ShouldCrashAtCell(int executed_cell_index) {
 }
 
 int64_t FaultInjector::injected_count(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return injected_[static_cast<size_t>(site)];
 }
 
 int64_t FaultInjector::total_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
   for (int64_t count : injected_) total += count;
   return total;

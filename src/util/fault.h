@@ -2,6 +2,7 @@
 #define MSOPDS_UTIL_FAULT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -60,8 +61,13 @@ struct FaultConfig {
 /// pattern is a pure function of the config and the query order at that
 /// site.
 ///
-/// Not thread-safe: configure and query from one thread (the library is
-/// single-threaded today; revisit alongside any parallelism PR).
+/// Thread-safety: hook queries and Configure are serialized by an
+/// internal mutex, so a ThreadPool worker that consults a hook is safe.
+/// Determinism still requires a fixed query *order*, which holds because
+/// every hook point sits outside the pool's chunk functors (trainer
+/// steps, CG solves, sweep cells — all issued from the calling thread);
+/// a fault observed inside a parallel region propagates to the caller
+/// exactly like the serial path (see util/thread_pool.h).
 class FaultInjector {
  public:
   /// The process-wide injector consulted by library hook points.
@@ -102,6 +108,7 @@ class FaultInjector {
   Rng& stream(FaultSite site);
   void RecordInjection(FaultSite site);
 
+  mutable std::mutex mu_;
   FaultConfig config_;
   std::vector<Rng> streams_;
   std::vector<int64_t> injected_;

@@ -71,4 +71,23 @@ class NullStream {
 #define MSOPDS_CHECK_GT(a, b) MSOPDS_CHECK_OP(>, a, b)
 #define MSOPDS_CHECK_GE(a, b) MSOPDS_CHECK_OP(>=, a, b)
 
+// Debug-only checks: full MSOPDS_CHECKs in Debug builds, compiled out in
+// Release (NDEBUG). Used on kernel hot paths (e.g. TensorSpan indexing)
+// where per-element bounds checks are too expensive to ship.
+#ifdef NDEBUG
+#define MSOPDS_DCHECK(condition) \
+  while (false) MSOPDS_CHECK(condition)
+#define MSOPDS_DCHECK_OP(op, a, b) \
+  while (false) MSOPDS_CHECK_OP(op, a, b)
+#else
+#define MSOPDS_DCHECK(condition) MSOPDS_CHECK(condition)
+#define MSOPDS_DCHECK_OP(op, a, b) MSOPDS_CHECK_OP(op, a, b)
+#endif
+
+#define MSOPDS_DCHECK_EQ(a, b) MSOPDS_DCHECK_OP(==, a, b)
+#define MSOPDS_DCHECK_LT(a, b) MSOPDS_DCHECK_OP(<, a, b)
+#define MSOPDS_DCHECK_LE(a, b) MSOPDS_DCHECK_OP(<=, a, b)
+#define MSOPDS_DCHECK_GT(a, b) MSOPDS_DCHECK_OP(>, a, b)
+#define MSOPDS_DCHECK_GE(a, b) MSOPDS_DCHECK_OP(>=, a, b)
+
 #endif  // MSOPDS_UTIL_LOGGING_H_

@@ -1,0 +1,114 @@
+#ifndef MSOPDS_UTIL_THREAD_POOL_H_
+#define MSOPDS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msopds {
+
+/// Number of chunks in the fixed chunk grid for `total` elements at chunk
+/// size `grain`. The grid is a pure function of (total, grain) — never of
+/// the thread count — which is the cornerstone of the determinism
+/// contract: every kernel partitions its work on this grid, each chunk
+/// writes a disjoint output region (or produces one partial combined in
+/// fixed chunk order), so results are bit-identical at any thread count.
+int64_t NumChunks(int64_t total, int64_t grain);
+
+/// Persistent worker-thread pool behind every parallel kernel.
+///
+/// Determinism contract (see DESIGN.md "Parallel runtime"):
+///   - Work is split on the fixed chunk grid above; threads only decide
+///     *which OS thread* executes a chunk, never what a chunk computes.
+///   - Reductions combine per-chunk partials with a fixed-shape binary
+///     tree over the chunk grid, so `MSOPDS_THREADS=1` and `=N` agree to
+///     the last bit.
+///   - No atomics touch payload data: scatter kernels bucket their edges
+///     by destination chunk up front and each chunk owns its rows.
+///
+/// Fault behaviour matches the serial path: an MSOPDS_CHECK failure in a
+/// worker aborts the process exactly like the serial loop would, and an
+/// exception thrown by a chunk functor (test code; the library itself
+/// does not throw) is captured, the region is cancelled, and the
+/// lowest-indexed captured exception is rethrown on the calling thread.
+///
+/// Nested parallelism is rejected: a ParallelFor issued from inside a
+/// worker (or from inside another region on the calling thread) runs its
+/// chunks inline and serially — same grid, same results, no deadlock.
+class ThreadPool {
+ public:
+  /// The process-wide pool used by all tensor kernels. First use reads
+  /// MSOPDS_THREADS (>= 1); unset or invalid falls back to the hardware
+  /// concurrency.
+  static ThreadPool& Global();
+
+  /// Thread count from the environment (MSOPDS_THREADS) or hardware.
+  static int DefaultNumThreads();
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Resizes the pool (1 = fully serial). Joins and respawns workers;
+  /// must not be called from inside a parallel region. Values are
+  /// clamped to [1, kMaxThreads].
+  void SetNumThreads(int num_threads);
+
+  /// True while the current thread is executing a chunk functor.
+  static bool InParallelRegion();
+
+  /// Runs fn(begin, end, chunk) over every chunk of the fixed grid.
+  /// Chunks may run concurrently and in any order; fn must only write
+  /// state owned by its chunk.
+  void ParallelFor(int64_t total, int64_t grain,
+                   const std::function<void(int64_t begin, int64_t end,
+                                            int64_t chunk)>& fn);
+
+  /// Deterministic sum reduction: evaluates fn(begin, end) per chunk
+  /// (possibly concurrently), then folds the partials with a fixed
+  /// binary tree over the chunk grid. Single-chunk grids degenerate to a
+  /// plain serial call, so small inputs are bit-identical to pre-pool
+  /// code.
+  double ParallelReduceSum(int64_t total, int64_t grain,
+                           const std::function<double(int64_t begin,
+                                                      int64_t end)>& fn);
+
+  /// Like ParallelReduceSum but folds with max (exact for doubles, so
+  /// the tree shape is irrelevant; kept on the same grid for symmetry).
+  /// Returns `identity` for empty ranges.
+  double ParallelReduceMax(int64_t total, int64_t grain, double identity,
+                           const std::function<double(int64_t begin,
+                                                      int64_t end)>& fn);
+
+  static constexpr int kMaxThreads = 256;
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  static void RunChunks(Job* job);
+  void StartWorkers();
+  void StopWorkers();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;    // workers wait here for a job
+  std::condition_variable done_cv_;   // the caller waits here for chunks
+  std::shared_ptr<Job> job_;          // current region, null when idle
+  bool stopping_ = false;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_UTIL_THREAD_POOL_H_

@@ -65,6 +65,21 @@ TEST(CellRecordTest, KeyWithQuotesAndBackslashesRoundTrips) {
   EXPECT_EQ(parsed.value().key, record.key);
 }
 
+TEST(CellRecordTest, ThreadsRoundTripsAndLegacyRecordsDefaultToOne) {
+  CellRecord record = MakeRecord("k", 1.0, 0.5);
+  record.threads = 4;
+  auto parsed = ParseCellRecord(CellRecordToJson(record));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().threads, 4);
+  // Records written before the parallel runtime carry no "threads" field:
+  // those sweeps ran on the serial kernels.
+  auto legacy = ParseCellRecord(
+      "{\"key\":\"k\",\"ok\":true,\"rbar\":1.0,\"hr\":0.5,\"repeats\":3,"
+      "\"unhealthy_repeats\":0,\"error\":\"\"}");
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy.value().threads, 1);
+}
+
 TEST(CellRecordTest, MalformedLineRejected) {
   EXPECT_FALSE(ParseCellRecord("{\"key\":\"a\",\"ok\":tr").ok());
   EXPECT_FALSE(ParseCellRecord("not json at all").ok());

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Repo-wide correctness gate: build + tests, graph verifier + registry
-# gradcheck, sanitizer matrix (MSOPDS_SANITIZE=address/undefined), clang-tidy
-# over src/, and the Python-free lint. Prints a per-stage summary table and
-# exits non-zero if any stage fails. Stages whose toolchain is missing
-# (e.g. clang-tidy not installed) are reported SKIP, not FAIL.
+# Repo-wide correctness gate: build + tests (serial and MSOPDS_THREADS=4),
+# graph verifier + registry gradcheck, sanitizer matrix
+# (MSOPDS_SANITIZE=address/undefined, each with a multi-threaded pass over
+# the `parallel` suite; MSOPDS_SANITIZE=thread is available as a manual
+# configure for toolchains that ship TSan), clang-tidy over src/, and the
+# Python-free lint. Prints a per-stage summary table and exits non-zero if
+# any stage fails. Stages whose toolchain is missing (e.g. clang-tidy not
+# installed) are reported SKIP, not FAIL.
 #
 # Usage:
 #   tools/check.sh                 full matrix (three builds; slow)
@@ -95,9 +98,17 @@ build_release() {
 run_stage "build-release" build_release
 if [ "${STAGE_RESULTS[-1]}" = "PASS" ]; then
   run_stage "ctest-release" ctest --test-dir build --output-on-failure -j
+  # Same suite on the multi-threaded kernels: the parallel runtime's
+  # contract is bit-identical results, so every expectation must hold
+  # unchanged at MSOPDS_THREADS=4.
+  ctest_mt() {
+    MSOPDS_THREADS=4 ctest --test-dir build --output-on-failure -j
+  }
+  run_stage "ctest-release-mt4" ctest_mt
   run_stage "verify-graph" ./build/tools/verify_graph
 else
   skip_stage "ctest-release" "build failed"
+  skip_stage "ctest-release-mt4" "build failed"
   skip_stage "verify-graph" "build failed"
 fi
 
@@ -114,6 +125,8 @@ else
 fi
 
 # --- sanitizer matrix: Debug builds so MSOPDS_CHECK/auto-verify stay in -----
+# Each sanitizer also gets one multi-threaded pass over the parallel suite,
+# so races in the runtime are caught even without a TSan toolchain.
 if [ $SANITIZERS -eq 1 ]; then
   for san in address undefined; do
     dir="build-$san"
@@ -125,8 +138,14 @@ if [ $SANITIZERS -eq 1 ]; then
     run_stage "build-$san" build_san
     if [ "${STAGE_RESULTS[-1]}" = "PASS" ]; then
       run_stage "ctest-$san" ctest --test-dir "$dir" --output-on-failure -j
+      ctest_san_mt() {
+        MSOPDS_THREADS=4 ctest --test-dir "$dir" -L parallel \
+          --output-on-failure -j
+      }
+      run_stage "ctest-$san-mt4" ctest_san_mt
     else
       skip_stage "ctest-$san" "build failed"
+      skip_stage "ctest-$san-mt4" "build failed"
     fi
   done
 else

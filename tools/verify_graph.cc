@@ -127,12 +127,13 @@ int main(int argc, char** argv) {
   const msopds::VerifyResult result =
       msopds::GraphVerifier().Verify(loss, params);
   std::printf("representative graph: %lld nodes, %lld edges, %lld params, "
-              "%lld bytes, depth %lld\n",
+              "%lld bytes, depth %lld, %lld parallel-kernel node(s)\n",
               static_cast<long long>(result.stats.num_nodes),
               static_cast<long long>(result.stats.num_edges),
               static_cast<long long>(result.stats.num_params),
               static_cast<long long>(result.stats.value_bytes),
-              static_cast<long long>(result.stats.max_depth));
+              static_cast<long long>(result.stats.max_depth),
+              static_cast<long long>(result.stats.num_parallel_kernel_nodes));
   if (!result.diagnostics.empty()) {
     std::printf("%s", result.Report().c_str());
   }
