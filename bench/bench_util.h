@@ -27,16 +27,42 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "util/arena.h"
 #include "util/checkpoint.h"
 #include "util/fault.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace msopds {
+
+/// Point-in-time memory snapshot: process peak RSS (VmHWM from
+/// /proc/self/status; 0 where procfs is unavailable) plus the tensor
+/// arena's counters. Sample() at the end of a bench to report how much
+/// memory the run actually touched alongside the arena's own accounting
+/// of live / cached / high-water tape bytes.
+struct MemStats {
+  int64_t peak_rss_kb = 0;
+  ArenaStats arena;
+
+  static MemStats Sample() {
+    MemStats stats;
+    stats.arena = Arena::Global().stats();
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+      if (line.rfind("VmHWM:", 0) == 0) {
+        stats.peak_rss_kb = std::atoll(line.c_str() + 6);
+        break;
+      }
+    }
+    return stats;
+  }
+};
 
 struct BenchFlags {
   double scale = 0.12;

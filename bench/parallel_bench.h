@@ -16,6 +16,12 @@
 // MSOPDS_BENCH_THREADS overrides the parallel side of the comparison
 // (default 4). On a single-core host speedups near (or below) 1.0 are
 // expected; the table still records pool overhead.
+//
+// Memory profile: benches that publish counters prefixed "mem_" (peak
+// tape bytes, allocations per step, arena hit rate — see the BM_Mem*
+// cases) are additionally collected into a second JSON table, written by
+// the same main to the macro's `memory_json_path`, together with a
+// process-level MemStats sample (bench/bench_util.h).
 
 #include <benchmark/benchmark.h>
 
@@ -27,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "util/json_writer.h"
 #include "util/thread_pool.h"
 
@@ -68,6 +75,16 @@ class SpeedupReporter : public benchmark::ConsoleReporter {
     for (const Run& run : reports) {
       if (run.run_type != Run::RT_Iteration) continue;
       const std::string name = run.benchmark_name();
+      bool has_memory_counters = false;
+      for (const auto& [counter_name, counter] : run.counters) {
+        if (counter_name.rfind("mem_", 0) == 0) {
+          memory_[name][counter_name] = counter.value;
+          has_memory_counters = true;
+        }
+      }
+      if (has_memory_counters) {
+        memory_times_ns_[name] = run.GetAdjustedRealTime();
+      }
       const size_t pos = name.rfind("/threads:");
       if (pos == std::string::npos) continue;
       const int threads = std::atoi(name.c_str() + pos + 9);
@@ -113,23 +130,73 @@ class SpeedupReporter : public benchmark::ConsoleReporter {
     return pairs;
   }
 
+  /// Writes the memory profile: one entry per case that published
+  /// "mem_"-prefixed counters (its counters plus wall time), then a
+  /// process-level MemStats sample. Returns the number of cases written.
+  int WriteMemoryTable(const std::string& path) const {
+    const MemStats process = MemStats::Sample();
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("peak_rss_kb").Int(process.peak_rss_kb);
+    json.Key("arena").BeginObject();
+    json.Key("alloc_calls").Int(process.arena.alloc_calls);
+    json.Key("pool_hits").Int(process.arena.pool_hits);
+    json.Key("hit_rate").Double(process.arena.hit_rate());
+    json.Key("high_water_bytes").Int(process.arena.high_water_bytes);
+    json.Key("bytes_cached").Int(process.arena.bytes_cached);
+    json.Key("trims").Int(process.arena.trims);
+    json.EndObject();
+    json.Key("cases").BeginArray();
+    int cases = 0;
+    for (const auto& [name, counters] : memory_) {
+      json.BeginObject();
+      json.Key("name").String(name);
+      const auto time = memory_times_ns_.find(name);
+      if (time != memory_times_ns_.end()) {
+        json.Key("t_ns").Double(time->second);
+      }
+      for (const auto& [counter_name, value] : counters) {
+        json.Key(counter_name).Double(value);
+      }
+      json.EndObject();
+      ++cases;
+    }
+    json.EndArray();
+    json.EndObject();
+    std::ofstream out(path);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot write memory table to %s\n", path.c_str());
+      return cases;
+    }
+    out << json.TakeString() << '\n';
+    std::fprintf(stderr, "[memory] wrote %d memory case(s) to %s\n", cases,
+                 path.c_str());
+    return cases;
+  }
+
  private:
   // base name -> thread count -> adjusted wall time (ns).
   std::map<std::string, std::map<int, double>> times_;
+  // full case name -> "mem_*" counters published by the run.
+  std::map<std::string, std::map<std::string, double>> memory_;
+  // full case name -> adjusted wall time (ns), memory cases only.
+  std::map<std::string, double> memory_times_ns_;
 };
 
 }  // namespace bench
 }  // namespace msopds
 
 /// Drop-in replacement for BENCHMARK_MAIN() that also emits the
-/// serial-vs-parallel speedup table to `json_path`.
-#define MSOPDS_PARALLEL_BENCH_MAIN(json_path)                           \
+/// serial-vs-parallel speedup table to `json_path` and the memory
+/// profile (cases with "mem_" counters + MemStats) to `memory_json_path`.
+#define MSOPDS_PARALLEL_BENCH_MAIN(json_path, memory_json_path)         \
   int main(int argc, char** argv) {                                     \
     ::benchmark::Initialize(&argc, argv);                               \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::msopds::bench::SpeedupReporter reporter;                          \
     ::benchmark::RunSpecifiedBenchmarks(&reporter);                     \
     reporter.WriteSpeedupTable(json_path);                              \
+    reporter.WriteMemoryTable(memory_json_path);                        \
     ::benchmark::Shutdown();                                            \
     return 0;                                                           \
   }

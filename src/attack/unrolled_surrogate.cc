@@ -4,6 +4,8 @@
 
 #include "tensor/grad.h"
 #include "tensor/optim.h"
+#include "tensor/remat.h"
+#include "util/arena.h"
 #include "util/logging.h"
 
 namespace msopds {
@@ -48,16 +50,17 @@ MfParams Pretrain(const Dataset& world, const IndexVec& users,
   return params;
 }
 
-// Fresh leaf copies of trained parameters so the unrolled graph does not
-// grow across outer iterations.
-MfParams LeafCopy(const MfParams& params) {
-  MfParams copy;
-  copy.user_factors = Param(params.user_factors.value().Clone());
-  copy.item_factors = Param(params.item_factors.value().Clone());
-  copy.user_bias = Param(params.user_bias.value().Clone());
-  copy.item_bias = Param(params.item_bias.value().Clone());
-  copy.global_mean = params.global_mean;
-  return copy;
+// Rebinds an AsVector()-ordered state (as handed out by the checkpointing
+// driver) back into an MfParams view.
+MfParams BindParams(const std::vector<Variable>& state, double global_mean) {
+  MSOPDS_CHECK_EQ(state.size(), 4u);
+  MfParams params;
+  params.user_factors = state[0];
+  params.item_factors = state[1];
+  params.user_bias = state[2];
+  params.item_bias = state[3];
+  params.global_mean = global_mean;
+  return params;
 }
 
 }  // namespace
@@ -114,6 +117,9 @@ Tensor OptimizeFakeRatings(
     return Concat1(Constant(real_targets.Clone()), fake_values);
   };
 
+  // One arena region per attack trial: tape buffers recycle across outer
+  // iterations and the free lists are trimmed when the trial ends.
+  ArenaRegion region;
   MfParams pretrained;
   bool have_pretrained = false;
   for (int outer = 0; outer < options.outer_iterations; ++outer) {
@@ -129,18 +135,32 @@ Tensor OptimizeFakeRatings(
       have_pretrained = true;
     }
 
-    // Recorded unroll from the pretrained point.
+    // Recorded unroll from the pretrained point, with optional gradient
+    // checkpointing. The driver rebuilds the tape from leaf state either
+    // way, so checkpoint_every only changes peak memory, not bits.
     Variable fake_values = Param(values.Clone());
-    MfParams params = LeafCopy(pretrained);
-    for (int step = 0; step < options.unroll_steps; ++step) {
-      Variable loss = MfLoss(params, all_users, all_items,
-                             concat_targets(fake_values), options.mf.l2);
-      params = FunctionalSgdStep(params, loss, options.inner_learning_rate);
-    }
-    // L_IA = -(1/|U|) sum_u R(u, target): minimize.
-    Variable injection_loss =
-        Neg(Mean(MfPredict(params, ia_users, ia_items)));
-    const Tensor gradient = Grad(injection_loss, {fake_values})[0].value();
+    const double global_mean = pretrained.global_mean;
+    const std::vector<Tensor> initial_state = {
+        pretrained.user_factors.value().Clone(),
+        pretrained.item_factors.value().Clone(),
+        pretrained.user_bias.value().Clone(),
+        pretrained.item_bias.value().Clone()};
+    const CheckpointedGradResult unrolled = CheckpointedUnrollGrad(
+        initial_state, {fake_values}, options.unroll_steps,
+        options.checkpoint_every,
+        [&](const std::vector<Variable>& state, int64_t) {
+          MfParams params = BindParams(state, global_mean);
+          Variable loss = MfLoss(params, all_users, all_items,
+                                 concat_targets(fake_values), options.mf.l2);
+          return FunctionalSgdStep(params, loss, options.inner_learning_rate)
+              .AsVector();
+        },
+        // L_IA = -(1/|U|) sum_u R(u, target): minimize.
+        [&](const std::vector<Variable>& state) {
+          return Neg(Mean(
+              MfPredict(BindParams(state, global_mean), ia_users, ia_items)));
+        });
+    const Tensor& gradient = unrolled.input_grads[0];
     for (int64_t i = 0; i < values.size(); ++i) {
       values.at(i) -= options.outer_learning_rate * gradient.at(i);
     }

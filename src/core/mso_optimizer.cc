@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/grad.h"
+#include "util/arena.h"
 #include "util/health.h"
 #include "util/logging.h"
 
@@ -35,6 +36,9 @@ std::vector<MsoIterationStats> MsoOptimizer::Optimize(
   std::vector<MsoIterationStats> history;
   history.reserve(static_cast<size_t>(config_.outer_iterations));
 
+  // One arena region per MSO run: surrogate tapes and CG temporaries
+  // recycle across iterations, trimmed in bulk at the end.
+  ArenaRegion region;
   for (int iteration = 0; iteration < config_.outer_iterations; ++iteration) {
     // Step 4: binarize all importance vectors.
     std::vector<Variable> xhats;

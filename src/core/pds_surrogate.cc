@@ -1,9 +1,11 @@
 #include "core/pds_surrogate.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "tensor/grad.h"
+#include "tensor/remat.h"
 #include "util/fault.h"
 #include "util/health.h"
 #include "util/logging.h"
@@ -40,15 +42,26 @@ PdsSurrogate::PdsSurrogate(const Dataset& world,
 
   const int64_t players = num_players();
 
+  // Upper bound on candidate edges of either type; each contributes two
+  // directed edges. Used to size the edge arrays once up front.
+  size_t candidate_upper = 0;
+  for (const CapacitySet* capacity : capacities_) {
+    candidate_upper += capacity->actions().size();
+  }
+
   // --- Social graph bundle: base edges then candidates per player. ---
   {
     std::vector<int64_t> dst, src;
     world.social.AppendDirectedEdges(&dst, &src);
+    dst.reserve(dst.size() + 2 * candidate_upper);
+    src.reserve(src.size() + 2 * candidate_upper);
     social_.num_base_edges = static_cast<int64_t>(dst.size());
     social_.num_nodes = num_users_;
     social_.player_gather.resize(static_cast<size_t>(players));
     for (int64_t p = 0; p < players; ++p) {
       const auto& actions = capacities_[static_cast<size_t>(p)]->actions();
+      social_.player_gather[static_cast<size_t>(p)].reserve(
+          2 * actions.size());
       for (size_t k = 0; k < actions.size(); ++k) {
         if (actions[k].type != ActionType::kSocialEdge) continue;
         MSOPDS_CHECK_LT(actions[k].a, num_users_);
@@ -79,11 +92,15 @@ PdsSurrogate::PdsSurrogate(const Dataset& world,
   {
     std::vector<int64_t> dst, src;
     world.items.AppendDirectedEdges(&dst, &src);
+    dst.reserve(dst.size() + 2 * candidate_upper);
+    src.reserve(src.size() + 2 * candidate_upper);
     item_.num_base_edges = static_cast<int64_t>(dst.size());
     item_.num_nodes = num_items_;
     item_.player_gather.resize(static_cast<size_t>(players));
     for (int64_t p = 0; p < players; ++p) {
       const auto& actions = capacities_[static_cast<size_t>(p)]->actions();
+      item_.player_gather[static_cast<size_t>(p)].reserve(
+          2 * actions.size());
       for (size_t k = 0; k < actions.size(); ++k) {
         if (actions[k].type != ActionType::kItemEdge) continue;
         MSOPDS_CHECK_LT(actions[k].a, num_items_);
@@ -133,6 +150,10 @@ PdsSurrogate::PdsSurrogate(const Dataset& world,
     std::vector<int64_t> users, items;
     std::vector<double> targets;
     const auto& actions = capacities_[static_cast<size_t>(p)]->actions();
+    users.reserve(actions.size());
+    items.reserve(actions.size());
+    targets.reserve(actions.size());
+    poison_gather_[static_cast<size_t>(p)].reserve(actions.size());
     for (size_t k = 0; k < actions.size(); ++k) {
       if (actions[k].type != ActionType::kRating) continue;
       MSOPDS_CHECK_LT(actions[k].a, num_users_);
@@ -277,6 +298,59 @@ PdsSurrogate::Outcome PdsSurrogate::TrainUnrolled(
     }
   }
   return Forward(theta, social_weights, item_weights);
+}
+
+PdsSurrogate::FirstOrderResult PdsSurrogate::CheckpointedGrad(
+    const std::vector<Variable>& xhats,
+    const std::function<Variable(const Outcome&)>& readout) const {
+  MSOPDS_CHECK_EQ(static_cast<int64_t>(xhats.size()), num_players());
+  MSOPDS_CHECK(readout != nullptr);
+
+  // The rematerialization contract (tensor/remat.h) forbids interior
+  // nodes shared across steps, so the edge weights — derived from the
+  // x-hat leaves — are rebuilt inside each callback rather than hoisted
+  // the way TrainUnrolled() hoists them. That also makes the gradient
+  // fold independent of the segmentation, so any checkpoint_every
+  // produces the same bits.
+  const auto step_fn = [&](const std::vector<Variable>& theta, int64_t) {
+    const Variable social_weights = EdgeWeights(social_, xhats);
+    const Variable item_weights = EdgeWeights(item_, xhats);
+    const Variable loss =
+        TrainLoss(theta, social_weights, item_weights, xhats);
+    const std::vector<Variable> grads = Grad(loss, theta);
+    std::vector<Variable> next;
+    next.reserve(theta.size());
+    for (size_t i = 0; i < theta.size(); ++i) {
+      next.push_back(
+          Sub(theta[i], ScalarMul(grads[i], config_.inner_learning_rate)));
+    }
+    return next;
+  };
+  const auto loss_fn = [&](const std::vector<Variable>& theta) {
+    const Variable social_weights = EdgeWeights(social_, xhats);
+    const Variable item_weights = EdgeWeights(item_, xhats);
+    return readout(Forward(theta, social_weights, item_weights));
+  };
+
+  std::vector<Tensor> initial_state;
+  initial_state.reserve(theta_init_.size());
+  for (const Tensor& init : theta_init_) initial_state.push_back(init.Clone());
+
+  CheckpointedGradResult unrolled = CheckpointedUnrollGrad(
+      initial_state, xhats, config_.inner_steps, config_.checkpoint_every,
+      step_fn, loss_fn);
+
+  FirstOrderResult result;
+  result.loss = unrolled.loss.item();
+  result.gradients = std::move(unrolled.input_grads);
+  if (!std::isfinite(result.loss)) {
+    if (non_finite_inner_events_ == 0) {
+      MSOPDS_LOG(Warning)
+          << "PDS inner loop: non-finite checkpointed readout";
+    }
+    ++non_finite_inner_events_;
+  }
+  return result;
 }
 
 Variable PdsSurrogate::Predict(const Outcome& outcome,

@@ -72,6 +72,9 @@ std::vector<std::pair<int64_t, int64_t>> UndirectedGraph::Edges() const {
 
 void UndirectedGraph::AppendDirectedEdges(std::vector<int64_t>* dst,
                                           std::vector<int64_t>* src) const {
+  // Each undirected edge appears once per direction.
+  dst->reserve(dst->size() + 2 * static_cast<size_t>(num_edges_));
+  src->reserve(src->size() + 2 * static_cast<size_t>(num_edges_));
   for (int64_t a = 0; a < num_nodes_; ++a) {
     for (int64_t b : adjacency_[static_cast<size_t>(a)]) {
       dst->push_back(a);

@@ -6,6 +6,7 @@
 
 #include "tensor/grad.h"
 #include "tensor/optim.h"
+#include "util/arena.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -36,6 +37,10 @@ TrainResult TrainModel(RatingModel* model, const std::vector<Rating>& ratings,
   if (options.num_threads > 0) {
     ThreadPool::Global().SetNumThreads(options.num_threads);
   }
+
+  // One arena region per training run: per-epoch tape buffers recycle
+  // through the free lists and are trimmed in bulk when training ends.
+  ArenaRegion region;
 
   double learning_rate = options.learning_rate;
   std::unique_ptr<Optimizer> optimizer = MakeOptimizer(options, learning_rate);

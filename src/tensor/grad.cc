@@ -1,7 +1,9 @@
 #include "tensor/grad.h"
 
+#include <queue>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "tensor/verify.h"
 #include "util/logging.h"
@@ -15,8 +17,10 @@ using internal::Node;
 // number of requires-grad consumers of each (within that set).
 void CollectReachable(Node* root,
                       std::unordered_map<Node*, int>* pending_consumers) {
-  std::vector<Node*> stack = {root};
-  std::unordered_set<Node*> seen = {root};
+  std::vector<Node*> stack;
+  stack.reserve(64);
+  stack.push_back(root);
+  pending_consumers->reserve(256);
   (*pending_consumers)[root] = 0;
   while (!stack.empty()) {
     Node* node = stack.back();
@@ -24,20 +28,57 @@ void CollectReachable(Node* root,
     for (const Variable& input : node->inputs) {
       Node* in = input.node().get();
       if (in == nullptr || !in->requires_grad) continue;
-      ++(*pending_consumers)[in];
-      if (seen.insert(in).second) stack.push_back(in);
+      auto [it, inserted] = pending_consumers->emplace(in, 0);
+      ++it->second;
+      if (inserted) stack.push_back(in);
     }
   }
 }
 
-}  // namespace
+// One gradient accumulator; exactly one member is populated, selected by
+// GradOptions::create_graph.
+struct Accum {
+  Variable graph;
+  Tensor value;
+};
 
-std::vector<Variable> Grad(const Variable& output,
-                           const std::vector<Variable>& inputs,
-                           const Variable& grad_output) {
+// acc[i] += g[i], elementwise. Bit-identical to the Add op's kernel for
+// equal-shape operands; clones first when the buffer is aliased (e.g. the
+// caller's init_grads, or an op backward that passed its grad through).
+void AddInPlace(Tensor* acc, const Tensor& g) {
+  MSOPDS_CHECK(acc->SameShape(g));
+  if (!acc->sole_buffer_owner()) *acc = acc->Clone();
+  double* a = acc->data();
+  const double* b = g.data();
+  const int64_t n = acc->size();
+  for (int64_t i = 0; i < n; ++i) a[i] += b[i];
+}
+
+struct BackwardOutputs {
+  std::vector<Variable> graphs;  // create_graph mode
+  std::vector<Tensor> values;    // value mode
+};
+
+// The shared reverse-mode walk behind Grad() and GradValues().
+//
+// Ready nodes are fired from a max-heap on Node::seq. Since inputs are
+// always created before their consumers, seq order is topological, and
+// max-seq-first firing visits nodes in one canonical reverse order that
+// does not depend on how (or in how many segments) the tape was built.
+// The gradient fold — the order contributions are added into each node's
+// accumulator — is therefore canonical too, which is what lets
+// tensor/remat.cc replay the tape segment by segment bit-identically.
+BackwardOutputs WalkBackward(const Variable& output,
+                             const std::vector<Variable>& inputs,
+                             const Variable& grad_output, bool create_graph,
+                             const std::vector<Tensor>& init_grads) {
   MSOPDS_CHECK(output.defined());
   MSOPDS_CHECK(output.requires_grad())
       << "Grad() of an output that does not require grad";
+  if (!init_grads.empty()) {
+    MSOPDS_CHECK_EQ(init_grads.size(), inputs.size())
+        << "init_grads must parallel inputs";
+  }
 
   // Debug builds statically verify the recorded graph before walking it, so
   // a malformed graph fails loudly here instead of corrupting gradients.
@@ -50,28 +91,90 @@ std::vector<Variable> Grad(const Variable& output,
   }
   // Ops recorded while building the backward graph are tagged as gradient
   // consumers of their inputs; mutable_value() guards against mutating
-  // leaves those live gradient graphs still reference.
+  // leaves those live gradient graphs still reference. Value mode records
+  // (and immediately drops) the same ops, so the tags balance out by the
+  // time the walk returns.
   internal::ScopedGradRecording recording;
-
-  Variable seed = grad_output.defined()
-                      ? grad_output
-                      : Constant(Tensor::Ones(output.value().shape()));
-  MSOPDS_CHECK(seed.value().SameShape(output.value()))
-      << "grad_output shape mismatch";
 
   std::unordered_map<Node*, int> pending;
   CollectReachable(output.node().get(), &pending);
 
-  std::unordered_map<Node*, Variable> accumulated;
-  accumulated[output.node().get()] = seed;
+  std::unordered_map<Node*, Accum> accumulated;
+  accumulated.reserve(pending.size());
 
-  std::vector<Node*> ready = {output.node().get()};
+  auto accumulate = [&](Node* node, const Variable& graph_grad,
+                        const Tensor& value_grad) {
+    auto [it, inserted] = accumulated.try_emplace(node);
+    if (create_graph) {
+      if (it->second.graph.defined()) {
+        it->second.graph = Add(it->second.graph, graph_grad);
+      } else {
+        it->second.graph = graph_grad;
+      }
+    } else {
+      if (it->second.value.defined()) {
+        AddInPlace(&it->second.value, value_grad);
+      } else {
+        it->second.value = value_grad;
+      }
+    }
+  };
+
+  // Pre-seed the checkpointing driver's cross-segment accumulators: the
+  // first in-segment contribution then folds as Add(init, contribution),
+  // exactly where the full-tape walk would be in its fold.
+  for (size_t i = 0; i < init_grads.size(); ++i) {
+    if (!init_grads[i].defined() || !inputs[i].requires_grad()) continue;
+    MSOPDS_CHECK(init_grads[i].SameShape(inputs[i].value()))
+        << "init_grads[" << i << "] shape mismatch";
+    accumulate(inputs[i].node().get(),
+               create_graph ? Constant(init_grads[i]) : Variable(),
+               init_grads[i]);
+  }
+
+  {
+    const Tensor seed_value = grad_output.defined()
+                                  ? grad_output.value()
+                                  : Tensor::Ones(output.value().shape());
+    MSOPDS_CHECK(seed_value.SameShape(output.value()))
+        << "grad_output shape mismatch";
+    Variable seed_graph;
+    if (create_graph) {
+      seed_graph = grad_output.defined() ? grad_output : Constant(seed_value);
+    }
+    accumulate(output.node().get(), seed_graph, seed_value);
+  }
+
+  std::unordered_set<Node*> requested;
+  requested.reserve(inputs.size());
+  for (const Variable& input : inputs) {
+    MSOPDS_CHECK(input.defined());
+    requested.insert(input.node().get());
+  }
+
+  // Max-heap on seq; seqs are unique so the order is total.
+  std::priority_queue<std::pair<uint64_t, Node*>> ready;
+  ready.emplace(output.node()->seq, output.node().get());
   while (!ready.empty()) {
-    Node* node = ready.back();
-    ready.pop_back();
-    const Variable grad = accumulated.at(node);
+    Node* node = ready.top().second;
+    ready.pop();
+    auto acc_it = accumulated.find(node);
+    MSOPDS_CHECK(acc_it != accumulated.end());
+    Accum grad = std::move(acc_it->second);
+    // Liveness: a fired node receives no further contributions (its
+    // pending count reached zero), so its accumulator is dead unless the
+    // caller asked for it. Erasing here returns value-mode buffers to the
+    // arena as soon as each node retires.
+    if (requested.count(node) == 0) {
+      accumulated.erase(acc_it);
+    } else {
+      acc_it->second = grad;
+    }
     if (!node->backward) continue;  // leaf
-    const std::vector<Variable> input_grads = node->backward(grad, node->inputs);
+    const Variable grad_var =
+        create_graph ? grad.graph : Constant(grad.value);
+    const std::vector<Variable> input_grads =
+        node->backward(grad_var, node->inputs);
     MSOPDS_CHECK_EQ(input_grads.size(), node->inputs.size())
         << "op " << node->op_name;
     for (size_t i = 0; i < node->inputs.size(); ++i) {
@@ -83,45 +186,62 @@ std::vector<Variable> Grad(const Variable& output,
             << "gradient shape mismatch for input " << i << " of op "
             << node->op_name << ": " << ig.value().DebugString(2) << " vs "
             << in->value.DebugString(2);
-        auto it = accumulated.find(in);
-        if (it == accumulated.end()) {
-          accumulated[in] = ig;
-        } else {
-          it->second = Add(it->second, ig);
-        }
+        accumulate(in, ig, ig.value());
       }
       auto pit = pending.find(in);
       MSOPDS_CHECK(pit != pending.end());
       if (--pit->second == 0) {
         // Only schedule nodes that actually received gradient; nodes with
         // no accumulated grad contribute nothing downstream.
-        if (accumulated.count(in) > 0) ready.push_back(in);
+        if (accumulated.count(in) > 0) ready.emplace(in->seq, in);
       }
     }
   }
 
-  std::vector<Variable> result;
-  result.reserve(inputs.size());
+  BackwardOutputs outputs;
+  if (create_graph) {
+    outputs.graphs.reserve(inputs.size());
+  } else {
+    outputs.values.reserve(inputs.size());
+  }
   for (const Variable& input : inputs) {
-    MSOPDS_CHECK(input.defined());
     auto it = accumulated.find(input.node().get());
-    if (it != accumulated.end() && input.requires_grad()) {
-      result.push_back(it->second);
+    const bool found = it != accumulated.end() && input.requires_grad();
+    if (create_graph) {
+      outputs.graphs.push_back(
+          found ? it->second.graph
+                : Constant(Tensor::Zeros(input.value().shape())));
     } else {
-      result.push_back(Constant(Tensor::Zeros(input.value().shape())));
+      outputs.values.push_back(found ? it->second.value
+                                     : Tensor::Zeros(input.value().shape()));
     }
   }
+  return outputs;
+}
+
+}  // namespace
+
+std::vector<Variable> Grad(const Variable& output,
+                           const std::vector<Variable>& inputs,
+                           const Variable& grad_output,
+                           const GradOptions& options) {
+  BackwardOutputs outputs = WalkBackward(output, inputs, grad_output,
+                                         options.create_graph,
+                                         options.init_grads);
+  if (options.create_graph) return std::move(outputs.graphs);
+  std::vector<Variable> result;
+  result.reserve(outputs.values.size());
+  for (Tensor& value : outputs.values) result.push_back(Constant(std::move(value)));
   return result;
 }
 
 std::vector<Tensor> GradValues(const Variable& output,
                                const std::vector<Variable>& inputs,
-                               const Variable& grad_output) {
-  std::vector<Variable> grads = Grad(output, inputs, grad_output);
-  std::vector<Tensor> values;
-  values.reserve(grads.size());
-  for (const Variable& g : grads) values.push_back(g.value());
-  return values;
+                               const Variable& grad_output,
+                               std::vector<Tensor> init_grads) {
+  return WalkBackward(output, inputs, grad_output, /*create_graph=*/false,
+                      init_grads)
+      .values;
 }
 
 Tensor HessianVectorProduct(const Variable& grad, const Variable& input,
@@ -133,7 +253,7 @@ Tensor HessianVectorProduct(const Variable& grad, const Variable& input,
     return Tensor::Zeros(input.value().shape());
   }
   Variable inner = Dot(grad, Constant(v.Clone()));
-  return Grad(inner, {input})[0].value();
+  return GradValues(inner, {input})[0];
 }
 
 Tensor MixedVectorJacobian(const Variable& grad, const Variable& other,
@@ -143,7 +263,7 @@ Tensor MixedVectorJacobian(const Variable& grad, const Variable& other,
     return Tensor::Zeros(other.value().shape());
   }
   Variable inner = Dot(grad, Constant(xi.Clone()));
-  return Grad(inner, {other})[0].value();
+  return GradValues(inner, {other})[0];
 }
 
 }  // namespace msopds

@@ -8,6 +8,28 @@
 
 namespace msopds {
 
+/// Options controlling the backward walk in Grad() / GradValues().
+struct GradOptions {
+  /// When true (default), gradients are recorded Variables whose own
+  /// graphs reference `inputs`, so they can be differentiated again
+  /// (exact Hessian-vector products). When false the walk runs in value
+  /// mode: gradients accumulate into plain Tensors — in place when the
+  /// buffer refcount shows no aliases — and each node's accumulator is
+  /// released back to the arena as soon as the node fires. Value-mode
+  /// results carry the same bits as the values of graph-mode gradients;
+  /// only first-order information is available (Grad() wraps them as
+  /// graph-less Constants).
+  bool create_graph = true;
+
+  /// Optional initial accumulators, parallel to `inputs`: input i's
+  /// gradient fold starts from init_grads[i] instead of empty (undefined
+  /// tensors mean no seed). Used by the checkpointing driver
+  /// (tensor/remat.h) to chain a shared leaf's gradient across tape
+  /// segments so the segmented fold reproduces the full-tape fold
+  /// bit-for-bit. Entries for inputs without requires_grad are ignored.
+  std::vector<Tensor> init_grads;
+};
+
 /// Reverse-mode gradients of `output` w.r.t. each of `inputs`.
 ///
 /// `grad_output` seeds the backward pass (defaults to all-ones of the
@@ -16,14 +38,26 @@ namespace msopds {
 /// higher-order derivatives (the mechanism behind the Hessian-vector
 /// products in MSO). Inputs that the output does not depend on receive a
 /// zero gradient of the input's shape.
+///
+/// The backward walk fires nodes in decreasing Node::seq order (a
+/// max-heap over creation order), which is one canonical
+/// reverse-topological order: gradient accumulation folds identically no
+/// matter how the graph was built or partitioned. tensor/remat.h depends
+/// on this for bit-identical gradient checkpointing.
 std::vector<Variable> Grad(const Variable& output,
                            const std::vector<Variable>& inputs,
-                           const Variable& grad_output = Variable());
+                           const Variable& grad_output = Variable(),
+                           const GradOptions& options = GradOptions());
 
-/// Convenience: detached gradient tensors (first-order only).
+/// Detached gradient tensors (first-order only). Runs the value-mode
+/// walk directly: no gradient graph is recorded, accumulation is
+/// in-place where refcounts allow, and tape-walk temporaries go back to
+/// the arena eagerly. Bit-identical to calling Grad() and reading each
+/// gradient's value.
 std::vector<Tensor> GradValues(const Variable& output,
                                const std::vector<Variable>& inputs,
-                               const Variable& grad_output = Variable());
+                               const Variable& grad_output = Variable(),
+                               std::vector<Tensor> init_grads = {});
 
 /// Hessian-vector product: d/d(input) [ <Grad(output, input), v> ].
 /// `grad` must be the (graph-carrying) gradient of a scalar output w.r.t.

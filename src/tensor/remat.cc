@@ -1,0 +1,118 @@
+#include "tensor/remat.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace msopds {
+namespace {
+
+// Fresh leaves holding `values`. requires_grad so a segment's backward
+// walk can read boundary adjoints off them.
+std::vector<Variable> MakeStateLeaves(const std::vector<Tensor>& values) {
+  std::vector<Variable> leaves;
+  leaves.reserve(values.size());
+  for (const Tensor& v : values) leaves.push_back(Param(v));
+  return leaves;
+}
+
+}  // namespace
+
+CheckpointedGradResult CheckpointedUnrollGrad(
+    const std::vector<Tensor>& initial_state,
+    const std::vector<Variable>& inputs, int64_t num_steps,
+    int64_t checkpoint_every, const UnrollStepFn& step,
+    const UnrollLossFn& loss) {
+  MSOPDS_CHECK_GE(num_steps, 0);
+  MSOPDS_CHECK(step != nullptr);
+  MSOPDS_CHECK(loss != nullptr);
+  const int64_t k = (checkpoint_every <= 0 || checkpoint_every >= num_steps)
+                        ? std::max<int64_t>(num_steps, 1)
+                        : checkpoint_every;
+
+  CheckpointedGradResult result;
+
+  // Forward snapshot pass (segmented mode only): run each step on fresh
+  // leaves so the step's tape dies as soon as its values are read,
+  // keeping only the state at segment boundaries. The leaves must
+  // require grad: functional-SGD steps differentiate w.r.t. the handed
+  // state internally, and a detached state would silently turn that
+  // inner Grad into zeros, corrupting every snapshot downstream.
+  std::vector<std::vector<Tensor>> snapshots;
+  snapshots.push_back(initial_state);
+  if (k < num_steps) {
+    std::vector<Tensor> values = initial_state;
+    for (int64_t t = 0; t < num_steps; ++t) {
+      std::vector<Variable> state = MakeStateLeaves(values);
+      std::vector<Variable> next = step(state, t);
+      MSOPDS_CHECK_EQ(next.size(), values.size())
+          << "step must preserve state arity";
+      values.clear();
+      for (const Variable& v : next) values.push_back(v.value());
+      if ((t + 1) % k == 0 && (t + 1) < num_steps) snapshots.push_back(values);
+    }
+  }
+
+  const int64_t num_segments =
+      num_steps == 0 ? 1 : (num_steps + k - 1) / k;
+  MSOPDS_CHECK_EQ(static_cast<int64_t>(snapshots.size()), num_segments);
+  result.segments = num_segments;
+
+  // Backward, latest segment first. `adj` carries boundary adjoints down
+  // to the next segment; `input_carry` chains shared-leaf gradients so
+  // each segment's walk continues the full tape's left fold.
+  std::vector<Tensor> adj;
+  std::vector<Tensor> input_carry(inputs.size());
+  for (int64_t j = num_segments - 1; j >= 0; --j) {
+    const int64_t begin = j * k;
+    const int64_t end = std::min(num_steps, (j + 1) * k);
+    std::vector<Variable> leaves = MakeStateLeaves(snapshots[static_cast<size_t>(j)]);
+    std::vector<Variable> state = leaves;
+    for (int64_t t = begin; t < end; ++t) {
+      state = step(state, t);
+      MSOPDS_CHECK_EQ(state.size(), leaves.size())
+          << "step must preserve state arity";
+    }
+
+    Variable root;
+    if (j == num_segments - 1) {
+      root = loss(state);
+      MSOPDS_CHECK(root.defined());
+      MSOPDS_CHECK_EQ(root.value().size(), 1)
+          << "terminal loss must be scalar";
+      result.loss = root.value();
+      result.final_state.reserve(state.size());
+      for (const Variable& s : state) result.final_state.push_back(s.value());
+    } else {
+      // Seed this segment's outputs with the adjoints computed by the
+      // segment above: Dot(out, Constant(adj)) delivers adj * 1.0 to
+      // `out` in the walk — exact, so the hand-off is bitwise.
+      MSOPDS_CHECK_EQ(adj.size(), state.size());
+      for (size_t i = 0; i < state.size(); ++i) {
+        Variable term = Dot(state[i], Constant(adj[i]));
+        root = root.defined() ? Add(root, term) : term;
+      }
+    }
+
+    std::vector<Variable> walk_inputs = leaves;
+    walk_inputs.insert(walk_inputs.end(), inputs.begin(), inputs.end());
+    std::vector<Tensor> init(leaves.size());
+    init.insert(init.end(), input_carry.begin(), input_carry.end());
+    std::vector<Tensor> grads =
+        GradValues(root, walk_inputs, Variable(), std::move(init));
+    adj.assign(std::make_move_iterator(grads.begin()),
+               std::make_move_iterator(grads.begin() +
+                                       static_cast<int64_t>(leaves.size())));
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      input_carry[i] = std::move(grads[leaves.size() + i]);
+    }
+  }
+
+  result.state_grads = std::move(adj);
+  result.input_grads = std::move(input_carry);
+  return result;
+}
+
+}  // namespace msopds

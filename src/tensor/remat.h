@@ -1,0 +1,83 @@
+#ifndef MSOPDS_TENSOR_REMAT_H_
+#define MSOPDS_TENSOR_REMAT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/grad.h"
+#include "tensor/variable.h"
+
+namespace msopds {
+
+/// Gradient checkpointing (rematerialization) for unrolled inner loops.
+///
+/// An unrolled optimization — the surrogate SGD loop of the PDS planner,
+/// the functional MF steps of the unrolled-surrogate attack — builds a
+/// tape whose size grows linearly with the number of steps, because every
+/// intermediate of every step stays alive until the backward pass
+/// consumes it. CheckpointedUnrollGrad() trades compute for memory: the
+/// forward pass keeps only the state at every `checkpoint_every`-th step
+/// boundary (dropping each step's tape immediately), then the backward
+/// pass rematerializes one segment at a time, so peak tape size is one
+/// segment plus the checkpoints.
+///
+/// Bit-identity. The result is bit-for-bit the gradient the full tape
+/// would produce, at any thread count. Two mechanisms make this hold:
+/// (1) Grad() fires nodes in canonical decreasing-creation-order (see
+/// Node::seq), so a segment's internal gradient fold equals the
+/// corresponding stretch of the full walk; (2) boundary adjoints enter a
+/// segment through Dot(state, Constant(adjoint)) roots — whose backward
+/// delivers the adjoint multiplied by 1.0, exact in IEEE arithmetic —
+/// and shared-leaf gradients are chained across segments through
+/// GradOptions-style initial accumulators, reproducing the full walk's
+/// left fold one contribution at a time.
+///
+/// Contract on the callbacks: `step` and `loss` must build their ops
+/// from the state Variables they are handed plus *leaf* Variables only
+/// (the `inputs` params, constants). A derived Variable computed once
+/// outside the loop and captured by the closure would be a shared
+/// interior node; its backward would collapse per-segment partial sums
+/// and break bit-identity. Rebuild such values inside the callback.
+///
+/// Caveat: a state component that receives no adjoint at a boundary is
+/// reseeded with exact zeros rather than skipped; this is arithmetically
+/// neutral except for the sign of a -0.0 accumulator. Both surrogate
+/// losses regularize every parameter, so every component receives a real
+/// adjoint in practice.
+struct CheckpointedGradResult {
+  /// d(loss)/d(inputs[i]), parallel to `inputs`.
+  std::vector<Tensor> input_grads;
+  /// d(loss)/d(initial_state[i]), parallel to `initial_state`.
+  std::vector<Tensor> state_grads;
+  /// Terminal loss value.
+  Tensor loss;
+  /// Detached state values after the final step.
+  std::vector<Tensor> final_state;
+  /// Number of backward segments run (1 when checkpointing is off).
+  int64_t segments = 0;
+};
+
+/// Maps (state at step t, t) to the state at step t+1.
+using UnrollStepFn = std::function<std::vector<Variable>(
+    const std::vector<Variable>& state, int64_t step)>;
+
+/// Maps the final state to the scalar terminal loss.
+using UnrollLossFn =
+    std::function<Variable(const std::vector<Variable>& state)>;
+
+/// Runs `num_steps` of `step` from `initial_state`, applies `loss`, and
+/// returns first-order gradients w.r.t. `inputs` (shared leaves captured
+/// by the callbacks) and the initial state.
+///
+/// `checkpoint_every` <= 0 (or >= num_steps) disables segmentation: one
+/// full tape, one backward walk. Gradients are identical either way.
+CheckpointedGradResult CheckpointedUnrollGrad(
+    const std::vector<Tensor>& initial_state,
+    const std::vector<Variable>& inputs, int64_t num_steps,
+    int64_t checkpoint_every, const UnrollStepFn& step,
+    const UnrollLossFn& loss);
+
+}  // namespace msopds
+
+#endif  // MSOPDS_TENSOR_REMAT_H_

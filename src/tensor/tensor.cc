@@ -1,6 +1,8 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "util/logging.h"
@@ -29,28 +31,33 @@ Tensor::Tensor() = default;
 Tensor::Tensor(std::vector<int64_t> shape)
     : shape_(std::move(shape)), size_(ShapeSize(shape_)) {
   MSOPDS_CHECK_LE(rank(), 2) << "only rank 0..2 tensors are supported";
-  data_ = std::make_shared<std::vector<double>>(
-      static_cast<size_t>(size_), 0.0);
-  generation_ = std::make_shared<uint64_t>(1);
+  data_ = TensorStorage::Create(size_, /*zero=*/true);
 }
 
 Tensor Tensor::Scalar(double value) {
   Tensor t{std::vector<int64_t>{}};
-  (*t.data_)[0] = value;
+  t.data_->data()[0] = value;
   return t;
 }
 
 Tensor Tensor::FromVector(std::vector<double> values) {
-  Tensor t{std::vector<int64_t>{static_cast<int64_t>(values.size())}};
-  *t.data_ = std::move(values);
+  Tensor t;
+  t.shape_ = {static_cast<int64_t>(values.size())};
+  t.size_ = static_cast<int64_t>(values.size());
+  t.data_ = TensorStorage::Create(t.size_, /*zero=*/false);
+  std::copy(values.begin(), values.end(), t.data_->data());
   return t;
 }
 
 Tensor Tensor::FromMatrix(int64_t rows, int64_t cols,
                           std::vector<double> values) {
   MSOPDS_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
-  Tensor t{std::vector<int64_t>{rows, cols}};
-  *t.data_ = std::move(values);
+  Tensor t;
+  t.shape_ = {rows, cols};
+  t.size_ = rows * cols;
+  MSOPDS_CHECK_LE(t.rank(), 2);
+  t.data_ = TensorStorage::Create(t.size_, /*zero=*/false);
+  std::copy(values.begin(), values.end(), t.data_->data());
   return t;
 }
 
@@ -73,8 +80,11 @@ Tensor Tensor::Clone() const {
   Tensor t;
   t.shape_ = shape_;
   t.size_ = size_;
-  t.data_ = std::make_shared<std::vector<double>>(*data_);
-  t.generation_ = std::make_shared<uint64_t>(1);
+  t.data_ = TensorStorage::Create(size_, /*zero=*/false);
+  if (size_ > 0) {
+    std::memcpy(t.data_->data(), data_->data(),
+                static_cast<size_t>(size_) * sizeof(double));
+  }
   return t;
 }
 
@@ -96,14 +106,14 @@ const double* Tensor::data() const {
 
 double Tensor::item() const {
   MSOPDS_CHECK_EQ(size_, 1);
-  return (*data_)[0];
+  return data_->data()[0];
 }
 
 double& Tensor::at(int64_t i) {
   MSOPDS_CHECK_EQ(rank(), 1);
   MSOPDS_CHECK_GE(i, 0);
   MSOPDS_CHECK_LT(i, size_);
-  return (*data_)[static_cast<size_t>(i)];
+  return data_->data()[i];
 }
 
 double Tensor::at(int64_t i) const {
@@ -116,7 +126,7 @@ double& Tensor::at(int64_t i, int64_t j) {
   MSOPDS_CHECK_LT(i, shape_[0]);
   MSOPDS_CHECK_GE(j, 0);
   MSOPDS_CHECK_LT(j, shape_[1]);
-  return (*data_)[static_cast<size_t>(i * shape_[1] + j)];
+  return data_->data()[i * shape_[1] + j];
 }
 
 double Tensor::at(int64_t i, int64_t j) const {
@@ -125,7 +135,8 @@ double Tensor::at(int64_t i, int64_t j) const {
 
 void Tensor::Fill(double value) {
   MSOPDS_CHECK(defined());
-  for (double& x : *data_) x = value;
+  double* values = data_->data();
+  for (int64_t i = 0; i < size_; ++i) values[i] = value;
 }
 
 double Tensor::Sum() const {
@@ -163,7 +174,7 @@ std::string Tensor::DebugString(int64_t max_elements) const {
     const int64_t n = std::min<int64_t>(size_, max_elements);
     for (int64_t i = 0; i < n; ++i) {
       if (i > 0) out << ", ";
-      out << (*data_)[static_cast<size_t>(i)];
+      out << data_->data()[i];
     }
     if (size_ > max_elements) out << ", ...";
   }

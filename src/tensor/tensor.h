@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/storage.h"
 #include "util/logging.h"
 
 namespace msopds {
@@ -116,13 +117,26 @@ class Tensor {
   /// are recorded; the graph verifier compares the snapshots against the
   /// current values to flag tensors mutated after being captured by a
   /// graph (the "stale leaf" hazard). 0 for undefined tensors.
-  uint64_t generation() const { return generation_ ? *generation_ : 0; }
+  uint64_t generation() const { return data_ ? data_->generation() : 0; }
 
   /// Marks the buffer as mutated. Called by Variable::mutable_value();
   /// call it directly after writing through data() to a tensor that a
   /// recorded graph may alias.
   void BumpGeneration() {
-    if (generation_) ++*generation_;
+    if (data_) data_->BumpGeneration();
+  }
+
+  /// Buffer identity: equal for tensors aliasing the same storage, and
+  /// stable for the storage's lifetime. nullptr for undefined tensors.
+  /// Used by GraphStats to deduplicate shared buffers when accounting
+  /// live bytes.
+  const void* buffer_id() const { return data_.get(); }
+
+  /// True when this handle is the only reference to the buffer. Grad()'s
+  /// value mode accumulates in place only when this holds — mutating a
+  /// shared buffer would corrupt aliases, so it clones first otherwise.
+  bool sole_buffer_owner() const {
+    return data_ != nullptr && data_.use_count() == 1;
   }
 
   /// Sets every element to `value`.
@@ -140,8 +154,8 @@ class Tensor {
  private:
   std::vector<int64_t> shape_;
   int64_t size_ = 0;
-  std::shared_ptr<std::vector<double>> data_;
-  std::shared_ptr<uint64_t> generation_;
+  /// Arena-backed, ref-counted buffer; carries the generation stamp.
+  std::shared_ptr<TensorStorage> data_;
 };
 
 /// True if `a` and `b` have equal shape and elements within `tolerance`.

@@ -1,5 +1,6 @@
 #include "tensor/variable.h"
 
+#include <atomic>
 #include <utility>
 
 #include "util/logging.h"
@@ -7,6 +8,8 @@
 namespace msopds {
 namespace internal {
 namespace {
+
+std::atomic<uint64_t> g_node_seq{0};
 
 bool g_grad_recording = false;
 
@@ -17,6 +20,8 @@ bool g_leaf_mutation_guard = false;
 #endif
 
 }  // namespace
+
+Node::Node() : seq(g_node_seq.fetch_add(1, std::memory_order_relaxed) + 1) {}
 
 Node::~Node() {
   for (const Variable& input : inputs) {

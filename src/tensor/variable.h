@@ -47,7 +47,16 @@ struct Node {
   int live_grad_consumers = 0;
   bool in_grad_graph = false;
 
-  Node() = default;
+  /// Process-wide creation order (1, 2, 3, ...). A node's inputs always
+  /// carry smaller seq values than the node itself, so firing ready nodes
+  /// in decreasing seq order yields one canonical reverse-topological
+  /// backward walk. Grad() relies on this: the walk order — and therefore
+  /// the floating-point fold of accumulated gradients — is independent of
+  /// how the graph was partitioned, which is what makes checkpointed
+  /// (segment-by-segment) backward bit-identical to the full walk.
+  uint64_t seq = 0;
+
+  Node();
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
   ~Node();

@@ -242,12 +242,22 @@ VerifyResult GraphVerifier::Verify(const Variable& root) const {
   }
 
   const std::vector<Node*> nodes = CollectNodes(root.node().get());
+  // Buffer-identity dedup: tensors aliasing one storage (shallow copies,
+  // zero-copy views) count once toward the arena footprint.
+  std::unordered_set<const void*> seen_buffers;
+  seen_buffers.reserve(nodes.size());
   for (Node* node : nodes) {
     CheckNode(node, options_, &result.diagnostics);
     ++result.stats.num_nodes;
     result.stats.num_edges += static_cast<int64_t>(node->inputs.size());
-    result.stats.value_bytes +=
+    const int64_t payload =
         node->value.size() * static_cast<int64_t>(sizeof(double));
+    result.stats.value_bytes += payload;
+    const void* buffer = node->value.buffer_id();
+    if (buffer != nullptr && seen_buffers.insert(buffer).second) {
+      result.stats.live_bytes += payload;
+      if (!node->inputs.empty()) result.stats.releasable_bytes += payload;
+    }
     if (node->inputs.empty()) {
       ++result.stats.num_leaves;
       if (node->requires_grad) ++result.stats.num_params;

@@ -87,6 +87,15 @@ struct GraphStats {
   int64_t num_params = 0;     // leaves with requires_grad
   int64_t num_edges = 0;
   int64_t value_bytes = 0;    // payload bytes across unique node tensors
+  /// Payload bytes across unique *buffers* (tensors sharing storage via
+  /// copies or views are counted once): the graph's actual arena
+  /// footprint.
+  int64_t live_bytes = 0;
+  /// The subset of live_bytes held by interior (non-leaf) nodes — the
+  /// bytes a first-order backward pass releases back to the arena once
+  /// the graph handle is dropped; leaves (params, constants) typically
+  /// outlive the tape.
+  int64_t releasable_bytes = 0;
   int64_t max_depth = 0;      // longest input chain, leaves at depth 1
   /// Recorded non-leaf nodes whose OpSpec has parallel_kernel set.
   int64_t num_parallel_kernel_nodes = 0;

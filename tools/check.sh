@@ -105,10 +105,18 @@ if [ "${STAGE_RESULTS[-1]}" = "PASS" ]; then
     MSOPDS_THREADS=4 ctest --test-dir build --output-on-failure -j
   }
   run_stage "ctest-release-mt4" ctest_mt
+  # Same suite with buffer recycling off: the arena's contract is
+  # bit-identical results, so the whole tier must also pass with every
+  # allocation going straight to the heap.
+  ctest_arena_off() {
+    MSOPDS_ARENA=0 ctest --test-dir build --output-on-failure -j
+  }
+  run_stage "ctest-release-arena-off" ctest_arena_off
   run_stage "verify-graph" ./build/tools/verify_graph
 else
   skip_stage "ctest-release" "build failed"
   skip_stage "ctest-release-mt4" "build failed"
+  skip_stage "ctest-release-arena-off" "build failed"
   skip_stage "verify-graph" "build failed"
 fi
 
@@ -143,9 +151,16 @@ if [ $SANITIZERS -eq 1 ]; then
           --output-on-failure -j
       }
       run_stage "ctest-$san-mt4" ctest_san_mt
+      # Memory suite under the sanitizer: recycled-buffer misuse (the
+      # arena's poisoned free lists) must fault, not pass silently.
+      ctest_san_memory() {
+        ctest --test-dir "$dir" -L memory --output-on-failure -j
+      }
+      run_stage "ctest-$san-memory" ctest_san_memory
     else
       skip_stage "ctest-$san" "build failed"
       skip_stage "ctest-$san-mt4" "build failed"
+      skip_stage "ctest-$san-memory" "build failed"
     fi
   done
 else

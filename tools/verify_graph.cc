@@ -134,6 +134,10 @@ int main(int argc, char** argv) {
               static_cast<long long>(result.stats.value_bytes),
               static_cast<long long>(result.stats.max_depth),
               static_cast<long long>(result.stats.num_parallel_kernel_nodes));
+  std::printf("memory: %lld live bytes (deduped buffers), %lld releasable "
+              "by backward\n",
+              static_cast<long long>(result.stats.live_bytes),
+              static_cast<long long>(result.stats.releasable_bytes));
   if (!result.diagnostics.empty()) {
     std::printf("%s", result.Report().c_str());
   }
