@@ -27,8 +27,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "core/experiment.h"
@@ -39,6 +41,32 @@
 #include "util/thread_pool.h"
 
 namespace msopds {
+
+/// Writes a JSON document (plus trailing newline) to `path`, creating
+/// missing parent directories first — "--json_out=out/run1/x.json" must
+/// produce the file, not silently skip it. Returns false (with a stderr
+/// diagnostic) when the directory or file cannot be created.
+inline bool WriteJsonFile(const std::string& path,
+                          const std::string& payload) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create directory %s: %s\n",
+                   target.parent_path().string().c_str(),
+                   ec.message().c_str());
+      return false;
+    }
+  }
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << payload << '\n';
+  return out.good();
+}
 
 /// Point-in-time memory snapshot: process peak RSS (VmHWM from
 /// /proc/self/status; 0 where procfs is unavailable) plus the tensor

@@ -119,12 +119,7 @@ class SpeedupReporter : public benchmark::ConsoleReporter {
     }
     json.EndArray();
     json.EndObject();
-    std::ofstream out(path);
-    if (!out.is_open()) {
-      std::fprintf(stderr, "cannot write speedup table to %s\n", path.c_str());
-      return pairs;
-    }
-    out << json.TakeString() << '\n';
+    if (!WriteJsonFile(path, json.TakeString())) return pairs;
     std::fprintf(stderr, "[parallel] wrote %d speedup pair(s) to %s\n", pairs,
                  path.c_str());
     return pairs;
@@ -163,12 +158,7 @@ class SpeedupReporter : public benchmark::ConsoleReporter {
     }
     json.EndArray();
     json.EndObject();
-    std::ofstream out(path);
-    if (!out.is_open()) {
-      std::fprintf(stderr, "cannot write memory table to %s\n", path.c_str());
-      return cases;
-    }
-    out << json.TakeString() << '\n';
+    if (!WriteJsonFile(path, json.TakeString())) return cases;
     std::fprintf(stderr, "[memory] wrote %d memory case(s) to %s\n", cases,
                  path.c_str());
     return cases;

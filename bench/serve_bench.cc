@@ -1,0 +1,322 @@
+// Serving-engine load generator: QPS and latency percentiles vs kernel
+// thread count, written to a JSON table (BENCH_serving.json by default).
+//
+// Two load modes per thread count:
+//   closed  N client threads issue Submit().get() back-to-back — measures
+//           the engine's saturated throughput and in-line latency.
+//   open    requests arrive on a fixed schedule at --qps regardless of
+//           completions — measures queueing latency under a target load.
+// A publisher thread hot-swaps a fresh snapshot every --swap_ms
+// milliseconds throughout both phases, so every row also exercises the
+// reader/writer-concurrent publish path.
+//
+// Flags:
+//   --users=N --items=N --dim=D   synthetic snapshot size (default
+//                                 4000 x 8000 x 32)
+//   --k=N                         list length per request (default 10)
+//   --seconds=F                   measurement window per row (default 1.0)
+//   --clients=N                   closed-loop client threads (default 8)
+//   --qps=N                       open-loop arrival rate (default 2000)
+//   --threads=a,b,c               kernel thread counts (default 1,2,4)
+//   --batch=N --wait_us=N         micro-batcher shape (default 64 / 200)
+//   --swap_ms=N                   snapshot republish period (default 100;
+//                                 0 disables)
+//   --seed=N                      RNG seed (default 7)
+//   --json_out=PATH               output table; parent directories are
+//                                 created (default BENCH_serving.json)
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "recsys/matrix_factorization.h"
+#include "serve/engine.h"
+#include "serve/model_snapshot.h"
+#include "util/json_writer.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace msopds {
+namespace {
+
+struct ServeBenchFlags {
+  int64_t users = 4000;
+  int64_t items = 8000;
+  int64_t dim = 32;
+  int k = 10;
+  double seconds = 1.0;
+  int clients = 8;
+  int qps = 2000;
+  std::vector<int> threads = {1, 2, 4};
+  int batch = 64;
+  int64_t wait_us = 200;
+  int64_t swap_ms = 100;
+  uint64_t seed = 7;
+  std::string json_out = "BENCH_serving.json";
+
+  static ServeBenchFlags Parse(int argc, char** argv) {
+    ServeBenchFlags flags;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value_of = [&](const char* prefix) -> const char* {
+        const size_t n = std::string(prefix).size();
+        if (arg.rfind(prefix, 0) == 0) return arg.c_str() + n;
+        return nullptr;
+      };
+      if (const char* v = value_of("--users=")) {
+        flags.users = std::atoll(v);
+      } else if (const char* v = value_of("--items=")) {
+        flags.items = std::atoll(v);
+      } else if (const char* v = value_of("--dim=")) {
+        flags.dim = std::atoll(v);
+      } else if (const char* v = value_of("--k=")) {
+        flags.k = std::atoi(v);
+      } else if (const char* v = value_of("--seconds=")) {
+        flags.seconds = std::atof(v);
+      } else if (const char* v = value_of("--clients=")) {
+        flags.clients = std::atoi(v);
+      } else if (const char* v = value_of("--qps=")) {
+        flags.qps = std::atoi(v);
+      } else if (const char* v = value_of("--threads=")) {
+        flags.threads.clear();
+        for (auto& part : StrSplit(v, ','))
+          flags.threads.push_back(std::atoi(part.c_str()));
+      } else if (const char* v = value_of("--batch=")) {
+        flags.batch = std::atoi(v);
+      } else if (const char* v = value_of("--wait_us=")) {
+        flags.wait_us = std::atoll(v);
+      } else if (const char* v = value_of("--swap_ms=")) {
+        flags.swap_ms = std::atoll(v);
+      } else if (const char* v = value_of("--seed=")) {
+        flags.seed = static_cast<uint64_t>(std::atoll(v));
+      } else if (const char* v = value_of("--json_out=")) {
+        flags.json_out = v;
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    return flags;
+  }
+};
+
+// An untrained (randomly initialized) MF snapshot is enough for a latency
+// benchmark — the scoring cost depends only on the shapes.
+std::shared_ptr<const serve::ModelSnapshot> MakeSnapshot(
+    const ServeBenchFlags& flags, uint64_t version) {
+  Rng rng(flags.seed + version);
+  Dataset dataset;
+  dataset.name = "serve_bench";
+  dataset.num_users = flags.users;
+  dataset.num_items = flags.items;
+  // ~20 seen items per user so exclusion has realistic work to do.
+  for (int64_t u = 0; u < flags.users; ++u) {
+    for (int r = 0; r < 20; ++r) {
+      const int64_t item = rng.UniformInt(flags.items);
+      if (!dataset.HasRating(u, item)) {
+        dataset.ratings.push_back({u, item, 5.0});
+      }
+    }
+  }
+  MfConfig config;
+  config.latent_dim = flags.dim;
+  MatrixFactorization model(flags.users, flags.items, config, 3.5, &rng);
+  serve::SnapshotOptions options;
+  options.version = version;
+  options.source = "mf-bench";
+  return serve::ModelSnapshot::FromModel(&model, dataset, options);
+}
+
+struct RowResult {
+  std::string mode;
+  int threads = 0;
+  int64_t requests = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  serve::EngineStats stats;
+};
+
+// Publisher sidecar: republishes a snapshot every swap_ms until stopped.
+class SwapLoop {
+ public:
+  SwapLoop(serve::ServingEngine* engine, const ServeBenchFlags& flags)
+      : engine_(engine), flags_(flags) {
+    if (flags_.swap_ms > 0) {
+      worker_ = std::thread([this] { Loop(); });
+    }
+  }
+  ~SwapLoop() {
+    stop_.store(true);
+    if (worker_.joinable()) worker_.join();
+  }
+
+ private:
+  void Loop() {
+    uint64_t version = 2;
+    while (!stop_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(flags_.swap_ms));
+      if (stop_.load()) break;
+      engine_->Publish(MakeSnapshot(flags_, version++));
+    }
+  }
+
+  serve::ServingEngine* engine_;
+  ServeBenchFlags flags_;
+  std::atomic<bool> stop_{false};
+  std::thread worker_;
+};
+
+RowResult RunClosedLoop(const ServeBenchFlags& flags, int threads) {
+  ThreadPool::Global().SetNumThreads(threads);
+  serve::EngineOptions options;
+  options.max_batch_size = flags.batch;
+  options.max_wait_us = flags.wait_us;
+  serve::ServingEngine engine(options);
+  engine.Publish(MakeSnapshot(flags, 1));
+  SwapLoop swaps(&engine, flags);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> completed{0};
+  std::vector<std::thread> clients;
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < flags.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(flags.seed * 1000 + static_cast<uint64_t>(c));
+      while (!stop.load(std::memory_order_relaxed)) {
+        serve::ServeRequest request;
+        request.user = rng.UniformInt(flags.users);
+        request.k = flags.k;
+        engine.ServeSync(request);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(flags.seconds));
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  RowResult row;
+  row.mode = "closed";
+  row.threads = threads;
+  row.requests = completed.load();
+  row.seconds = elapsed;
+  row.qps = elapsed > 0 ? static_cast<double>(row.requests) / elapsed : 0.0;
+  row.stats = engine.Stats();
+  return row;
+}
+
+RowResult RunOpenLoop(const ServeBenchFlags& flags, int threads) {
+  ThreadPool::Global().SetNumThreads(threads);
+  serve::EngineOptions options;
+  options.max_batch_size = flags.batch;
+  options.max_wait_us = flags.wait_us;
+  serve::ServingEngine engine(options);
+  engine.Publish(MakeSnapshot(flags, 1));
+  SwapLoop swaps(&engine, flags);
+
+  Rng rng(flags.seed);
+  const auto start = std::chrono::steady_clock::now();
+  const auto period =
+      std::chrono::nanoseconds(static_cast<int64_t>(1e9 / flags.qps));
+  const int64_t total =
+      static_cast<int64_t>(flags.seconds * static_cast<double>(flags.qps));
+  std::vector<std::future<serve::ServeResponse>> inflight;
+  inflight.reserve(static_cast<size_t>(total));
+  for (int64_t i = 0; i < total; ++i) {
+    std::this_thread::sleep_until(start + period * i);
+    serve::ServeRequest request;
+    request.user = rng.UniformInt(flags.users);
+    request.k = flags.k;
+    inflight.push_back(engine.Submit(request));
+  }
+  for (auto& future : inflight) future.get();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  RowResult row;
+  row.mode = "open";
+  row.threads = threads;
+  row.requests = total;
+  row.seconds = elapsed;
+  row.qps = elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0;
+  row.stats = engine.Stats();
+  return row;
+}
+
+void WriteTable(const ServeBenchFlags& flags,
+                const std::vector<RowResult>& rows) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("users").Int(flags.users);
+  json.Key("items").Int(flags.items);
+  json.Key("dim").Int(flags.dim);
+  json.Key("k").Int(flags.k);
+  json.Key("clients").Int(flags.clients);
+  json.Key("target_qps").Int(flags.qps);
+  json.Key("max_batch_size").Int(flags.batch);
+  json.Key("max_wait_us").Int(flags.wait_us);
+  json.Key("swap_ms").Int(flags.swap_ms);
+  json.Key("cases").BeginArray();
+  for (const RowResult& row : rows) {
+    json.BeginObject();
+    json.Key("mode").String(row.mode);
+    json.Key("threads").Int(row.threads);
+    json.Key("requests").Int(row.requests);
+    json.Key("seconds").Double(row.seconds);
+    json.Key("qps").Double(row.qps);
+    json.Key("p50_us").Int(row.stats.p50_us);
+    json.Key("p95_us").Int(row.stats.p95_us);
+    json.Key("p99_us").Int(row.stats.p99_us);
+    json.Key("max_us").Int(row.stats.max_us);
+    json.Key("batches").Int(row.stats.batches);
+    json.Key("mean_batch_size").Double(row.stats.mean_batch_size);
+    json.Key("publishes").Int(row.stats.publishes);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (WriteJsonFile(flags.json_out, json.TakeString())) {
+    std::fprintf(stderr, "[serve] wrote %zu row(s) to %s\n", rows.size(),
+                 flags.json_out.c_str());
+  }
+}
+
+int Main(int argc, char** argv) {
+  const ServeBenchFlags flags = ServeBenchFlags::Parse(argc, argv);
+  std::printf("%-8s %8s %10s %12s %10s %10s %10s %8s\n", "mode", "threads",
+              "requests", "qps", "p50_us", "p95_us", "p99_us", "swaps");
+  std::vector<RowResult> rows;
+  for (int threads : flags.threads) {
+    for (const bool open : {false, true}) {
+      const RowResult row =
+          open ? RunOpenLoop(flags, threads) : RunClosedLoop(flags, threads);
+      std::printf("%-8s %8d %10lld %12.1f %10lld %10lld %10lld %8lld\n",
+                  row.mode.c_str(), row.threads,
+                  static_cast<long long>(row.requests), row.qps,
+                  static_cast<long long>(row.stats.p50_us),
+                  static_cast<long long>(row.stats.p95_us),
+                  static_cast<long long>(row.stats.p99_us),
+                  static_cast<long long>(row.stats.publishes));
+      rows.push_back(row);
+    }
+  }
+  WriteTable(flags, rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace msopds
+
+int main(int argc, char** argv) { return msopds::Main(argc, argv); }

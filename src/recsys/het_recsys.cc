@@ -135,4 +135,13 @@ Tensor HetRecSys::PredictPairs(const std::vector<int64_t>& users,
   return predictions.value();
 }
 
+ServingParams HetRecSys::ExportServingParams() {
+  const FinalEmbeddings final = Forward();
+  ServingParams out;
+  out.user_factors = final.users.value();
+  out.item_factors = final.items.value();
+  out.offset = config_.prediction_offset;
+  return out;
+}
+
 }  // namespace msopds

@@ -48,6 +48,10 @@ class HetRecSys : public RatingModel {
   Tensor PredictPairs(const std::vector<int64_t>& users,
                       const std::vector<int64_t>& items) override;
 
+  /// Final post-convolution embeddings (one Forward() pass) with the
+  /// prediction offset; no per-user/item biases.
+  ServingParams ExportServingParams() override;
+
   const HetRecSysConfig& config() const { return config_; }
   int64_t num_users() const { return num_users_; }
   int64_t num_items() const { return num_items_; }

@@ -134,4 +134,13 @@ Tensor LightGcn::PredictPairs(const std::vector<int64_t>& users,
       .value();
 }
 
+ServingParams LightGcn::ExportServingParams() {
+  const FinalEmbeddings final = Forward();
+  ServingParams out;
+  out.user_factors = final.users.value();
+  out.item_factors = final.items.value();
+  out.offset = config_.prediction_offset;
+  return out;
+}
+
 }  // namespace msopds

@@ -44,6 +44,10 @@ class LightGcn : public RatingModel {
   Tensor PredictPairs(const std::vector<int64_t>& users,
                       const std::vector<int64_t>& items) override;
 
+  /// Layer-averaged propagation embeddings (one Forward() pass) with the
+  /// prediction offset; no per-user/item biases.
+  ServingParams ExportServingParams() override;
+
   const LightGcnConfig& config() const { return config_; }
 
  private:

@@ -84,4 +84,15 @@ Tensor MatrixFactorization::PredictPairs(const std::vector<int64_t>& users,
   return MfPredict(Bundle(), MakeIndex(users), MakeIndex(items)).value();
 }
 
+ServingParams MatrixFactorization::ExportServingParams() {
+  const MfParams bundle = Bundle();
+  ServingParams out;
+  out.user_factors = bundle.user_factors.value();
+  out.item_factors = bundle.item_factors.value();
+  out.user_bias = bundle.user_bias.value();
+  out.item_bias = bundle.item_bias.value();
+  out.offset = bundle.global_mean;
+  return out;
+}
+
 }  // namespace msopds

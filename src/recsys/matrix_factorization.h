@@ -58,6 +58,9 @@ class MatrixFactorization : public RatingModel {
   Tensor PredictPairs(const std::vector<int64_t>& users,
                       const std::vector<int64_t>& items) override;
 
+  /// Factor tables, both bias vectors, and the global mean as the offset.
+  ServingParams ExportServingParams() override;
+
  private:
   MfParams Bundle() const;
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "recsys/rating_model.h"
+#include "serve/topk.h"
 
 namespace msopds {
 
@@ -39,6 +40,16 @@ double PrecisionAtK(RatingModel* model, const std::vector<int64_t>& audience,
 double NdcgAtK(RatingModel* model, const std::vector<int64_t>& audience,
                int64_t target_item, const std::vector<int64_t>& compete,
                int k = 3);
+
+/// Offline full-catalog top-K recommendation lists for `users`: scores
+/// every item of `dataset` with PredictPairs and selects through the
+/// shared serve/topk kernel (higher score first, ties broken toward the
+/// lower item id, seen items excluded per `options`). This is the
+/// reference ranking the online serving engine reproduces bit-identically
+/// from a snapshot of the same model (serve/engine.h).
+serve::TopKResult TopKItems(RatingModel* model, const Dataset& dataset,
+                            const std::vector<int64_t>& users,
+                            const serve::TopKOptions& options = {});
 
 }  // namespace msopds
 

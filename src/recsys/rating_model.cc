@@ -1,0 +1,14 @@
+#include "recsys/rating_model.h"
+
+#include "util/logging.h"
+
+namespace msopds {
+
+ServingParams RatingModel::ExportServingParams() {
+  MSOPDS_CHECK(false)
+      << "this RatingModel does not support serving export; override "
+         "ExportServingParams() to publish it through serve/";
+  return ServingParams{};
+}
+
+}  // namespace msopds

@@ -8,6 +8,30 @@
 
 namespace msopds {
 
+/// Dense scoring view of a trained model, sufficient to reproduce
+/// PredictPairs for any (user, item) pair as
+///
+///   (((<user_factors[u], item_factors[i]>  (summed left-to-right over D)
+///      + user_bias[u])                     (skipped when undefined)
+///     + item_bias[i])                      (skipped when undefined)
+///    + offset)
+///
+/// with each partial sum associating exactly as the model's recorded op
+/// sequence (PairDot = RowSum of stored products, then Add / AddScalar),
+/// so a scorer that follows this recipe is bit-identical to PredictPairs.
+/// For factorization models these are the parameter tables themselves;
+/// for the GNNs they are the *final* embeddings after the forward pass
+/// (the graph convolutions are baked in at export time). The Tensors may
+/// alias live training buffers — serving snapshots deep-copy them
+/// (serve/model_snapshot.h).
+struct ServingParams {
+  Tensor user_factors;  // [U, D]
+  Tensor item_factors;  // [I, D]
+  Tensor user_bias;     // [U]; undefined when the model has no user bias
+  Tensor item_bias;     // [I]; undefined when the model has no item bias
+  double offset = 0.0;
+};
+
 /// Interface of a trainable rating predictor (paper Eq. (1)): both the
 /// Het-RecSys victim and the basic matrix-factorization model implement
 /// it, so the Trainer and the evaluation metrics are model-agnostic.
@@ -25,6 +49,10 @@ class RatingModel {
   /// Predicted ratings for aligned (users[k], items[k]) pairs.
   virtual Tensor PredictPairs(const std::vector<int64_t>& users,
                               const std::vector<int64_t>& items) = 0;
+
+  /// Dense view of the current parameters for the serving layer. The
+  /// default CHECK-fails; every shipped model overrides it.
+  virtual ServingParams ExportServingParams();
 };
 
 }  // namespace msopds

@@ -1,0 +1,198 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace msopds {
+namespace serve {
+
+namespace {
+
+int64_t MicrosSince(std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+      .count();
+}
+
+int64_t PercentileUs(const std::vector<int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(const EngineOptions& options)
+    : options_(options) {
+  MSOPDS_CHECK_GT(options_.max_batch_size, 0);
+  MSOPDS_CHECK_GE(options_.max_wait_us, 0);
+  MSOPDS_CHECK_GE(options_.deadline_us, 0);
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+ServingEngine::~ServingEngine() { Stop(); }
+
+void ServingEngine::Publish(std::shared_ptr<const ModelSnapshot> snapshot) {
+  MSOPDS_CHECK(snapshot != nullptr);
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  // Release store: a batcher that acquire-loads the new pointer sees the
+  // fully constructed snapshot. The previous snapshot moves to the
+  // retired slot; the one retired before it is released here, strictly
+  // after any batch that could have loaded it has moved on.
+  retired_ = snapshot_.Exchange(std::move(snapshot));
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const ModelSnapshot> ServingEngine::CurrentSnapshot() const {
+  return snapshot_.Load();
+}
+
+std::future<ServeResponse> ServingEngine::Submit(const ServeRequest& request) {
+  MSOPDS_CHECK_GT(request.k, 0);
+  Pending pending;
+  pending.request = request;
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<ServeResponse> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    MSOPDS_CHECK(!stopping_) << "Submit() on a stopped ServingEngine";
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+ServeResponse ServingEngine::ServeSync(const ServeRequest& request) {
+  return Submit(request).get();
+}
+
+void ServingEngine::BatcherLoop() {
+  const auto max_wait = std::chrono::microseconds(options_.max_wait_us);
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  while (true) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Micro-batch window: flush when full, when the oldest request has
+    // dwelt max_wait_us, or on shutdown.
+    const auto flush_at = queue_.front().enqueued + max_wait;
+    while (!stopping_ &&
+           static_cast<int>(queue_.size()) < options_.max_batch_size &&
+           queue_cv_.wait_until(lock, flush_at, [this] {
+             return stopping_ || static_cast<int>(queue_.size()) >=
+                                     options_.max_batch_size;
+           })) {
+    }
+    std::vector<Pending> batch;
+    const int take = std::min<int>(static_cast<int>(queue_.size()),
+                                   options_.max_batch_size);
+    batch.reserve(static_cast<size_t>(take));
+    for (int i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    ScoreBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void ServingEngine::ScoreBatch(std::vector<Pending> batch) {
+  const auto picked_up = std::chrono::steady_clock::now();
+  const std::shared_ptr<const ModelSnapshot> snapshot = snapshot_.Load();
+
+  // Group by (k, exclude_seen) so each group is one kernel call; the
+  // common case (uniform requests) is a single TopKForUsers pass.
+  std::map<std::pair<int, bool>, std::vector<size_t>> groups;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    groups[{batch[i].request.k, batch[i].request.exclude_seen}].push_back(i);
+  }
+
+  std::vector<ServeResponse> responses(batch.size());
+  if (snapshot != nullptr) {
+    for (const auto& [key, members] : groups) {
+      TopKOptions options;
+      options.k = key.first;
+      options.exclude_seen = key.second;
+      std::vector<int64_t> users;
+      users.reserve(members.size());
+      for (size_t i : members) users.push_back(batch[i].request.user);
+      const TopKResult result = TopKForUsers(*snapshot, users, options);
+      for (size_t m = 0; m < members.size(); ++m) {
+        ServeResponse& response = responses[members[m]];
+        const int64_t count = result.counts[m];
+        const auto local = static_cast<int64_t>(m);
+        response.items.assign(result.ItemsForUser(local),
+                              result.ItemsForUser(local) + count);
+        response.scores.assign(result.ScoresForUser(local),
+                               result.ScoresForUser(local) + count);
+        response.snapshot_version = snapshot->version();
+      }
+    }
+  }
+
+  const auto done = std::chrono::steady_clock::now();
+  int64_t misses = 0;
+  std::vector<int64_t> latencies;
+  latencies.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ServeResponse& response = responses[i];
+    response.queue_us = MicrosSince(batch[i].enqueued, picked_up);
+    response.total_us = MicrosSince(batch[i].enqueued, done);
+    response.deadline_missed =
+        options_.deadline_us > 0 && response.total_us > options_.deadline_us;
+    if (response.deadline_missed) ++misses;
+    latencies.push_back(response.total_us);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    requests_ += static_cast<int64_t>(batch.size());
+    batches_ += 1;
+    deadline_misses_ += misses;
+    latencies_us_.insert(latencies_us_.end(), latencies.begin(),
+                         latencies.end());
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(responses[i]));
+  }
+}
+
+EngineStats ServingEngine::Stats() const {
+  EngineStats stats;
+  std::vector<int64_t> sorted;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats.requests = requests_;
+    stats.batches = batches_;
+    stats.deadline_misses = deadline_misses_;
+    sorted = latencies_us_;
+  }
+  stats.publishes = publishes_.load(std::memory_order_relaxed);
+  stats.mean_batch_size =
+      stats.batches > 0 ? static_cast<double>(stats.requests) /
+                              static_cast<double>(stats.batches)
+                        : 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  stats.p50_us = PercentileUs(sorted, 0.50);
+  stats.p95_us = PercentileUs(sorted, 0.95);
+  stats.p99_us = PercentileUs(sorted, 0.99);
+  stats.max_us = sorted.empty() ? 0 : sorted.back();
+  return stats;
+}
+
+void ServingEngine::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_ && !batcher_.joinable()) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+}  // namespace serve
+}  // namespace msopds

@@ -1,0 +1,196 @@
+#ifndef MSOPDS_SERVE_ENGINE_H_
+#define MSOPDS_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/model_snapshot.h"
+#include "serve/topk.h"
+
+namespace msopds {
+namespace serve {
+
+struct EngineOptions {
+  /// Micro-batch flush threshold: the batcher drains up to this many
+  /// requests per scoring pass.
+  int max_batch_size = 64;
+  /// Maximum time the oldest queued request waits for the batch to fill
+  /// before a partial batch is flushed.
+  int64_t max_wait_us = 200;
+  /// Per-request latency SLO; responses whose enqueue-to-completion time
+  /// exceeds it are flagged (and counted in EngineStats). 0 disables.
+  int64_t deadline_us = 0;
+};
+
+struct ServeRequest {
+  int64_t user = 0;
+  int k = 10;
+  bool exclude_seen = true;
+};
+
+struct ServeResponse {
+  /// Best-first recommendation list (≤ k entries; empty when no snapshot
+  /// was published yet).
+  std::vector<int64_t> items;
+  std::vector<double> scores;
+  /// Version of the snapshot that served the request (0 = none).
+  uint64_t snapshot_version = 0;
+  /// Enqueue → batch pickup.
+  int64_t queue_us = 0;
+  /// Enqueue → response ready.
+  int64_t total_us = 0;
+  bool deadline_missed = false;
+};
+
+struct EngineStats {
+  int64_t requests = 0;
+  int64_t batches = 0;
+  int64_t deadline_misses = 0;
+  /// Snapshots published (hot-swaps) since construction.
+  int64_t publishes = 0;
+  double mean_batch_size = 0.0;
+  /// Percentiles of enqueue-to-completion latency, microseconds.
+  int64_t p50_us = 0;
+  int64_t p95_us = 0;
+  int64_t p99_us = 0;
+  int64_t max_us = 0;
+};
+
+/// Atomic shared_ptr slot for the active snapshot: a micro critical
+/// section (lock = exchange-acquire on a bool, unlock = release store)
+/// around a pointer copy/swap. Semantically this is
+/// std::atomic<std::shared_ptr<T>>, deliberately hand-rolled: libstdc++'s
+/// _Sp_atomic unlocks the *reader's* critical section with relaxed
+/// ordering (shared_ptr_atomic.h, load() ends in
+/// unlock(memory_order_relaxed)), so the reader's plain read of the
+/// pointer field has no release edge toward a later writer's plain write
+/// — formally a data race, and ThreadSanitizer reports it as one. Here
+/// both sides release on unlock, making the protocol verifiable: the
+/// serve suite runs under TSan in tools/check.sh. Hold times are a
+/// shared_ptr copy (one refcount increment), so a publish can delay a
+/// reader by nanoseconds but never blocks it behind scoring work.
+class SnapshotSlot {
+ public:
+  /// Acquire-copies the current snapshot (may be null).
+  std::shared_ptr<const ModelSnapshot> Load() const {
+    Lock();
+    std::shared_ptr<const ModelSnapshot> copy = value_;
+    Unlock();
+    return copy;
+  }
+
+  /// Installs `next`, returning the previously active snapshot.
+  std::shared_ptr<const ModelSnapshot> Exchange(
+      std::shared_ptr<const ModelSnapshot> next) {
+    Lock();
+    value_.swap(next);
+    Unlock();
+    return next;
+  }
+
+ private:
+  void Lock() const {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+    }
+  }
+  void Unlock() const { locked_.store(false, std::memory_order_release); }
+
+  mutable std::atomic<bool> locked_{false};
+  std::shared_ptr<const ModelSnapshot> value_;
+};
+
+/// Online top-K serving engine: a micro-batching request queue in front
+/// of the blocked top-K kernel, reading from a hot-swappable immutable
+/// snapshot.
+///
+/// Hot swap (the repo's first reader/writer-concurrent code path): the
+/// active snapshot lives in a SnapshotSlot (an atomic shared_ptr with
+/// TSan-verifiable acquire/release ordering — see above). Publish()
+/// exchanges the new pointer in; the batcher loads it at the start of
+/// every scoring pass, so a batch sees a fully-constructed snapshot or
+/// the previous one — never a partial write — and requests already being
+/// scored finish against the snapshot they started with. The engine
+/// additionally pins the previously active snapshot (double buffering)
+/// so the common retrain→republish cycle never pays a teardown on the
+/// publish path; the old-old snapshot is released on the *next* publish,
+/// by which time no batch can reference it (Publish happens-after every
+/// batch that loaded it).
+///
+/// Determinism: scoring runs through serve/topk on the global thread
+/// pool, so a response's item list is bit-identical to the offline
+/// reference (recsys/metrics.h TopKItems) for the same snapshot at any
+/// thread count; only latency varies.
+class ServingEngine {
+ public:
+  explicit ServingEngine(const EngineOptions& options = {});
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Atomically replaces the active snapshot; never blocks readers.
+  void Publish(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// The currently active snapshot (nullptr before the first Publish).
+  std::shared_ptr<const ModelSnapshot> CurrentSnapshot() const;
+
+  /// Enqueues a request; the future resolves once its micro-batch is
+  /// scored. Requests submitted before any Publish() resolve with an
+  /// empty list and snapshot_version 0.
+  std::future<ServeResponse> Submit(const ServeRequest& request);
+
+  /// Submit + wait.
+  ServeResponse ServeSync(const ServeRequest& request);
+
+  /// Aggregate counters and latency percentiles so far.
+  EngineStats Stats() const;
+
+  /// Drains the queue and joins the batcher. Called by the destructor;
+  /// idempotent. Submit() after Stop() CHECK-fails.
+  void Stop();
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void BatcherLoop();
+  void ScoreBatch(std::vector<Pending> batch);
+
+  const EngineOptions options_;
+
+  SnapshotSlot snapshot_;
+  // Double buffer: pins the previously active snapshot until the next
+  // publish (see class comment). Only Publish() touches it.
+  std::shared_ptr<const ModelSnapshot> retired_;
+  std::mutex publish_mu_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mu_;
+  int64_t requests_ = 0;
+  int64_t batches_ = 0;
+  int64_t deadline_misses_ = 0;
+  std::atomic<int64_t> publishes_{0};
+  std::vector<int64_t> latencies_us_;
+
+  std::thread batcher_;
+};
+
+}  // namespace serve
+}  // namespace msopds
+
+#endif  // MSOPDS_SERVE_ENGINE_H_

@@ -1,0 +1,147 @@
+#ifndef MSOPDS_SERVE_MODEL_SNAPSHOT_H_
+#define MSOPDS_SERVE_MODEL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "recsys/rating_model.h"
+#include "util/logging.h"
+
+namespace msopds {
+namespace serve {
+
+/// CSR of each user's already-rated ("seen") items, used by the top-K
+/// scorer to exclude items the user has interacted with. Item ids are
+/// sorted ascending within each row, so exclusion during an ascending
+/// catalog scan is a single monotone cursor per user.
+struct SeenItemsCsr {
+  std::vector<int64_t> offsets;  // [num_users + 1]
+  std::vector<int64_t> items;    // sorted ascending per row
+
+  static SeenItemsCsr FromRatings(int64_t num_users, int64_t num_items,
+                                  const std::vector<Rating>& ratings);
+
+  int64_t num_users() const {
+    return static_cast<int64_t>(offsets.size()) - 1;
+  }
+
+  /// Seen-item count of `user`.
+  int64_t RowSize(int64_t user) const {
+    return offsets[static_cast<size_t>(user) + 1] -
+           offsets[static_cast<size_t>(user)];
+  }
+
+  /// Pointer to the first seen item of `user` (end = begin + RowSize).
+  const int64_t* Row(int64_t user) const {
+    return items.data() + offsets[static_cast<size_t>(user)];
+  }
+
+  /// Binary-search membership test.
+  bool Contains(int64_t user, int64_t item) const;
+};
+
+/// Identity attached to a published snapshot.
+struct SnapshotOptions {
+  /// Monotonic publish version (the engine reports it per response).
+  uint64_t version = 0;
+  /// Free-form provenance tag, e.g. "mf", "lightgcn", "het_recsys",
+  /// "het_recsys+poisoned".
+  std::string source;
+};
+
+/// Immutable, tape-free, arena-detached export of a trained rating model.
+///
+/// FromModel() deep-copies the model's ServingParams into plain
+/// std::vector<double> blocks: the snapshot never aliases TensorStorage,
+/// so it stays valid after the training-side ArenaRegion exits, after the
+/// model is destroyed, and after the arena recycles (and poisons) the
+/// training buffers. All state is set once at build time and never
+/// mutated, so concurrent readers need no synchronization beyond the
+/// pointer hand-off (serve/engine.h).
+///
+/// Scoring follows the ServingParams recipe exactly — dot product summed
+/// left-to-right over the latent dimension, then `+ user_bias`,
+/// `+ item_bias` (each skipped when the model has none), then `+ offset`
+/// — which makes Score() bit-identical to the model's PredictPairs.
+class ModelSnapshot {
+ public:
+  /// Exports `model` against `dataset` (which provides the seen-item CSR;
+  /// its user/item counts must match the exported embedding tables).
+  static std::shared_ptr<const ModelSnapshot> FromModel(
+      RatingModel* model, const Dataset& dataset,
+      const SnapshotOptions& options = {});
+
+  /// Raw constructor for tests and custom exporters. Bias vectors may be
+  /// empty (models without that term); non-empty sizes must match.
+  ModelSnapshot(int64_t num_users, int64_t num_items, int64_t dim,
+                std::vector<double> user_factors,
+                std::vector<double> item_factors,
+                std::vector<double> user_bias, std::vector<double> item_bias,
+                double offset, SeenItemsCsr seen,
+                const SnapshotOptions& options);
+
+  int64_t num_users() const { return num_users_; }
+  int64_t num_items() const { return num_items_; }
+  int64_t dim() const { return dim_; }
+  uint64_t version() const { return version_; }
+  const std::string& source() const { return source_; }
+  const SeenItemsCsr& seen() const { return seen_; }
+  double offset() const { return offset_; }
+  bool has_user_bias() const { return !user_bias_.empty(); }
+  bool has_item_bias() const { return !item_bias_.empty(); }
+
+  const double* UserRow(int64_t user) const {
+    MSOPDS_DCHECK_GE(user, 0);
+    MSOPDS_DCHECK_LT(user, num_users_);
+    return user_factors_.data() + user * dim_;
+  }
+
+  const double* ItemRow(int64_t item) const {
+    MSOPDS_DCHECK_GE(item, 0);
+    MSOPDS_DCHECK_LT(item, num_items_);
+    return item_factors_.data() + item * dim_;
+  }
+
+  /// Predicted rating of (user, item); bit-identical to the exported
+  /// model's PredictPairs (see class comment).
+  double Score(int64_t user, int64_t item) const {
+    return ScoreRow(UserRow(user), user, item);
+  }
+
+  /// Score() with the user row already resolved — the tiled top-K kernel
+  /// keeps the row pointer across an item tile.
+  double ScoreRow(const double* user_row, int64_t user, int64_t item) const {
+    const double* item_row = ItemRow(item);
+    double s = 0.0;
+    for (int64_t j = 0; j < dim_; ++j) s += user_row[j] * item_row[j];
+    if (!user_bias_.empty()) s += user_bias_[static_cast<size_t>(user)];
+    if (!item_bias_.empty()) s += item_bias_[static_cast<size_t>(item)];
+    return s + offset_;
+  }
+
+  /// Payload bytes held by this snapshot (embedding blocks + biases +
+  /// CSR), for capacity accounting.
+  int64_t PayloadBytes() const;
+
+ private:
+  int64_t num_users_ = 0;
+  int64_t num_items_ = 0;
+  int64_t dim_ = 0;
+  // Detached flat row-major blocks — never TensorStorage.
+  std::vector<double> user_factors_;  // [U * D]
+  std::vector<double> item_factors_;  // [I * D]
+  std::vector<double> user_bias_;     // [U] or empty
+  std::vector<double> item_bias_;     // [I] or empty
+  double offset_ = 0.0;
+  SeenItemsCsr seen_;
+  uint64_t version_ = 0;
+  std::string source_;
+};
+
+}  // namespace serve
+}  // namespace msopds
+
+#endif  // MSOPDS_SERVE_MODEL_SNAPSHOT_H_

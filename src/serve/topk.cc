@@ -1,0 +1,159 @@
+#include "serve/topk.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace msopds {
+namespace serve {
+namespace {
+
+// Items per scoring tile: one tile of item rows (kItemTile * dim doubles)
+// stays cache-hot while every user of the chunk consumes it. The tile
+// size never affects results — selection is order-independent.
+constexpr int64_t kItemTile = 256;
+
+// Users per chunk of the fixed grid: each user scans the whole catalog,
+// so a handful of users is already enough work per chunk; the grid stays
+// a pure function of the request size (determinism contract,
+// util/thread_pool.h).
+constexpr int64_t kUserGrain = 8;
+
+// Heap comparator: RanksBefore as "less" puts the worst retained
+// candidate at the heap root (std::*_heap keep the max at the front).
+bool WorstAtFront(const ScoredItem& a, const ScoredItem& b) {
+  return RanksBefore(a, b);
+}
+
+}  // namespace
+
+int64_t RankWithTiesFavoringCandidate(double candidate_score,
+                                      const double* competitor_scores,
+                                      int64_t n) {
+  int64_t better = 0;
+  for (int64_t j = 0; j < n; ++j) {
+    if (competitor_scores[j] > candidate_score) ++better;
+  }
+  return better + 1;
+}
+
+TopKSelector::TopKSelector(int k) : k_(k) {
+  MSOPDS_CHECK_GT(k, 0);
+  heap_.reserve(static_cast<size_t>(k));
+}
+
+void TopKSelector::Offer(int64_t item, double score) {
+  const ScoredItem candidate{item, score};
+  if (static_cast<int>(heap_.size()) < k_) {
+    heap_.push_back(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), WorstAtFront);
+    return;
+  }
+  if (!RanksBefore(candidate, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), WorstAtFront);
+  heap_.back() = candidate;
+  std::push_heap(heap_.begin(), heap_.end(), WorstAtFront);
+}
+
+std::vector<ScoredItem> TopKSelector::Take() {
+  std::vector<ScoredItem> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end(), RanksBefore);
+  return out;
+}
+
+std::vector<ScoredItem> SelectTopK(const double* scores, int64_t num_items,
+                                   int k, const int64_t* excluded_sorted,
+                                   int64_t num_excluded) {
+  TopKSelector selector(k);
+  int64_t cursor = 0;
+  for (int64_t i = 0; i < num_items; ++i) {
+    while (cursor < num_excluded && excluded_sorted[cursor] < i) ++cursor;
+    if (cursor < num_excluded && excluded_sorted[cursor] == i) continue;
+    selector.Offer(i, scores[i]);
+  }
+  return selector.Take();
+}
+
+TopKResult PackTopK(const std::vector<std::vector<ScoredItem>>& per_user,
+                    int k) {
+  MSOPDS_CHECK_GT(k, 0);
+  const int64_t n = static_cast<int64_t>(per_user.size());
+  TopKResult result;
+  result.k = k;
+  result.items.assign(static_cast<size_t>(n * k), -1);
+  result.scores.assign(static_cast<size_t>(n * k), 0.0);
+  result.counts.assign(static_cast<size_t>(n), 0);
+  for (int64_t u = 0; u < n; ++u) {
+    const std::vector<ScoredItem>& list = per_user[static_cast<size_t>(u)];
+    MSOPDS_CHECK_LE(static_cast<int>(list.size()), k);
+    result.counts[static_cast<size_t>(u)] =
+        static_cast<int64_t>(list.size());
+    for (size_t r = 0; r < list.size(); ++r) {
+      result.items[static_cast<size_t>(u * k) + r] = list[r].item;
+      result.scores[static_cast<size_t>(u * k) + r] = list[r].score;
+    }
+  }
+  return result;
+}
+
+TopKResult TopKForUsers(const ModelSnapshot& snapshot,
+                        const std::vector<int64_t>& users,
+                        const TopKOptions& options) {
+  MSOPDS_CHECK_GT(options.k, 0);
+  const int64_t n = static_cast<int64_t>(users.size());
+  const int64_t num_items = snapshot.num_items();
+  std::vector<std::vector<ScoredItem>> per_user(static_cast<size_t>(n));
+
+  ThreadPool::Global().ParallelFor(
+      n, kUserGrain, [&](int64_t begin, int64_t end, int64_t) {
+        const int64_t width = end - begin;
+        std::vector<TopKSelector> selectors;
+        selectors.reserve(static_cast<size_t>(width));
+        std::vector<const double*> rows(static_cast<size_t>(width));
+        std::vector<const int64_t*> seen(static_cast<size_t>(width), nullptr);
+        std::vector<int64_t> seen_size(static_cast<size_t>(width), 0);
+        std::vector<int64_t> seen_cursor(static_cast<size_t>(width), 0);
+        for (int64_t a = begin; a < end; ++a) {
+          const int64_t user = users[static_cast<size_t>(a)];
+          MSOPDS_CHECK_GE(user, 0);
+          MSOPDS_CHECK_LT(user, snapshot.num_users());
+          const int64_t local = a - begin;
+          selectors.emplace_back(options.k);
+          rows[static_cast<size_t>(local)] = snapshot.UserRow(user);
+          if (options.exclude_seen) {
+            seen[static_cast<size_t>(local)] = snapshot.seen().Row(user);
+            seen_size[static_cast<size_t>(local)] =
+                snapshot.seen().RowSize(user);
+          }
+        }
+        // Tile the catalog so a tile's item rows are consumed by every
+        // user of the chunk while still cache-resident.
+        for (int64_t tile = 0; tile < num_items; tile += kItemTile) {
+          const int64_t tile_end = std::min(tile + kItemTile, num_items);
+          for (int64_t local = 0; local < width; ++local) {
+            const int64_t user = users[static_cast<size_t>(begin + local)];
+            const double* row = rows[static_cast<size_t>(local)];
+            const int64_t* excluded = seen[static_cast<size_t>(local)];
+            const int64_t excluded_size =
+                seen_size[static_cast<size_t>(local)];
+            int64_t& cursor = seen_cursor[static_cast<size_t>(local)];
+            TopKSelector& selector = selectors[static_cast<size_t>(local)];
+            for (int64_t i = tile; i < tile_end; ++i) {
+              while (cursor < excluded_size && excluded[cursor] < i) ++cursor;
+              if (cursor < excluded_size && excluded[cursor] == i) continue;
+              selector.Offer(i, snapshot.ScoreRow(row, user, i));
+            }
+          }
+        }
+        for (int64_t local = 0; local < width; ++local) {
+          per_user[static_cast<size_t>(begin + local)] =
+              selectors[static_cast<size_t>(local)].Take();
+        }
+      });
+
+  return PackTopK(per_user, options.k);
+}
+
+}  // namespace serve
+}  // namespace msopds

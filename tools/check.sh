@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Repo-wide correctness gate: build + tests (serial and MSOPDS_THREADS=4),
-# graph verifier + registry gradcheck, sanitizer matrix
-# (MSOPDS_SANITIZE=address/undefined, each with a multi-threaded pass over
-# the `parallel` suite; MSOPDS_SANITIZE=thread is available as a manual
-# configure for toolchains that ship TSan), clang-tidy over src/, and the
-# Python-free lint. Prints a per-stage summary table and exits non-zero if
-# any stage fails. Stages whose toolchain is missing (e.g. clang-tidy not
-# installed) are reported SKIP, not FAIL.
+# graph verifier + registry gradcheck, the serving suite at 1 and 4
+# kernel threads, sanitizer matrix (MSOPDS_SANITIZE=address/undefined,
+# each with a multi-threaded pass over the `parallel` suite, plus a
+# ThreadSanitizer build running the `serve` label so the engine's
+# hot-swap path is race-checked when the toolchain ships TSan),
+# clang-tidy over src/, and the Python-free lint. Prints a per-stage
+# summary table and exits non-zero if any stage fails. Stages whose
+# toolchain is missing (e.g. clang-tidy not installed) are reported
+# SKIP, not FAIL.
 #
 # Usage:
 #   tools/check.sh                 full matrix (three builds; slow)
@@ -112,11 +114,24 @@ if [ "${STAGE_RESULTS[-1]}" = "PASS" ]; then
     MSOPDS_ARENA=0 ctest --test-dir build --output-on-failure -j
   }
   run_stage "ctest-release-arena-off" ctest_arena_off
+  # Serving suite pinned to both thread counts: the engine's lists must
+  # be bit-identical to the offline reference at any pool size, so the
+  # label runs once serial and once multi-threaded.
+  ctest_serve_t1() {
+    MSOPDS_THREADS=1 ctest --test-dir build -L serve --output-on-failure -j
+  }
+  run_stage "ctest-serve-t1" ctest_serve_t1
+  ctest_serve_t4() {
+    MSOPDS_THREADS=4 ctest --test-dir build -L serve --output-on-failure -j
+  }
+  run_stage "ctest-serve-t4" ctest_serve_t4
   run_stage "verify-graph" ./build/tools/verify_graph
 else
   skip_stage "ctest-release" "build failed"
   skip_stage "ctest-release-mt4" "build failed"
   skip_stage "ctest-release-arena-off" "build failed"
+  skip_stage "ctest-serve-t1" "build failed"
+  skip_stage "ctest-serve-t4" "build failed"
   skip_stage "verify-graph" "build failed"
 fi
 
@@ -163,6 +178,32 @@ if [ $SANITIZERS -eq 1 ]; then
       skip_stage "ctest-$san-memory" "build failed"
     fi
   done
+  # ThreadSanitizer leg: the serving engine is the repo's first
+  # reader/writer-concurrent code path, so its hot-swap must be checked
+  # by a race detector, not only by assertions. TSan and ASan cannot
+  # share a build, hence a dedicated tree running the `serve` label.
+  if echo 'int main(){return 0;}' | g++ -x c++ -fsanitize=thread - \
+       -o /tmp/msopds_tsan_probe$$ > /dev/null 2>&1; then
+    rm -f /tmp/msopds_tsan_probe$$
+    build_thread() {
+      cmake -B build-thread -S . -DCMAKE_BUILD_TYPE=Debug \
+            -DMSOPDS_SANITIZE=thread \
+        && cmake --build build-thread -j
+    }
+    run_stage "build-thread" build_thread
+    if [ "${STAGE_RESULTS[-1]}" = "PASS" ]; then
+      ctest_thread_serve() {
+        MSOPDS_THREADS=4 ctest --test-dir build-thread -L serve \
+          --output-on-failure -j
+      }
+      run_stage "ctest-thread-serve" ctest_thread_serve
+    else
+      skip_stage "ctest-thread-serve" "build failed"
+    fi
+  else
+    skip_stage "build-thread" "toolchain has no TSan runtime"
+    skip_stage "ctest-thread-serve" "toolchain has no TSan runtime"
+  fi
 else
   skip_stage "sanitizers" "--no-sanitizers"
 fi
