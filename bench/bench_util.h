@@ -34,9 +34,11 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "serve/engine.h"
 #include "util/arena.h"
 #include "util/checkpoint.h"
 #include "util/fault.h"
+#include "util/json_writer.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -91,6 +93,24 @@ struct MemStats {
     return stats;
   }
 };
+
+/// Emits the serving engine's robustness counters (plus client-side
+/// retry totals) into the current JSON object, so BENCH_serving.json
+/// rows track the shed/reject/degraded trajectory the same way the perf
+/// tables track latency. Call between Key/Value pairs of an open object.
+inline void WriteRobustnessFields(JsonWriter* json,
+                                  const serve::EngineStats& stats,
+                                  int64_t retries) {
+  json->Key("admitted").Int(stats.admitted);
+  json->Key("rejected").Int(stats.rejected);
+  json->Key("shed").Int(stats.shed);
+  json->Key("degraded").Int(stats.degraded);
+  json->Key("cancelled").Int(stats.cancelled);
+  json->Key("retries").Int(retries);
+  json->Key("deadline_misses").Int(stats.deadline_misses);
+  json->Key("max_queue_depth").Int(stats.max_queue_depth);
+  json->Key("publish_failures").Int(stats.publish_failures);
+}
 
 struct BenchFlags {
   double scale = 0.12;
@@ -214,10 +234,12 @@ class SweepRunner {
       // Refuse to resume rather than produce a silently inconsistent run.
       if (cached->threads != threads_) {
         std::fprintf(stderr,
-                     "[checkpoint] cell '%s' was recorded at %d thread(s) "
-                     "but this run uses %d; rerun with --threads=%d or a "
-                     "fresh --checkpoint file\n",
-                     key.c_str(), cached->threads, threads_, cached->threads);
+                     "[checkpoint] %s:%lld: cell '%s' was recorded at %d "
+                     "thread(s) but this run uses %d; rerun with "
+                     "--threads=%d or a fresh --checkpoint file\n",
+                     store_.path().c_str(),
+                     static_cast<long long>(cached->source_line), key.c_str(),
+                     cached->threads, threads_, cached->threads);
         std::exit(2);
       }
       return *cached;

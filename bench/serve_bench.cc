@@ -1,14 +1,26 @@
-// Serving-engine load generator: QPS and latency percentiles vs kernel
-// thread count, written to a JSON table (BENCH_serving.json by default).
+// Serving-engine load generator: QPS, latency percentiles, and overload/
+// chaos robustness counters vs kernel thread count, written to a JSON
+// table (BENCH_serving.json by default).
 //
-// Two load modes per thread count:
-//   closed  N client threads issue Submit().get() back-to-back — measures
-//           the engine's saturated throughput and in-line latency.
-//   open    requests arrive on a fixed schedule at --qps regardless of
-//           completions — measures queueing latency under a target load.
+// Load modes per thread count:
+//   closed    N client threads issue Submit().get() back-to-back through
+//             a retry/backoff client — measures the engine's saturated
+//             throughput and in-line latency.
+//   open      requests arrive on a fixed schedule at --qps regardless of
+//             completions — measures queueing latency under a target load.
+//   overload  (--overload=1, default) paced arrivals at --overload_factor
+//             times the measured closed-loop capacity, once with
+//             admission control ON (queue cap + deadline shedding:
+//             bounded queue depth, bounded p99 for admitted requests) and
+//             once with the cap DISABLED (unbounded queue growth) — the
+//             two curves the robustness trajectory tracks.
+//   chaos     (any --fault_* probability > 0) sequential deterministic
+//             replay under injected publish failures, batch-flush latency
+//             spikes, and scoring faults: identical --fault_seed gives
+//             identical reject/shed/degraded counts at any thread count.
 // A publisher thread hot-swaps a fresh snapshot every --swap_ms
-// milliseconds throughout both phases, so every row also exercises the
-// reader/writer-concurrent publish path.
+// milliseconds during closed/open/overload phases; the chaos phase
+// republishes deterministically every 50 requests instead.
 //
 // Flags:
 //   --users=N --items=N --dim=D   synthetic snapshot size (default
@@ -19,12 +31,31 @@
 //   --qps=N                       open-loop arrival rate (default 2000)
 //   --threads=a,b,c               kernel thread counts (default 1,2,4)
 //   --batch=N --wait_us=N         micro-batcher shape (default 64 / 200)
+//   --max_queue=N                 admission queue cap (default 0 = off for
+//                                 closed/open rows; overload row uses
+//                                 4*batch when set to 0)
+//   --deadline_us=N               enforced per-request deadline (default
+//                                 0 = off; overload row uses 50000)
+//   --degrade_depth=N             queue depth that routes to the
+//                                 popularity fallback (default 0 = off)
+//   --max_batch_cost=N            per-batch cost cap in units of k
+//                                 (default 0 = off)
+//   --retry_attempts=N            retry client attempts (default 4)
+//   --retry_budget_us=N           retry client total budget (default
+//                                 200000)
+//   --overload=0/1                emit the overload pair (default 1)
+//   --overload_factor=F           offered load vs capacity (default 2.0)
+//   --chaos_requests=N            chaos phase length (default 200)
+//   --fault_seed=N --fault_publish=P --fault_score=P
+//   --fault_batch_delay=P --fault_batch_delay_us=N
+//                                 chaos fault plan (all off by default)
 //   --swap_ms=N                   snapshot republish period (default 100;
 //                                 0 disables)
 //   --seed=N                      RNG seed (default 7)
 //   --json_out=PATH               output table; parent directories are
 //                                 created (default BENCH_serving.json)
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -37,8 +68,10 @@
 
 #include "bench/bench_util.h"
 #include "recsys/matrix_factorization.h"
+#include "serve/admission.h"
 #include "serve/engine.h"
 #include "serve/model_snapshot.h"
+#include "util/fault.h"
 #include "util/json_writer.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -58,9 +91,28 @@ struct ServeBenchFlags {
   std::vector<int> threads = {1, 2, 4};
   int batch = 64;
   int64_t wait_us = 200;
+  int64_t max_queue = 0;
+  int64_t deadline_us = 0;
+  int64_t degrade_depth = 0;
+  int64_t max_batch_cost = 0;
+  int retry_attempts = 4;
+  int64_t retry_budget_us = 200000;
+  bool overload = true;
+  double overload_factor = 2.0;
+  int chaos_requests = 200;
+  uint64_t fault_seed = 17;
+  double fault_publish = 0.0;
+  double fault_score = 0.0;
+  double fault_batch_delay = 0.0;
+  int64_t fault_batch_delay_us = 50000;
   int64_t swap_ms = 100;
   uint64_t seed = 7;
   std::string json_out = "BENCH_serving.json";
+
+  bool chaos_enabled() const {
+    return fault_publish > 0.0 || fault_score > 0.0 ||
+           fault_batch_delay > 0.0;
+  }
 
   static ServeBenchFlags Parse(int argc, char** argv) {
     ServeBenchFlags flags;
@@ -93,6 +145,34 @@ struct ServeBenchFlags {
         flags.batch = std::atoi(v);
       } else if (const char* v = value_of("--wait_us=")) {
         flags.wait_us = std::atoll(v);
+      } else if (const char* v = value_of("--max_queue=")) {
+        flags.max_queue = std::atoll(v);
+      } else if (const char* v = value_of("--deadline_us=")) {
+        flags.deadline_us = std::atoll(v);
+      } else if (const char* v = value_of("--degrade_depth=")) {
+        flags.degrade_depth = std::atoll(v);
+      } else if (const char* v = value_of("--max_batch_cost=")) {
+        flags.max_batch_cost = std::atoll(v);
+      } else if (const char* v = value_of("--retry_attempts=")) {
+        flags.retry_attempts = std::atoi(v);
+      } else if (const char* v = value_of("--retry_budget_us=")) {
+        flags.retry_budget_us = std::atoll(v);
+      } else if (const char* v = value_of("--overload=")) {
+        flags.overload = std::atoi(v) != 0;
+      } else if (const char* v = value_of("--overload_factor=")) {
+        flags.overload_factor = std::atof(v);
+      } else if (const char* v = value_of("--chaos_requests=")) {
+        flags.chaos_requests = std::atoi(v);
+      } else if (const char* v = value_of("--fault_seed=")) {
+        flags.fault_seed = static_cast<uint64_t>(std::atoll(v));
+      } else if (const char* v = value_of("--fault_publish=")) {
+        flags.fault_publish = std::atof(v);
+      } else if (const char* v = value_of("--fault_score=")) {
+        flags.fault_score = std::atof(v);
+      } else if (const char* v = value_of("--fault_batch_delay=")) {
+        flags.fault_batch_delay = std::atof(v);
+      } else if (const char* v = value_of("--fault_batch_delay_us=")) {
+        flags.fault_batch_delay_us = std::atoll(v);
       } else if (const char* v = value_of("--swap_ms=")) {
         flags.swap_ms = std::atoll(v);
       } else if (const char* v = value_of("--seed=")) {
@@ -105,6 +185,24 @@ struct ServeBenchFlags {
       }
     }
     return flags;
+  }
+
+  serve::EngineOptions MakeEngineOptions() const {
+    serve::EngineOptions options;
+    options.max_batch_size = batch;
+    options.max_wait_us = wait_us;
+    options.deadline_us = deadline_us;
+    options.max_queue = max_queue;
+    options.degrade_queue_depth = degrade_depth;
+    options.max_batch_cost = max_batch_cost;
+    return options;
+  }
+
+  serve::RetryPolicy MakeRetryPolicy() const {
+    serve::RetryPolicy policy;
+    policy.max_attempts = retry_attempts;
+    policy.budget_us = retry_budget_us;
+    return policy;
   }
 };
 
@@ -141,6 +239,7 @@ struct RowResult {
   int64_t requests = 0;
   double seconds = 0.0;
   double qps = 0.0;
+  int64_t retries = 0;
   serve::EngineStats stats;
 };
 
@@ -176,27 +275,29 @@ class SwapLoop {
 
 RowResult RunClosedLoop(const ServeBenchFlags& flags, int threads) {
   ThreadPool::Global().SetNumThreads(threads);
-  serve::EngineOptions options;
-  options.max_batch_size = flags.batch;
-  options.max_wait_us = flags.wait_us;
-  serve::ServingEngine engine(options);
+  serve::ServingEngine engine(flags.MakeEngineOptions());
   engine.Publish(MakeSnapshot(flags, 1));
   SwapLoop swaps(&engine, flags);
 
   std::atomic<bool> stop{false};
   std::atomic<int64_t> completed{0};
+  std::atomic<int64_t> retries{0};
   std::vector<std::thread> clients;
   const auto start = std::chrono::steady_clock::now();
   for (int c = 0; c < flags.clients; ++c) {
     clients.emplace_back([&, c] {
       Rng rng(flags.seed * 1000 + static_cast<uint64_t>(c));
+      serve::RetryingClient client(
+          &engine, flags.MakeRetryPolicy(),
+          flags.seed * 777 + static_cast<uint64_t>(c));
       while (!stop.load(std::memory_order_relaxed)) {
         serve::ServeRequest request;
         request.user = rng.UniformInt(flags.users);
         request.k = flags.k;
-        engine.ServeSync(request);
+        client.Serve(request);
         completed.fetch_add(1, std::memory_order_relaxed);
       }
+      retries.fetch_add(client.retries(), std::memory_order_relaxed);
     });
   }
   std::this_thread::sleep_for(std::chrono::duration<double>(flags.seconds));
@@ -212,15 +313,17 @@ RowResult RunClosedLoop(const ServeBenchFlags& flags, int threads) {
   row.requests = completed.load();
   row.seconds = elapsed;
   row.qps = elapsed > 0 ? static_cast<double>(row.requests) / elapsed : 0.0;
+  row.retries = retries.load();
   row.stats = engine.Stats();
   return row;
 }
 
-RowResult RunOpenLoop(const ServeBenchFlags& flags, int threads) {
+// Paced arrivals at `target_qps` with engine options `options`; shared by
+// the open-loop and overload rows.
+RowResult RunPaced(const ServeBenchFlags& flags, int threads,
+                   const serve::EngineOptions& options, double target_qps,
+                   const std::string& mode) {
   ThreadPool::Global().SetNumThreads(threads);
-  serve::EngineOptions options;
-  options.max_batch_size = flags.batch;
-  options.max_wait_us = flags.wait_us;
   serve::ServingEngine engine(options);
   engine.Publish(MakeSnapshot(flags, 1));
   SwapLoop swaps(&engine, flags);
@@ -228,9 +331,9 @@ RowResult RunOpenLoop(const ServeBenchFlags& flags, int threads) {
   Rng rng(flags.seed);
   const auto start = std::chrono::steady_clock::now();
   const auto period =
-      std::chrono::nanoseconds(static_cast<int64_t>(1e9 / flags.qps));
+      std::chrono::nanoseconds(static_cast<int64_t>(1e9 / target_qps));
   const int64_t total =
-      static_cast<int64_t>(flags.seconds * static_cast<double>(flags.qps));
+      static_cast<int64_t>(flags.seconds * target_qps);
   std::vector<std::future<serve::ServeResponse>> inflight;
   inflight.reserve(static_cast<size_t>(total));
   for (int64_t i = 0; i < total; ++i) {
@@ -246,11 +349,93 @@ RowResult RunOpenLoop(const ServeBenchFlags& flags, int threads) {
           .count();
 
   RowResult row;
-  row.mode = "open";
+  row.mode = mode;
   row.threads = threads;
   row.requests = total;
   row.seconds = elapsed;
   row.qps = elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0;
+  row.stats = engine.Stats();
+  return row;
+}
+
+RowResult RunOpenLoop(const ServeBenchFlags& flags, int threads) {
+  return RunPaced(flags, threads, flags.MakeEngineOptions(),
+                  static_cast<double>(flags.qps), "open");
+}
+
+// Offered load >= overload_factor x measured capacity, with admission
+// control on (bounded queue depth, shed past-deadline requests, bounded
+// p99 for admitted requests) or off (queue and latency grow with the
+// backlog) — the two curves of the robustness acceptance criterion.
+RowResult RunOverload(const ServeBenchFlags& flags, int threads,
+                      double capacity_qps, bool capped) {
+  serve::EngineOptions options = flags.MakeEngineOptions();
+  if (capped) {
+    if (options.max_queue == 0) options.max_queue = 4 * flags.batch;
+    if (options.deadline_us == 0) options.deadline_us = 50000;
+  } else {
+    options.max_queue = 0;
+    options.deadline_us = 0;
+    options.degrade_queue_depth = 0;
+  }
+  const double offered =
+      std::max(1.0, capacity_qps * flags.overload_factor);
+  return RunPaced(flags, threads, options, offered,
+                  capped ? "overload_capped" : "overload_uncapped");
+}
+
+// Deterministic chaos replay: sequential requests (one micro-batch each)
+// under the configured fault plan, republishing every 50 requests. The
+// reject/shed/degraded counters and every full-fidelity list are a pure
+// function of --fault_seed and the request sequence — identical at any
+// kernel thread count.
+RowResult RunChaos(const ServeBenchFlags& flags, int threads) {
+  ThreadPool::Global().SetNumThreads(threads);
+  FaultConfig fault;
+  fault.seed = flags.fault_seed;
+  fault.publish_fail_probability = flags.fault_publish;
+  fault.scoring_error_probability = flags.fault_score;
+  fault.batch_delay_probability = flags.fault_batch_delay;
+  fault.batch_delay_us = flags.fault_batch_delay_us;
+  ScopedFaultInjection inject(fault);
+
+  serve::EngineOptions options = flags.MakeEngineOptions();
+  options.max_wait_us = 0;  // flush each request immediately
+  if (options.deadline_us == 0 && flags.fault_batch_delay > 0.0) {
+    // A spiked batch (batch_delay_us) must overshoot this and an unspiked
+    // one must not, even when the scheduler hiccups: a fifth of the spike
+    // keeps both margins wide (10ms vs. a 50ms default spike, ~100x the
+    // idle pickup latency), so the shed count stays a pure function of
+    // the fault plan.
+    options.deadline_us = std::max<int64_t>(1, flags.fault_batch_delay_us / 5);
+  }
+  serve::ServingEngine engine(options);
+  uint64_t version = 1;
+  while (!engine.Publish(MakeSnapshot(flags, version))) ++version;
+
+  Rng rng(flags.seed);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < flags.chaos_requests; ++i) {
+    if (i > 0 && i % 50 == 0) {
+      engine.Publish(MakeSnapshot(flags, ++version));
+    }
+    serve::ServeRequest request;
+    request.user = rng.UniformInt(flags.users);
+    request.k = flags.k;
+    engine.ServeSync(request);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  RowResult row;
+  row.mode = "chaos";
+  row.threads = threads;
+  row.requests = flags.chaos_requests;
+  row.seconds = elapsed;
+  row.qps = elapsed > 0
+                ? static_cast<double>(flags.chaos_requests) / elapsed
+                : 0.0;
   row.stats = engine.Stats();
   return row;
 }
@@ -267,6 +452,16 @@ void WriteTable(const ServeBenchFlags& flags,
   json.Key("target_qps").Int(flags.qps);
   json.Key("max_batch_size").Int(flags.batch);
   json.Key("max_wait_us").Int(flags.wait_us);
+  json.Key("max_queue").Int(flags.max_queue);
+  json.Key("deadline_us").Int(flags.deadline_us);
+  json.Key("degrade_depth").Int(flags.degrade_depth);
+  json.Key("max_batch_cost").Int(flags.max_batch_cost);
+  json.Key("overload_factor").Double(flags.overload_factor);
+  json.Key("fault_seed").Int(static_cast<int64_t>(flags.fault_seed));
+  json.Key("fault_publish").Double(flags.fault_publish);
+  json.Key("fault_score").Double(flags.fault_score);
+  json.Key("fault_batch_delay").Double(flags.fault_batch_delay);
+  json.Key("fault_batch_delay_us").Int(flags.fault_batch_delay_us);
   json.Key("swap_ms").Int(flags.swap_ms);
   json.Key("cases").BeginArray();
   for (const RowResult& row : rows) {
@@ -283,6 +478,7 @@ void WriteTable(const ServeBenchFlags& flags,
     json.Key("batches").Int(row.stats.batches);
     json.Key("mean_batch_size").Double(row.stats.mean_batch_size);
     json.Key("publishes").Int(row.stats.publishes);
+    WriteRobustnessFields(&json, row.stats, row.retries);
     json.EndObject();
   }
   json.EndArray();
@@ -293,22 +489,42 @@ void WriteTable(const ServeBenchFlags& flags,
   }
 }
 
+void PrintRow(const RowResult& row) {
+  std::printf(
+      "%-18s %8d %10lld %12.1f %10lld %10lld %8lld %8lld %8lld %8lld\n",
+      row.mode.c_str(), row.threads, static_cast<long long>(row.requests),
+      row.qps, static_cast<long long>(row.stats.p50_us),
+      static_cast<long long>(row.stats.p99_us),
+      static_cast<long long>(row.stats.rejected),
+      static_cast<long long>(row.stats.shed),
+      static_cast<long long>(row.stats.degraded),
+      static_cast<long long>(row.stats.max_queue_depth));
+}
+
 int Main(int argc, char** argv) {
   const ServeBenchFlags flags = ServeBenchFlags::Parse(argc, argv);
-  std::printf("%-8s %8s %10s %12s %10s %10s %10s %8s\n", "mode", "threads",
-              "requests", "qps", "p50_us", "p95_us", "p99_us", "swaps");
+  std::printf("%-18s %8s %10s %12s %10s %10s %8s %8s %8s %8s\n", "mode",
+              "threads", "requests", "qps", "p50_us", "p99_us", "rejected",
+              "shed", "degraded", "maxq");
   std::vector<RowResult> rows;
   for (int threads : flags.threads) {
-    for (const bool open : {false, true}) {
-      const RowResult row =
-          open ? RunOpenLoop(flags, threads) : RunClosedLoop(flags, threads);
-      std::printf("%-8s %8d %10lld %12.1f %10lld %10lld %10lld %8lld\n",
-                  row.mode.c_str(), row.threads,
-                  static_cast<long long>(row.requests), row.qps,
-                  static_cast<long long>(row.stats.p50_us),
-                  static_cast<long long>(row.stats.p95_us),
-                  static_cast<long long>(row.stats.p99_us),
-                  static_cast<long long>(row.stats.publishes));
+    const RowResult closed = RunClosedLoop(flags, threads);
+    PrintRow(closed);
+    rows.push_back(closed);
+    const RowResult open = RunOpenLoop(flags, threads);
+    PrintRow(open);
+    rows.push_back(open);
+    if (flags.overload) {
+      for (const bool capped : {true, false}) {
+        const RowResult row =
+            RunOverload(flags, threads, closed.qps, capped);
+        PrintRow(row);
+        rows.push_back(row);
+      }
+    }
+    if (flags.chaos_enabled()) {
+      const RowResult row = RunChaos(flags, threads);
+      PrintRow(row);
       rows.push_back(row);
     }
   }

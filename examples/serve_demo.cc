@@ -27,6 +27,7 @@
 #include "data/demographics.h"
 #include "recsys/matrix_factorization.h"
 #include "recsys/trainer.h"
+#include "serve/admission.h"
 #include "serve/engine.h"
 #include "serve/model_snapshot.h"
 #include "serve/topk.h"
@@ -93,8 +94,14 @@ int Main() {
   std::printf("target item %lld, audience of %zu users\n\n",
               static_cast<long long>(target), market.target_audience.size());
 
-  // --- 2. Train on clean data, publish snapshot v1.
-  serve::ServingEngine engine;
+  // --- 2. Train on clean data, publish snapshot v1. The engine runs
+  // with production-shaped overload protection: a bounded queue (clients
+  // retry rejected requests with jittered backoff) and an enforced
+  // per-request deadline.
+  serve::EngineOptions engine_options;
+  engine_options.max_queue = 256;
+  engine_options.deadline_us = 100000;
+  serve::ServingEngine engine(engine_options);
   auto clean = TrainAndSnapshot(base, /*version=*/1, "mf-clean", seed);
   engine.Publish(clean);
 
@@ -104,16 +111,22 @@ int Main() {
   std::atomic<bool> stop{false};
   std::atomic<int64_t> served_by_version[3] = {{0}, {0}, {0}};
   std::atomic<int64_t> target_hits_by_version[3] = {{0}, {0}, {0}};
+  std::atomic<int64_t> client_retries{0};
   std::vector<std::thread> clients;
   for (int c = 0; c < 2; ++c) {
     clients.emplace_back([&, c] {
       Rng client_rng(100 + static_cast<uint64_t>(c));
+      serve::RetryingClient client(&engine, serve::RetryPolicy{},
+                                   200 + static_cast<uint64_t>(c));
       while (!stop.load(std::memory_order_relaxed)) {
         serve::ServeRequest request;
         request.user = market.target_audience[static_cast<size_t>(
             client_rng.UniformInt(static_cast<int64_t>(
                 market.target_audience.size())))];
-        const serve::ServeResponse response = engine.ServeSync(request);
+        const serve::ServeResponse response = client.Serve(request);
+        // Only full-fidelity served lists count toward the attack tally —
+        // rejected/shed/degraded responses don't reflect the model.
+        if (!response.ok() || response.served_degraded) continue;
         if (response.snapshot_version > 2) continue;
         served_by_version[response.snapshot_version].fetch_add(1);
         for (int64_t item : response.items) {
@@ -123,6 +136,7 @@ int Main() {
           }
         }
       }
+      client_retries.fetch_add(client.retries());
     });
   }
 
@@ -169,6 +183,15 @@ int Main() {
       static_cast<long long>(stats.p50_us),
       static_cast<long long>(stats.p99_us),
       static_cast<long long>(stats.publishes));
+  std::printf(
+      "overload: %lld rejected, %lld shed, %lld degraded, %lld cancelled, "
+      "%lld retry(ies), %lld publish failure(s)\n",
+      static_cast<long long>(stats.rejected),
+      static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.degraded),
+      static_cast<long long>(stats.cancelled),
+      static_cast<long long>(client_retries.load()),
+      static_cast<long long>(stats.publish_failures));
   std::printf(
       "\nThe hot swap happened mid-traffic: responses under v1 and v2 were\n"
       "served from the same engine with no pause, and the poisoned model\n"

@@ -1,0 +1,67 @@
+#include "serve/degraded.h"
+
+#include <algorithm>
+
+#include "serve/topk.h"
+#include "util/logging.h"
+
+namespace msopds {
+namespace serve {
+
+std::shared_ptr<const PopularityCatalog> PopularityCatalog::FromSeen(
+    const SeenItemsCsr& seen, int64_t num_items, uint64_t snapshot_version) {
+  MSOPDS_CHECK_GE(num_items, 0);
+  std::vector<int64_t> count_of(static_cast<size_t>(num_items), 0);
+  for (int64_t item : seen.items) {
+    MSOPDS_DCHECK_GE(item, 0);
+    MSOPDS_DCHECK_LT(item, num_items);
+    ++count_of[static_cast<size_t>(item)];
+  }
+  std::vector<ScoredItem> ranked;
+  ranked.reserve(static_cast<size_t>(num_items));
+  for (int64_t item = 0; item < num_items; ++item) {
+    ranked.push_back(
+        {item, static_cast<double>(count_of[static_cast<size_t>(item)])});
+  }
+  std::sort(ranked.begin(), ranked.end(), RanksBefore);
+  auto catalog = std::make_shared<PopularityCatalog>();
+  catalog->snapshot_version = snapshot_version;
+  catalog->items.reserve(ranked.size());
+  catalog->counts.reserve(ranked.size());
+  for (const ScoredItem& entry : ranked) {
+    catalog->items.push_back(entry.item);
+    catalog->counts.push_back(entry.score);
+  }
+  return catalog;
+}
+
+std::shared_ptr<const PopularityCatalog> PopularityCatalog::FromSnapshot(
+    const ModelSnapshot& snapshot) {
+  return FromSeen(snapshot.seen(), snapshot.num_items(), snapshot.version());
+}
+
+void ServeFromPopularity(const PopularityCatalog* catalog,
+                         const SeenItemsCsr* seen, const ServeRequest& request,
+                         DegradedReason reason, ServeResponse* response) {
+  MSOPDS_CHECK(response != nullptr);
+  response->served_degraded = true;
+  response->degraded_reason = reason;
+  response->items.clear();
+  response->scores.clear();
+  if (catalog == nullptr) return;
+  response->snapshot_version = catalog->snapshot_version;
+  const bool exclude = request.exclude_seen && seen != nullptr &&
+                       request.user >= 0 && request.user < seen->num_users();
+  const int64_t k = request.k;
+  for (size_t r = 0; r < catalog->items.size() &&
+                     static_cast<int64_t>(response->items.size()) < k;
+       ++r) {
+    const int64_t item = catalog->items[r];
+    if (exclude && seen->Contains(request.user, item)) continue;
+    response->items.push_back(item);
+    response->scores.push_back(catalog->counts[r]);
+  }
+}
+
+}  // namespace serve
+}  // namespace msopds

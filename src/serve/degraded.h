@@ -1,0 +1,54 @@
+#ifndef MSOPDS_SERVE_DEGRADED_H_
+#define MSOPDS_SERVE_DEGRADED_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/model_snapshot.h"
+
+namespace msopds {
+namespace serve {
+
+/// Deterministic graceful-degradation source: the full item catalog
+/// ranked by popularity (seen-item count descending, ties toward the
+/// lower item id — the same RanksBefore total order as every other list
+/// in the repo, with counts as scores). Built once per publish from the
+/// snapshot's seen CSR, so serving from it costs a ranked-list walk with
+/// no embedding math: when the engine is saturated, has no snapshot, or
+/// a scoring pass fails, it answers from here instead of stalling.
+///
+/// Immutable after construction (same sharing contract as ModelSnapshot).
+struct PopularityCatalog {
+  /// All item ids, best (most seen) first.
+  std::vector<int64_t> items;
+  /// counts[r] = seen-item count of items[r] (the degraded "score").
+  std::vector<double> counts;
+  /// Version of the snapshot this ranking derives from.
+  uint64_t snapshot_version = 0;
+
+  /// Ranks [0, num_items) by seen-count over `seen` (items absent from
+  /// every row rank by id at count 0).
+  static std::shared_ptr<const PopularityCatalog> FromSeen(
+      const SeenItemsCsr& seen, int64_t num_items, uint64_t snapshot_version);
+
+  static std::shared_ptr<const PopularityCatalog> FromSnapshot(
+      const ModelSnapshot& snapshot);
+};
+
+/// Fills `response` from the popularity ranking: the top-k catalog items,
+/// skipping the user's seen items (via `seen`, when non-null and the user
+/// is in range) if the request asks for exclusion. `catalog` may be null
+/// (nothing ever published): the response is then an empty list. Always
+/// stamps served_degraded/degraded_reason; never touches latency fields
+/// or status. Deterministic: the output is a pure function of (catalog,
+/// seen row, request).
+void ServeFromPopularity(const PopularityCatalog* catalog,
+                         const SeenItemsCsr* seen, const ServeRequest& request,
+                         DegradedReason reason, ServeResponse* response);
+
+}  // namespace serve
+}  // namespace msopds
+
+#endif  // MSOPDS_SERVE_DEGRADED_H_

@@ -1,8 +1,12 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <exception>
 #include <map>
+#include <stdexcept>
 #include <utility>
+
+#include "util/fault.h"
 
 namespace msopds {
 namespace serve {
@@ -22,31 +26,60 @@ int64_t PercentileUs(const std::vector<int64_t>& sorted, double q) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
+/// Cost of one request in batch-cost units (see EngineOptions).
+int64_t RequestCost(const ServeRequest& request) {
+  return std::max<int64_t>(1, request.k);
+}
+
 }  // namespace
 
 ServingEngine::ServingEngine(const EngineOptions& options)
-    : options_(options) {
+    : options_(options),
+      admission_(AdmissionOptions{options.max_queue,
+                                  options.degrade_queue_depth}) {
   MSOPDS_CHECK_GT(options_.max_batch_size, 0);
   MSOPDS_CHECK_GE(options_.max_wait_us, 0);
   MSOPDS_CHECK_GE(options_.deadline_us, 0);
+  MSOPDS_CHECK_GE(options_.max_queue, 0);
+  MSOPDS_CHECK_GE(options_.degrade_queue_depth, 0);
+  MSOPDS_CHECK_GE(options_.max_batch_cost, 0);
   batcher_ = std::thread([this] { BatcherLoop(); });
 }
 
 ServingEngine::~ServingEngine() { Stop(); }
 
-void ServingEngine::Publish(std::shared_ptr<const ModelSnapshot> snapshot) {
+bool ServingEngine::Publish(std::shared_ptr<const ModelSnapshot> snapshot) {
   MSOPDS_CHECK(snapshot != nullptr);
   std::lock_guard<std::mutex> lock(publish_mu_);
+  if (FaultInjector::Global().ShouldFailPublish()) {
+    // Rollback: the active snapshot and its popularity fallback stay
+    // live; the caller can retry against an engine that kept serving.
+    publish_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // The fallback swaps first: a batch that loads the new snapshot with
+  // the old catalog degrades against a one-publish-stale popularity list
+  // (documented contract), never against a torn structure.
+  fallback_.Exchange(PopularityCatalog::FromSnapshot(*snapshot));
   // Release store: a batcher that acquire-loads the new pointer sees the
   // fully constructed snapshot. The previous snapshot moves to the
   // retired slot; the one retired before it is released here, strictly
   // after any batch that could have loaded it has moved on.
   retired_ = snapshot_.Exchange(std::move(snapshot));
   publishes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 std::shared_ptr<const ModelSnapshot> ServingEngine::CurrentSnapshot() const {
   return snapshot_.Load();
+}
+
+void ServingEngine::ResolveNow(Pending* pending, ServeStatus status) {
+  ServeResponse response;
+  response.status = status;
+  response.total_us =
+      MicrosSince(pending->enqueued, std::chrono::steady_clock::now());
+  pending->promise.set_value(std::move(response));
 }
 
 std::future<ServeResponse> ServingEngine::Submit(const ServeRequest& request) {
@@ -55,24 +88,56 @@ std::future<ServeResponse> ServingEngine::Submit(const ServeRequest& request) {
   pending.request = request;
   pending.enqueued = std::chrono::steady_clock::now();
   std::future<ServeResponse> future = pending.promise.get_future();
+  bool cancelled = false;
+  bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    MSOPDS_CHECK(!stopping_) << "Submit() on a stopped ServingEngine";
-    queue_.push_back(std::move(pending));
+    if (stopping_) {
+      // Racing past (or arriving after) Stop(): resolve, never drop.
+      cancelled = true;
+    } else {
+      switch (admission_.Admit(static_cast<int64_t>(queue_.size()))) {
+        case AdmissionDecision::kReject:
+          rejected = true;
+          break;
+        case AdmissionDecision::kAdmitDegraded:
+          pending.degraded_hint = true;
+          queue_.push_back(std::move(pending));
+          break;
+        case AdmissionDecision::kAdmit:
+          queue_.push_back(std::move(pending));
+          break;
+      }
+    }
   }
-  queue_cv_.notify_one();
+  if (cancelled || rejected) {
+    ResolveNow(&pending, cancelled ? ServeStatus::kCancelled
+                                   : ServeStatus::kResourceExhausted);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++requests_;
+    if (cancelled) ++cancelled_;
+  }
+  if (!cancelled && !rejected) queue_cv_.notify_one();
   return future;
 }
 
 ServeResponse ServingEngine::ServeSync(const ServeRequest& request) {
-  return Submit(request).get();
+  // Bounded by the engine's promise-resolution contract: every Submit()
+  // resolves (serve, reject, shed, or cancel).
+  return Submit(request).get();  // lint:allow-blocking-wait
 }
 
 void ServingEngine::BatcherLoop() {
   const auto max_wait = std::chrono::microseconds(options_.max_wait_us);
+  // Idle housekeeping tick: the lint gate bans deadline-less blocking
+  // waits in src/serve, so even the idle wait re-arms periodically.
+  const auto idle_tick = std::chrono::milliseconds(50);
   std::unique_lock<std::mutex> lock(queue_mu_);
   while (true) {
-    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    queue_cv_.wait_for(lock, idle_tick,
+                       [this] { return stopping_ || !queue_.empty(); });
     if (queue_.empty()) {
       if (stopping_) return;
       continue;
@@ -87,15 +152,29 @@ void ServingEngine::BatcherLoop() {
                                      options_.max_batch_size;
            })) {
     }
+    // Drain bounded by count and by cumulative cost: one huge-K request
+    // closes its batch early instead of riding with (and starving) a
+    // full complement of cheap ones.
     std::vector<Pending> batch;
-    const int take = std::min<int>(static_cast<int>(queue_.size()),
-                                   options_.max_batch_size);
-    batch.reserve(static_cast<size_t>(take));
-    for (int i = 0; i < take; ++i) {
+    int64_t cost = 0;
+    while (!queue_.empty() &&
+           static_cast<int>(batch.size()) < options_.max_batch_size) {
+      const int64_t next_cost = RequestCost(queue_.front().request);
+      if (options_.max_batch_cost > 0 && !batch.empty() &&
+          cost + next_cost > options_.max_batch_cost) {
+        break;
+      }
+      cost += next_cost;
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
     lock.unlock();
+    // Chaos point: injected latency spike between pickup and scoring —
+    // queued deadlines keep running, so a spiked batch sheds.
+    const int64_t delay_us = FaultInjector::Global().MaybeBatchFlushDelayUs();
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
     ScoreBatch(std::move(batch));
     lock.lock();
   }
@@ -104,55 +183,115 @@ void ServingEngine::BatcherLoop() {
 void ServingEngine::ScoreBatch(std::vector<Pending> batch) {
   const auto picked_up = std::chrono::steady_clock::now();
   const std::shared_ptr<const ModelSnapshot> snapshot = snapshot_.Load();
-
-  // Group by (k, exclude_seen) so each group is one kernel call; the
-  // common case (uniform requests) is a single TopKForUsers pass.
-  std::map<std::pair<int, bool>, std::vector<size_t>> groups;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    groups[{batch[i].request.k, batch[i].request.exclude_seen}].push_back(i);
-  }
+  const std::shared_ptr<const PopularityCatalog> fallback = fallback_.Load();
 
   std::vector<ServeResponse> responses(batch.size());
-  if (snapshot != nullptr) {
-    for (const auto& [key, members] : groups) {
-      TopKOptions options;
-      options.k = key.first;
-      options.exclude_seen = key.second;
-      std::vector<int64_t> users;
-      users.reserve(members.size());
-      for (size_t i : members) users.push_back(batch[i].request.user);
-      const TopKResult result = TopKForUsers(*snapshot, users, options);
-      for (size_t m = 0; m < members.size(); ++m) {
-        ServeResponse& response = responses[members[m]];
-        const int64_t count = result.counts[m];
-        const auto local = static_cast<int64_t>(m);
-        response.items.assign(result.ItemsForUser(local),
-                              result.ItemsForUser(local) + count);
-        response.scores.assign(result.ScoresForUser(local),
-                               result.ScoresForUser(local) + count);
-        response.snapshot_version = snapshot->version();
+  int64_t shed = 0;
+
+  // Deadline enforcement: a request whose budget passed while it queued
+  // is shed here, before any scoring work is spent on it.
+  std::vector<size_t> full_members;
+  std::vector<size_t> degraded_members;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int64_t deadline_us = batch[i].request.deadline_us > 0
+                                    ? batch[i].request.deadline_us
+                                    : options_.deadline_us;
+    if (deadline_us > 0 &&
+        MicrosSince(batch[i].enqueued, picked_up) > deadline_us) {
+      responses[i].status = ServeStatus::kDeadlineExceeded;
+      responses[i].deadline_missed = true;
+      ++shed;
+      continue;
+    }
+    if (snapshot == nullptr) {
+      responses[i].degraded_reason = DegradedReason::kNoSnapshot;
+      degraded_members.push_back(i);
+    } else if (batch[i].degraded_hint) {
+      responses[i].degraded_reason = DegradedReason::kSaturated;
+      degraded_members.push_back(i);
+    } else {
+      full_members.push_back(i);
+    }
+  }
+
+  // Full-fidelity path, grouped by (k, exclude_seen) so each group is
+  // one kernel call. A scoring failure — injected worker exception from
+  // the chaos harness, or a real one propagated off the thread pool —
+  // demotes the whole full-fidelity set to the popularity fallback
+  // instead of failing the batch.
+  if (!full_members.empty()) {
+    try {
+      if (FaultInjector::Global().ShouldFailScoring()) {
+        throw std::runtime_error("injected scoring fault");
+      }
+      std::map<std::pair<int, bool>, std::vector<size_t>> groups;
+      for (size_t i : full_members) {
+        groups[{batch[i].request.k, batch[i].request.exclude_seen}]
+            .push_back(i);
+      }
+      for (const auto& [key, members] : groups) {
+        TopKOptions options;
+        options.k = key.first;
+        options.exclude_seen = key.second;
+        std::vector<int64_t> users;
+        users.reserve(members.size());
+        for (size_t i : members) users.push_back(batch[i].request.user);
+        const TopKResult result = TopKForUsers(*snapshot, users, options);
+        for (size_t m = 0; m < members.size(); ++m) {
+          ServeResponse& response = responses[members[m]];
+          const int64_t count = result.counts[m];
+          const auto local = static_cast<int64_t>(m);
+          response.items.assign(result.ItemsForUser(local),
+                                result.ItemsForUser(local) + count);
+          response.scores.assign(result.ScoresForUser(local),
+                                 result.ScoresForUser(local) + count);
+          response.snapshot_version = snapshot->version();
+        }
+      }
+    } catch (const std::exception&) {
+      for (size_t i : full_members) {
+        responses[i].degraded_reason = DegradedReason::kScoringFault;
+        degraded_members.push_back(i);
       }
     }
   }
 
+  // Degraded path: answer from the popularity catalog (stale snapshot's
+  // seen CSR for exclusion when available) instead of stalling.
+  for (size_t i : degraded_members) {
+    ServeFromPopularity(fallback.get(),
+                        snapshot != nullptr ? &snapshot->seen() : nullptr,
+                        batch[i].request, responses[i].degraded_reason,
+                        &responses[i]);
+  }
+
   const auto done = std::chrono::steady_clock::now();
   int64_t misses = 0;
+  int64_t served_degraded = 0;
   std::vector<int64_t> latencies;
   latencies.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     ServeResponse& response = responses[i];
     response.queue_us = MicrosSince(batch[i].enqueued, picked_up);
     response.total_us = MicrosSince(batch[i].enqueued, done);
-    response.deadline_missed =
-        options_.deadline_us > 0 && response.total_us > options_.deadline_us;
+    if (response.status == ServeStatus::kOk) {
+      const int64_t deadline_us = batch[i].request.deadline_us > 0
+                                      ? batch[i].request.deadline_us
+                                      : options_.deadline_us;
+      response.deadline_missed =
+          deadline_us > 0 && response.total_us > deadline_us;
+      if (response.served_degraded) ++served_degraded;
+      latencies.push_back(response.total_us);
+    }
     if (response.deadline_missed) ++misses;
-    latencies.push_back(response.total_us);
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    requests_ += static_cast<int64_t>(batch.size());
     batches_ += 1;
+    batched_requests_ += static_cast<int64_t>(batch.size());
     deadline_misses_ += misses;
+    shed_ += shed;
+    degraded_ += served_degraded;
     latencies_us_.insert(latencies_us_.end(), latencies.begin(),
                          latencies.end());
   }
@@ -169,13 +308,23 @@ EngineStats ServingEngine::Stats() const {
     stats.requests = requests_;
     stats.batches = batches_;
     stats.deadline_misses = deadline_misses_;
+    stats.shed = shed_;
+    stats.degraded = degraded_;
+    stats.cancelled = cancelled_;
+    stats.mean_batch_size =
+        batches_ > 0 ? static_cast<double>(batched_requests_) /
+                           static_cast<double>(batches_)
+                     : 0.0;
     sorted = latencies_us_;
   }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stats.admitted = admission_.admitted();
+    stats.rejected = admission_.rejected();
+    stats.max_queue_depth = admission_.max_queue_depth();
+  }
   stats.publishes = publishes_.load(std::memory_order_relaxed);
-  stats.mean_batch_size =
-      stats.batches > 0 ? static_cast<double>(stats.requests) /
-                              static_cast<double>(stats.batches)
-                        : 0.0;
+  stats.publish_failures = publish_failures_.load(std::memory_order_relaxed);
   std::sort(sorted.begin(), sorted.end());
   stats.p50_us = PercentileUs(sorted, 0.50);
   stats.p95_us = PercentileUs(sorted, 0.95);
@@ -192,6 +341,22 @@ void ServingEngine::Stop() {
   }
   queue_cv_.notify_all();
   if (batcher_.joinable()) batcher_.join();
+  // The batcher drains by scoring until the queue is empty, but a Submit
+  // that passed the stopping_ check before we set it can still land an
+  // entry after the batcher's last look. Resolve such stragglers with
+  // kCancelled — a promise is never dropped.
+  std::deque<Pending> stragglers;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stragglers.swap(queue_);
+  }
+  if (!stragglers.empty()) {
+    for (Pending& pending : stragglers) {
+      ResolveNow(&pending, ServeStatus::kCancelled);
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    cancelled_ += static_cast<int64_t>(stragglers.size());
+  }
 }
 
 }  // namespace serve

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "serve/admission.h"
+#include "serve/degraded.h"
 #include "serve/model_snapshot.h"
 #include "serve/topk.h"
 
@@ -25,29 +27,26 @@ struct EngineOptions {
   /// Maximum time the oldest queued request waits for the batch to fill
   /// before a partial batch is flushed.
   int64_t max_wait_us = 200;
-  /// Per-request latency SLO; responses whose enqueue-to-completion time
-  /// exceeds it are flagged (and counted in EngineStats). 0 disables.
+  /// Default per-request latency budget, ENFORCED: a request whose
+  /// budget has already passed at batch pickup is shed with
+  /// kDeadlineExceeded before any scoring work is spent on it (a served
+  /// response can still finish late and is then only flagged). 0
+  /// disables; ServeRequest::deadline_us overrides per request.
   int64_t deadline_us = 0;
-};
-
-struct ServeRequest {
-  int64_t user = 0;
-  int k = 10;
-  bool exclude_seen = true;
-};
-
-struct ServeResponse {
-  /// Best-first recommendation list (≤ k entries; empty when no snapshot
-  /// was published yet).
-  std::vector<int64_t> items;
-  std::vector<double> scores;
-  /// Version of the snapshot that served the request (0 = none).
-  uint64_t snapshot_version = 0;
-  /// Enqueue → batch pickup.
-  int64_t queue_us = 0;
-  /// Enqueue → response ready.
-  int64_t total_us = 0;
-  bool deadline_missed = false;
+  /// Pending-queue cap: Submit() on a full queue resolves immediately
+  /// with kResourceExhausted instead of growing the queue without bound.
+  /// 0 = unbounded (legacy behavior).
+  int64_t max_queue = 0;
+  /// Queue depth at/above which admitted requests are served from the
+  /// popularity fallback instead of the full scoring path (see
+  /// serve/degraded.h). 0 = disabled.
+  int64_t degrade_queue_depth = 0;
+  /// Cost cap per scoring batch, in units of requested k (each request
+  /// costs max(1, k)): the batcher closes a batch early rather than let
+  /// one huge-K request ride with (and starve) a full complement of
+  /// small ones. A single request always flushes regardless of cost.
+  /// 0 = disabled (batches bounded by max_batch_size only).
+  int64_t max_batch_cost = 0;
 };
 
 struct EngineStats {
@@ -56,40 +55,54 @@ struct EngineStats {
   int64_t deadline_misses = 0;
   /// Snapshots published (hot-swaps) since construction.
   int64_t publishes = 0;
+  /// Publish() calls that failed (fault-injected) and rolled back.
+  int64_t publish_failures = 0;
+  /// Admission/overload counters. requests = admitted + rejected +
+  /// cancelled-at-submit; admitted = scored (full or degraded) + shed +
+  /// cancelled-after-admission.
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  int64_t shed = 0;
+  int64_t degraded = 0;
+  int64_t cancelled = 0;
+  /// High-water mark of the pending queue depth.
+  int64_t max_queue_depth = 0;
   double mean_batch_size = 0.0;
-  /// Percentiles of enqueue-to-completion latency, microseconds.
+  /// Percentiles of enqueue-to-completion latency, microseconds, over
+  /// served (kOk) responses only — rejected/shed/cancelled requests
+  /// resolve fast by construction and would mask queueing latency.
   int64_t p50_us = 0;
   int64_t p95_us = 0;
   int64_t p99_us = 0;
   int64_t max_us = 0;
 };
 
-/// Atomic shared_ptr slot for the active snapshot: a micro critical
-/// section (lock = exchange-acquire on a bool, unlock = release store)
-/// around a pointer copy/swap. Semantically this is
-/// std::atomic<std::shared_ptr<T>>, deliberately hand-rolled: libstdc++'s
-/// _Sp_atomic unlocks the *reader's* critical section with relaxed
-/// ordering (shared_ptr_atomic.h, load() ends in
-/// unlock(memory_order_relaxed)), so the reader's plain read of the
-/// pointer field has no release edge toward a later writer's plain write
-/// — formally a data race, and ThreadSanitizer reports it as one. Here
-/// both sides release on unlock, making the protocol verifiable: the
-/// serve suite runs under TSan in tools/check.sh. Hold times are a
-/// shared_ptr copy (one refcount increment), so a publish can delay a
-/// reader by nanoseconds but never blocks it behind scoring work.
-class SnapshotSlot {
+/// Atomic shared_ptr slot: a micro critical section (lock =
+/// exchange-acquire on a bool, unlock = release store) around a pointer
+/// copy/swap. Semantically this is std::atomic<std::shared_ptr<T>>,
+/// deliberately hand-rolled: libstdc++'s _Sp_atomic unlocks the
+/// *reader's* critical section with relaxed ordering
+/// (shared_ptr_atomic.h, load() ends in unlock(memory_order_relaxed)),
+/// so the reader's plain read of the pointer field has no release edge
+/// toward a later writer's plain write — formally a data race, and
+/// ThreadSanitizer reports it as one. Here both sides release on unlock,
+/// making the protocol verifiable: the serve suite runs under TSan in
+/// tools/check.sh. Hold times are a shared_ptr copy (one refcount
+/// increment), so a publish can delay a reader by nanoseconds but never
+/// blocks it behind scoring work.
+template <typename T>
+class AtomicPtrSlot {
  public:
-  /// Acquire-copies the current snapshot (may be null).
-  std::shared_ptr<const ModelSnapshot> Load() const {
+  /// Acquire-copies the current pointer (may be null).
+  std::shared_ptr<T> Load() const {
     Lock();
-    std::shared_ptr<const ModelSnapshot> copy = value_;
+    std::shared_ptr<T> copy = value_;
     Unlock();
     return copy;
   }
 
-  /// Installs `next`, returning the previously active snapshot.
-  std::shared_ptr<const ModelSnapshot> Exchange(
-      std::shared_ptr<const ModelSnapshot> next) {
+  /// Installs `next`, returning the previously active pointer.
+  std::shared_ptr<T> Exchange(std::shared_ptr<T> next) {
     Lock();
     value_.swap(next);
     Unlock();
@@ -104,30 +117,46 @@ class SnapshotSlot {
   void Unlock() const { locked_.store(false, std::memory_order_release); }
 
   mutable std::atomic<bool> locked_{false};
-  std::shared_ptr<const ModelSnapshot> value_;
+  std::shared_ptr<T> value_;
 };
+
+/// The active-snapshot slot (see AtomicPtrSlot).
+using SnapshotSlot = AtomicPtrSlot<const ModelSnapshot>;
 
 /// Online top-K serving engine: a micro-batching request queue in front
 /// of the blocked top-K kernel, reading from a hot-swappable immutable
-/// snapshot.
+/// snapshot, with admission control and graceful degradation so the
+/// engine keeps answering — bounded queue, bounded latency — while the
+/// operator retrains and attackers poison (the paper's multiplayer
+/// setting assumes the victim serves throughout).
 ///
-/// Hot swap (the repo's first reader/writer-concurrent code path): the
-/// active snapshot lives in a SnapshotSlot (an atomic shared_ptr with
-/// TSan-verifiable acquire/release ordering — see above). Publish()
-/// exchanges the new pointer in; the batcher loads it at the start of
-/// every scoring pass, so a batch sees a fully-constructed snapshot or
-/// the previous one — never a partial write — and requests already being
-/// scored finish against the snapshot they started with. The engine
-/// additionally pins the previously active snapshot (double buffering)
-/// so the common retrain→republish cycle never pays a teardown on the
-/// publish path; the old-old snapshot is released on the *next* publish,
-/// by which time no batch can reference it (Publish happens-after every
-/// batch that loaded it).
+/// Hot swap: the active snapshot lives in a SnapshotSlot (an atomic
+/// shared_ptr with TSan-verifiable acquire/release ordering — see
+/// above). Publish() exchanges the new pointer in; the batcher loads it
+/// at the start of every scoring pass, so a batch sees a
+/// fully-constructed snapshot or the previous one — never a partial
+/// write — and requests already being scored finish against the snapshot
+/// they started with. The engine additionally pins the previously active
+/// snapshot (double buffering) so the common retrain→republish cycle
+/// never pays a teardown on the publish path; the old-old snapshot is
+/// released on the *next* publish, by which time no batch can reference
+/// it. A publish that fails (fault-injected) rolls back: the previous
+/// snapshot and popularity fallback stay live untouched.
 ///
-/// Determinism: scoring runs through serve/topk on the global thread
-/// pool, so a response's item list is bit-identical to the offline
-/// reference (recsys/metrics.h TopKItems) for the same snapshot at any
-/// thread count; only latency varies.
+/// Overload: Submit() runs admission control (serve/admission.h) — a
+/// full queue rejects with kResourceExhausted, a saturated queue routes
+/// to the popularity fallback (serve/degraded.h), and requests whose
+/// deadline passed while queued are shed at batch pickup instead of
+/// scored. Every promise is resolved: shutdown drains unscored requests
+/// with kCancelled, and Submit() during/after Stop() resolves
+/// immediately with kCancelled rather than CHECK-failing.
+///
+/// Determinism: full-fidelity scoring runs through serve/topk on the
+/// global thread pool, so a response's item list is bit-identical to the
+/// offline reference (recsys/metrics.h TopKItems) for the same snapshot
+/// at any thread count; degraded responses are a pure function of the
+/// snapshot's seen CSR and carry served_degraded so the guarantee stays
+/// scoped to full-fidelity responses.
 class ServingEngine {
  public:
   explicit ServingEngine(const EngineOptions& options = {});
@@ -136,25 +165,34 @@ class ServingEngine {
   ServingEngine(const ServingEngine&) = delete;
   ServingEngine& operator=(const ServingEngine&) = delete;
 
-  /// Atomically replaces the active snapshot; never blocks readers.
-  void Publish(std::shared_ptr<const ModelSnapshot> snapshot);
+  /// Atomically replaces the active snapshot (and rebuilds the
+  /// popularity fallback from it); never blocks readers. Returns false —
+  /// keeping the previous snapshot live — when the publish fails (the
+  /// chaos harness injects failures here; see util/fault.h
+  /// kSnapshotPublish).
+  bool Publish(std::shared_ptr<const ModelSnapshot> snapshot);
 
   /// The currently active snapshot (nullptr before the first Publish).
   std::shared_ptr<const ModelSnapshot> CurrentSnapshot() const;
 
   /// Enqueues a request; the future resolves once its micro-batch is
-  /// scored. Requests submitted before any Publish() resolve with an
-  /// empty list and snapshot_version 0.
+  /// scored, or immediately with kResourceExhausted (queue full) /
+  /// kCancelled (engine stopped). Requests admitted before any Publish()
+  /// resolve degraded with an empty list and snapshot_version 0.
   std::future<ServeResponse> Submit(const ServeRequest& request);
 
-  /// Submit + wait.
+  /// Submit + wait. The engine resolves every promise (reject, shed,
+  /// cancel, or serve), so this wait is bounded by the batcher's
+  /// progress, not by the caller's luck.
   ServeResponse ServeSync(const ServeRequest& request);
 
   /// Aggregate counters and latency percentiles so far.
   EngineStats Stats() const;
 
-  /// Drains the queue and joins the batcher. Called by the destructor;
-  /// idempotent. Submit() after Stop() CHECK-fails.
+  /// Stops the batcher: requests already queued are scored (graceful
+  /// drain), anything the batcher cannot pick up — including requests
+  /// that race past a completed drain — resolves with kCancelled, never
+  /// a dropped promise. Called by the destructor; idempotent.
   void Stop();
 
  private:
@@ -162,29 +200,42 @@ class ServingEngine {
     ServeRequest request;
     std::promise<ServeResponse> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Admission routed this request to the degraded path (saturation).
+    bool degraded_hint = false;
   };
 
   void BatcherLoop();
   void ScoreBatch(std::vector<Pending> batch);
+  /// Resolves `pending` with an immediate non-scored response.
+  void ResolveNow(Pending* pending, ServeStatus status);
 
   const EngineOptions options_;
 
   SnapshotSlot snapshot_;
+  /// Popularity fallback derived from the active snapshot (same slot
+  /// protocol; rebuilt on every successful publish).
+  AtomicPtrSlot<const PopularityCatalog> fallback_;
   // Double buffer: pins the previously active snapshot until the next
   // publish (see class comment). Only Publish() touches it.
   std::shared_ptr<const ModelSnapshot> retired_;
   std::mutex publish_mu_;
 
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Pending> queue_;
+  AdmissionController admission_;  // guarded by queue_mu_
   bool stopping_ = false;
 
   mutable std::mutex stats_mu_;
   int64_t requests_ = 0;
   int64_t batches_ = 0;
+  int64_t batched_requests_ = 0;
   int64_t deadline_misses_ = 0;
+  int64_t shed_ = 0;
+  int64_t degraded_ = 0;
+  int64_t cancelled_ = 0;
   std::atomic<int64_t> publishes_{0};
+  std::atomic<int64_t> publish_failures_{0};
   std::vector<int64_t> latencies_us_;
 
   std::thread batcher_;

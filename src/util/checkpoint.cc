@@ -137,8 +137,11 @@ class FlatJsonParser {
   size_t pos_ = 0;
 };
 
-Status FieldError(const std::string& name) {
-  return Status::InvalidArgument("bad or missing field '" + name + "'");
+// Prefixes `status`'s message with "context: " when context is set, so a
+// schema error names the file and row it came from.
+Status WithContext(const std::string& context, const Status& status) {
+  if (context.empty() || status.ok()) return status;
+  return Status(status.code(), context + ": " + status.message());
 }
 
 }  // namespace
@@ -158,7 +161,13 @@ std::string CellRecordToJson(const CellRecord& record) {
   return json.TakeString();
 }
 
-StatusOr<CellRecord> ParseCellRecord(const std::string& line) {
+namespace {
+
+Status FieldError(const std::string& name) {
+  return Status::InvalidArgument("bad or missing field '" + name + "'");
+}
+
+StatusOr<CellRecord> ParseCellRecordImpl(const std::string& line) {
   std::unordered_map<std::string, std::string> fields;
   FlatJsonParser parser(line);
   const Status status = parser.Parse(&fields);
@@ -206,6 +215,15 @@ StatusOr<CellRecord> ParseCellRecord(const std::string& line) {
   return record;
 }
 
+}  // namespace
+
+StatusOr<CellRecord> ParseCellRecord(const std::string& line,
+                                     const std::string& context) {
+  StatusOr<CellRecord> record = ParseCellRecordImpl(line);
+  if (!record.ok()) return WithContext(context, record.status());
+  return record;
+}
+
 CheckpointStore::CheckpointStore(std::string path) : path_(std::move(path)) {
   if (path_.empty()) return;
   std::ifstream in(path_);
@@ -215,15 +233,16 @@ CheckpointStore::CheckpointStore(std::string path) : path_(std::move(path)) {
   while (std::getline(in, line)) {
     ++line_number;
     if (StripWhitespace(line).empty()) continue;
-    auto record = ParseCellRecord(line);
+    auto record = ParseCellRecord(
+        line, path_ + ":" + std::to_string(line_number));
     if (!record.ok()) {
       // A crash mid-write can leave one torn trailing line; recompute
       // that cell instead of aborting the resume.
-      MSOPDS_LOG(Warning) << path_ << " line " << line_number
-                          << ": dropping unreadable checkpoint record ("
+      MSOPDS_LOG(Warning) << "dropping unreadable checkpoint record ("
                           << record.status().ToString() << ")";
       continue;
     }
+    record.value().source_line = line_number;
     auto [it, inserted] =
         index_.emplace(record.value().key, records_.size());
     if (inserted) {

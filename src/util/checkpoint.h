@@ -30,15 +30,24 @@ struct CellRecord {
   int threads = 1;
   /// Failure description when !ok.
   std::string error;
+  /// 1-based line number this record was loaded from (0 for records that
+  /// never round-tripped through a file). Not serialized; populated by
+  /// CheckpointStore so resume-refusal diagnostics can point at the
+  /// offending row of the offending file.
+  int64_t source_line = 0;
 };
 
 /// Serializes one record as a single-line JSON object (no newline).
+/// source_line is bookkeeping, not schema, and is not written.
 std::string CellRecordToJson(const CellRecord& record);
 
 /// Parses a line produced by CellRecordToJson. Understands the writer's
 /// "nan"/"inf"/"-inf" string encoding for non-finite metrics. Returns
-/// InvalidArgument (with context) on malformed input.
-StatusOr<CellRecord> ParseCellRecord(const std::string& line);
+/// InvalidArgument on malformed input; when `context` is non-empty
+/// (e.g. "bench.ckpt:12", the source path and row) it prefixes the error
+/// message so the operator can open the offending line directly.
+StatusOr<CellRecord> ParseCellRecord(const std::string& line,
+                                     const std::string& context = "");
 
 /// Append-only JSONL checkpoint store backing resumable benchmark
 /// sweeps. Construction loads any existing records from `path` (missing

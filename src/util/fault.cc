@@ -81,6 +81,41 @@ bool FaultInjector::ShouldBreakSolver() {
   return true;
 }
 
+bool FaultInjector::ShouldFailPublish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.publish_fail_probability <= 0.0) return false;
+  if (!stream(FaultSite::kSnapshotPublish)
+           .Bernoulli(config_.publish_fail_probability)) {
+    return false;
+  }
+  RecordInjection(FaultSite::kSnapshotPublish);
+  return true;
+}
+
+int64_t FaultInjector::MaybeBatchFlushDelayUs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.batch_delay_probability <= 0.0 || config_.batch_delay_us <= 0) {
+    return 0;
+  }
+  if (!stream(FaultSite::kBatchFlush)
+           .Bernoulli(config_.batch_delay_probability)) {
+    return 0;
+  }
+  RecordInjection(FaultSite::kBatchFlush);
+  return config_.batch_delay_us;
+}
+
+bool FaultInjector::ShouldFailScoring() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.scoring_error_probability <= 0.0) return false;
+  if (!stream(FaultSite::kScoring)
+           .Bernoulli(config_.scoring_error_probability)) {
+    return false;
+  }
+  RecordInjection(FaultSite::kScoring);
+  return true;
+}
+
 bool FaultInjector::ShouldCrashAtCell(int executed_cell_index) {
   std::lock_guard<std::mutex> lock(mu_);
   if (config_.crash_at_cell < 0 || crash_fired_) return false;

@@ -24,9 +24,18 @@ enum class FaultSite {
   kSolver = 2,
   /// Benchmark sweep cell boundary (simulated harness crash).
   kSweepCell = 3,
+  /// ServingEngine::Publish (simulated snapshot publish failure; the
+  /// engine keeps the previous snapshot live).
+  kSnapshotPublish = 4,
+  /// Serving micro-batch flush (injected latency spike between pickup
+  /// and scoring, so queued requests blow their deadlines).
+  kBatchFlush = 5,
+  /// Serving batch scoring (simulated worker exception; the engine
+  /// degrades the batch to the popularity fallback).
+  kScoring = 6,
 };
 
-constexpr int kNumFaultSites = 4;
+constexpr int kNumFaultSites = 7;
 
 /// Deterministic, seed-driven fault plan. All probabilities default to
 /// zero, so a default-constructed config injects nothing.
@@ -43,10 +52,22 @@ struct FaultConfig {
   /// Simulated harness crash: the sweep driver exits before completing
   /// its `crash_at_cell`-th executed (non-resumed) cell. -1 disables.
   int crash_at_cell = -1;
+  /// Probability that one ServingEngine::Publish fails (rolled back: the
+  /// previous snapshot stays live and Publish returns false).
+  double publish_fail_probability = 0.0;
+  /// Probability that one micro-batch flush gets `batch_delay_us` of
+  /// injected latency between pickup and scoring.
+  double batch_delay_probability = 0.0;
+  int64_t batch_delay_us = 0;
+  /// Probability that one batch's scoring pass throws a simulated worker
+  /// exception (the engine serves the batch degraded instead).
+  double scoring_error_probability = 0.0;
 
   bool any_enabled() const {
     return trainer_nan_probability > 0.0 || surrogate_nan_probability > 0.0 ||
-           solver_breakdown_probability > 0.0 || crash_at_cell >= 0;
+           solver_breakdown_probability > 0.0 || crash_at_cell >= 0 ||
+           publish_fail_probability > 0.0 || batch_delay_probability > 0.0 ||
+           scoring_error_probability > 0.0;
   }
 };
 
@@ -65,9 +86,13 @@ struct FaultConfig {
 /// internal mutex, so a ThreadPool worker that consults a hook is safe.
 /// Determinism still requires a fixed query *order*, which holds because
 /// every hook point sits outside the pool's chunk functors (trainer
-/// steps, CG solves, sweep cells — all issued from the calling thread);
+/// steps, CG solves, sweep cells, serving publishes and per-batch serve
+/// hooks — all issued from the calling thread, never inside a chunk);
 /// a fault observed inside a parallel region propagates to the caller
-/// exactly like the serial path (see util/thread_pool.h).
+/// exactly like the serial path (see util/thread_pool.h). The serve
+/// sites are queried by the engine's single batcher (and publisher)
+/// thread in batch order, so a sequentially driven engine replays one
+/// fault trace bit-for-bit at any kernel thread count.
 class FaultInjector {
  public:
   /// The process-wide injector consulted by library hook points.
@@ -96,6 +121,19 @@ class FaultInjector {
   /// cell with this 0-based executed-cell index? Fires at most once per
   /// process so a resumed run can get past the crash point.
   bool ShouldCrashAtCell(int executed_cell_index);
+
+  /// Serving hook: should this snapshot publish fail? The engine keeps
+  /// the previous snapshot live (rollback) when it fires.
+  bool ShouldFailPublish();
+
+  /// Serving hook: injected latency (microseconds) for this micro-batch
+  /// flush; 0 = no spike. Queried once per batch by the batcher thread,
+  /// so the spike pattern is a pure function of the batch sequence.
+  int64_t MaybeBatchFlushDelayUs();
+
+  /// Serving hook: should this batch's scoring pass throw a simulated
+  /// worker exception?
+  bool ShouldFailScoring();
 
   /// Count of faults injected per site since the last Configure().
   int64_t injected_count(FaultSite site) const;

@@ -1,0 +1,211 @@
+// Overload-path tests: bounded admission, enforced deadlines, cost-aware
+// batching, cancel-safe shutdown, and the retry/backoff client. Tests
+// that depend on queue timing use wide micro-batch windows so the
+// fill/shed outcome is deterministic, not a race with the batcher.
+
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/model_snapshot.h"
+#include "util/rng.h"
+
+namespace msopds {
+namespace serve {
+namespace {
+
+std::shared_ptr<const ModelSnapshot> TinySnapshot(uint64_t version = 1) {
+  const int64_t num_users = 8, num_items = 32;
+  std::vector<double> user_factors(static_cast<size_t>(num_users), 1.0);
+  std::vector<double> item_factors;
+  for (int64_t i = 0; i < num_items; ++i) {
+    item_factors.push_back(static_cast<double>(num_items - i));
+  }
+  SnapshotOptions options;
+  options.version = version;
+  return std::make_shared<const ModelSnapshot>(
+      num_users, num_items, /*dim=*/1, std::move(user_factors),
+      std::move(item_factors), std::vector<double>{}, std::vector<double>{},
+      /*offset=*/0.0, SeenItemsCsr::FromRatings(num_users, num_items, {}),
+      options);
+}
+
+TEST(AdmissionControllerTest, DecisionsFollowQueueDepth) {
+  AdmissionOptions options;
+  options.max_queue = 4;
+  options.degrade_queue_depth = 2;
+  AdmissionController admission(options);
+  EXPECT_EQ(admission.Admit(0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(1), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(2), AdmissionDecision::kAdmitDegraded);
+  EXPECT_EQ(admission.Admit(3), AdmissionDecision::kAdmitDegraded);
+  EXPECT_EQ(admission.Admit(4), AdmissionDecision::kReject);
+  EXPECT_EQ(admission.admitted(), 4);
+  EXPECT_EQ(admission.rejected(), 1);
+  EXPECT_EQ(admission.max_queue_depth(), 4);
+}
+
+TEST(AdmissionControllerTest, ZeroMaxQueueNeverRejects) {
+  AdmissionController admission(AdmissionOptions{});
+  for (int64_t depth = 0; depth < 1000; depth += 100) {
+    EXPECT_EQ(admission.Admit(depth), AdmissionDecision::kAdmit);
+  }
+  EXPECT_EQ(admission.rejected(), 0);
+}
+
+TEST(AdmissionTest, QueueCapRejectsExcessSubmits) {
+  EngineOptions options;
+  options.max_queue = 4;
+  options.max_wait_us = 100000;  // queue holds its fill during the window
+  ServingEngine engine(options);
+  engine.Publish(TinySnapshot());
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(engine.Submit({}));
+  int served = 0, rejected = 0;
+  for (auto& future : futures) {
+    const ServeResponse response = future.get();
+    if (response.status == ServeStatus::kResourceExhausted) {
+      // Rejection is explicit and empty — never a truncated list.
+      EXPECT_TRUE(response.items.empty());
+      ++rejected;
+    } else {
+      EXPECT_EQ(response.status, ServeStatus::kOk);
+      ++served;
+    }
+  }
+  EXPECT_EQ(served, 4);
+  EXPECT_EQ(rejected, 6);
+  const EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.admitted, 4);
+  EXPECT_EQ(stats.rejected, 6);
+  EXPECT_EQ(stats.max_queue_depth, 4);
+}
+
+TEST(AdmissionTest, PerRequestDeadlineOverridesEngineDefault) {
+  EngineOptions options;
+  options.deadline_us = 10000000;  // 10s engine default: never sheds here
+  options.max_wait_us = 20000;     // pickup happens after ~20ms
+  ServingEngine engine(options);
+  engine.Publish(TinySnapshot());
+  ServeRequest tight;
+  tight.deadline_us = 1000;  // 1ms << 20ms pickup
+  EXPECT_EQ(engine.ServeSync(tight).status, ServeStatus::kDeadlineExceeded);
+  ServeRequest roomy;
+  roomy.deadline_us = 10000000;
+  EXPECT_EQ(engine.ServeSync(roomy).status, ServeStatus::kOk);
+  EXPECT_EQ(engine.Stats().shed, 1);
+}
+
+TEST(AdmissionTest, CostAwareBatchingSplitsHugeK) {
+  EngineOptions options;
+  options.max_batch_size = 64;
+  options.max_batch_cost = 100;
+  options.max_wait_us = 50000;  // all six requests land in one window
+  ServingEngine engine(options);
+  engine.Publish(TinySnapshot());
+  std::vector<std::future<ServeResponse>> futures;
+  ServeRequest huge;
+  huge.k = 95;  // 95 + 10 > 100: nothing rides with it
+  futures.push_back(engine.Submit(huge));
+  for (int i = 0; i < 5; ++i) {
+    ServeRequest small;
+    small.k = 10;
+    futures.push_back(engine.Submit(small));
+  }
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+  // The huge-K request flushes alone; the five cheap ones share a batch.
+  EXPECT_EQ(engine.Stats().batches, 2);
+}
+
+TEST(AdmissionTest, SubmitAfterStopResolvesCancelled) {
+  ServingEngine engine;
+  engine.Publish(TinySnapshot());
+  engine.Stop();
+  const ServeResponse response = engine.ServeSync(ServeRequest{});
+  EXPECT_EQ(response.status, ServeStatus::kCancelled);
+  EXPECT_TRUE(response.items.empty());
+  EXPECT_GE(engine.Stats().cancelled, 1);
+}
+
+TEST(BackoffTest, SameSeedSameSchedule) {
+  RetryPolicy policy;
+  Rng rng_a(11), rng_b(11);
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_EQ(BackoffDelayUs(policy, attempt, &rng_a),
+              BackoffDelayUs(policy, attempt, &rng_b));
+  }
+}
+
+TEST(BackoffTest, NoJitterIsExactExponential) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 200;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(BackoffDelayUs(policy, 1, &rng), 200);
+  EXPECT_EQ(BackoffDelayUs(policy, 2, &rng), 400);
+  EXPECT_EQ(BackoffDelayUs(policy, 3, &rng), 800);
+}
+
+TEST(BackoffTest, JitterStaysWithinBand) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 1000;
+  policy.jitter = 0.5;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t delay = BackoffDelayUs(policy, 1, &rng);
+    EXPECT_GE(delay, 500);
+    EXPECT_LE(delay, 1500);
+  }
+}
+
+TEST(RetryingClientTest, RetriesRejectionsThenGivesUp) {
+  EngineOptions options;
+  options.max_queue = 1;
+  options.max_wait_us = 100000;  // the one admitted request parks 100ms
+  ServingEngine engine(options);
+  engine.Publish(TinySnapshot());
+  std::future<ServeResponse> parked = engine.Submit({});
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_us = 500;
+  RetryingClient client(&engine, policy, /*seed=*/9);
+  const ServeResponse response = client.Serve(ServeRequest{});
+  // The queue stays full for the whole window, so every attempt rejects.
+  EXPECT_EQ(response.status, ServeStatus::kResourceExhausted);
+  EXPECT_EQ(client.retries(), 2);  // attempts 2 and 3
+  EXPECT_EQ(client.gave_up(), 1);
+  EXPECT_TRUE(parked.get().ok());
+}
+
+TEST(RetryingClientTest, BudgetBoundsTotalWait) {
+  EngineOptions options;
+  options.max_queue = 1;
+  options.max_wait_us = 100000;
+  ServingEngine engine(options);
+  engine.Publish(TinySnapshot());
+  std::future<ServeResponse> parked = engine.Submit({});
+
+  RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.initial_backoff_us = 2000;
+  policy.jitter = 0.0;
+  policy.budget_us = 10000;  // covers only a few backoffs
+  RetryingClient client(&engine, policy, /*seed=*/9);
+  const ServeResponse response = client.Serve(ServeRequest{});
+  EXPECT_EQ(response.status, ServeStatus::kResourceExhausted);
+  EXPECT_EQ(client.gave_up(), 1);
+  // 2000 + 4000 = 6000 fits the 10ms budget; +8000 cannot.
+  EXPECT_LE(client.retries(), 2);
+  EXPECT_TRUE(parked.get().ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace msopds

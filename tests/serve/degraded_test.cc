@@ -1,0 +1,189 @@
+// Graceful-degradation tests: the popularity fallback's deterministic
+// ranking, the no-snapshot / saturation / scoring-fault routes into it,
+// and publish-failure rollback. Fault-driven cases install a seeded
+// ScopedFaultInjection and assert the same seed gives the same
+// degraded/full split.
+
+#include "serve/degraded.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/engine.h"
+#include "serve/model_snapshot.h"
+#include "util/fault.h"
+
+namespace msopds {
+namespace serve {
+namespace {
+
+// 4 users x 6 items; item popularity (seen count): item 2 -> 3, item
+// 0 -> 2, items 1 and 4 -> 1, items 3 and 5 -> 0.
+SeenItemsCsr PopularSeen() {
+  std::vector<Rating> ratings = {
+      {0, 2, 5.0}, {1, 2, 4.0}, {2, 2, 3.0},  // item 2: 3 users
+      {0, 0, 5.0}, {3, 0, 2.0},               // item 0: 2 users
+      {1, 1, 1.0},                            // item 1: 1 user
+      {2, 4, 2.0},                            // item 4: 1 user
+  };
+  return SeenItemsCsr::FromRatings(/*num_users=*/4, /*num_items=*/6, ratings);
+}
+
+std::shared_ptr<const ModelSnapshot> SnapshotWithSeen(uint64_t version = 1) {
+  const int64_t num_users = 4, num_items = 6;
+  std::vector<double> user_factors(static_cast<size_t>(num_users), 1.0);
+  std::vector<double> item_factors;
+  for (int64_t i = 0; i < num_items; ++i) {
+    item_factors.push_back(static_cast<double>(num_items - i));
+  }
+  SnapshotOptions options;
+  options.version = version;
+  return std::make_shared<const ModelSnapshot>(
+      num_users, num_items, /*dim=*/1, std::move(user_factors),
+      std::move(item_factors), std::vector<double>{}, std::vector<double>{},
+      /*offset=*/0.0, PopularSeen(), options);
+}
+
+TEST(PopularityCatalogTest, RanksBySeenCountWithItemTieBreak) {
+  auto catalog = PopularityCatalog::FromSeen(PopularSeen(), /*num_items=*/6,
+                                             /*snapshot_version=*/3);
+  ASSERT_EQ(catalog->items.size(), 6u);
+  EXPECT_EQ(catalog->snapshot_version, 3u);
+  // Count desc, item asc on ties: 2(3), 0(2), 1(1), 4(1), 3(0), 5(0).
+  const std::vector<int64_t> expected = {2, 0, 1, 4, 3, 5};
+  EXPECT_EQ(catalog->items, expected);
+  EXPECT_EQ(catalog->counts[0], 3.0);
+  EXPECT_EQ(catalog->counts[1], 2.0);
+}
+
+TEST(PopularityCatalogTest, ServeExcludesSeenItems) {
+  auto catalog = PopularityCatalog::FromSeen(PopularSeen(), 6, 1);
+  const SeenItemsCsr seen = PopularSeen();
+  ServeRequest request;
+  request.user = 0;  // has seen items 0 and 2
+  request.k = 3;
+  ServeResponse response;
+  ServeFromPopularity(catalog.get(), &seen, request,
+                      DegradedReason::kSaturated, &response);
+  EXPECT_TRUE(response.served_degraded);
+  EXPECT_EQ(response.degraded_reason, DegradedReason::kSaturated);
+  const std::vector<int64_t> expected = {1, 4, 3};
+  EXPECT_EQ(response.items, expected);
+}
+
+TEST(PopularityCatalogTest, NullCatalogServesEmpty) {
+  ServeResponse response;
+  ServeFromPopularity(nullptr, nullptr, ServeRequest{},
+                      DegradedReason::kNoSnapshot, &response);
+  EXPECT_TRUE(response.served_degraded);
+  EXPECT_TRUE(response.items.empty());
+}
+
+TEST(DegradedServeTest, ScoringFaultFallsBackToPopularity) {
+  FaultConfig fault;
+  fault.seed = 5;
+  fault.scoring_error_probability = 1.0;  // every scoring pass throws
+  ScopedFaultInjection inject(fault);
+  ServingEngine engine;
+  ASSERT_TRUE(engine.Publish(SnapshotWithSeen()));
+  ServeRequest request;
+  request.user = 0;
+  request.k = 3;
+  const ServeResponse response = engine.ServeSync(request);
+  EXPECT_TRUE(response.ok());
+  EXPECT_TRUE(response.served_degraded);
+  EXPECT_EQ(response.degraded_reason, DegradedReason::kScoringFault);
+  // Popularity order with user 0's seen items (0, 2) excluded.
+  const std::vector<int64_t> expected = {1, 4, 3};
+  EXPECT_EQ(response.items, expected);
+  EXPECT_EQ(engine.Stats().degraded, 1);
+}
+
+// Same fault seed => the same requests fall back; the split between
+// full-fidelity and degraded responses is replayable, not a coin toss
+// per run.
+TEST(DegradedServeTest, ScoringFaultSplitIsSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    FaultConfig fault;
+    fault.seed = seed;
+    fault.scoring_error_probability = 0.5;
+    ScopedFaultInjection inject(fault);
+    ServingEngine engine;
+    EXPECT_TRUE(engine.Publish(SnapshotWithSeen()));
+    std::vector<bool> degraded_pattern;
+    for (int i = 0; i < 24; ++i) {
+      ServeRequest request;
+      request.user = i % 4;
+      request.k = 3;
+      // Sequential => one micro-batch (and one fault query) per request.
+      degraded_pattern.push_back(engine.ServeSync(request).served_degraded);
+    }
+    return degraded_pattern;
+  };
+  const std::vector<bool> a = run(12);
+  const std::vector<bool> b = run(12);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DegradedServeTest, SaturatedQueueRoutesToPopularity) {
+  EngineOptions options;
+  options.degrade_queue_depth = 2;
+  options.max_wait_us = 50000;  // submissions land in one window
+  ServingEngine engine(options);
+  ASSERT_TRUE(engine.Publish(SnapshotWithSeen()));
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 5; ++i) {
+    ServeRequest request;
+    request.user = i % 4;
+    request.k = 2;
+    futures.push_back(engine.Submit(request));
+  }
+  int full = 0, degraded = 0;
+  for (auto& future : futures) {
+    const ServeResponse response = future.get();
+    EXPECT_TRUE(response.ok());
+    if (response.served_degraded) {
+      EXPECT_EQ(response.degraded_reason, DegradedReason::kSaturated);
+      ++degraded;
+    } else {
+      ++full;
+    }
+  }
+  // Depths 0 and 1 score full fidelity; depths 2..4 degrade.
+  EXPECT_EQ(full, 2);
+  EXPECT_EQ(degraded, 3);
+  EXPECT_EQ(engine.Stats().degraded, 3);
+}
+
+TEST(DegradedServeTest, FailedPublishKeepsOldSnapshotLive) {
+  ServingEngine engine;
+  ASSERT_TRUE(engine.Publish(SnapshotWithSeen(/*version=*/1)));
+  {
+    FaultConfig fault;
+    fault.seed = 5;
+    fault.publish_fail_probability = 1.0;
+    ScopedFaultInjection inject(fault);
+    EXPECT_FALSE(engine.Publish(SnapshotWithSeen(/*version=*/2)));
+  }
+  // Rollback: v1 serves on, full fidelity, as if the bad publish never
+  // happened.
+  ASSERT_NE(engine.CurrentSnapshot(), nullptr);
+  EXPECT_EQ(engine.CurrentSnapshot()->version(), 1u);
+  ServeRequest request;
+  request.user = 1;
+  const ServeResponse response = engine.ServeSync(request);
+  EXPECT_TRUE(response.ok());
+  EXPECT_FALSE(response.served_degraded);
+  EXPECT_EQ(response.snapshot_version, 1u);
+  const EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.publishes, 1);
+  EXPECT_EQ(stats.publish_failures, 1);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace msopds

@@ -115,6 +115,10 @@ TEST(ServingEngineTest, RequestBeforePublishResolvesEmpty) {
   const ServeResponse response = engine.ServeSync(ServeRequest{});
   EXPECT_TRUE(response.items.empty());
   EXPECT_EQ(response.snapshot_version, 0u);
+  // No snapshot = degraded by definition; the marker keeps the
+  // bit-identical guarantee scoped to full-fidelity responses.
+  EXPECT_TRUE(response.served_degraded);
+  EXPECT_EQ(response.degraded_reason, DegradedReason::kNoSnapshot);
 }
 
 std::shared_ptr<const ModelSnapshot> TinySnapshot(uint64_t version,
@@ -163,14 +167,21 @@ TEST(ServingEngineTest, MicroBatcherGroupsConcurrentRequests) {
   EXPECT_GT(stats.mean_batch_size, 1.0);
 }
 
-TEST(ServingEngineTest, StatsCountDeadlineMisses) {
+TEST(ServingEngineTest, EnforcedDeadlineShedsLateRequests) {
   EngineOptions options;
-  options.deadline_us = 1;  // everything misses
+  options.deadline_us = 1000;   // 1ms budget...
+  options.max_wait_us = 20000;  // ...but batch pickup waits 20ms
   ServingEngine engine(options);
   engine.Publish(TinySnapshot(1, 1.0));
   const ServeResponse response = engine.ServeSync(ServeRequest{});
+  // Deadlines are enforced, not advisory: the request is shed before any
+  // scoring work, not served late with a flag.
+  EXPECT_EQ(response.status, ServeStatus::kDeadlineExceeded);
   EXPECT_TRUE(response.deadline_missed);
-  EXPECT_GE(engine.Stats().deadline_misses, 1);
+  EXPECT_TRUE(response.items.empty());
+  const EngineStats stats = engine.Stats();
+  EXPECT_GE(stats.deadline_misses, 1);
+  EXPECT_EQ(stats.shed, 1);
 }
 
 TEST(ServingEngineTest, StopDrainsOutstandingRequests) {

@@ -86,6 +86,19 @@ TEST(CellRecordTest, MalformedLineRejected) {
   EXPECT_FALSE(ParseCellRecord("").ok());
 }
 
+TEST(CellRecordTest, ParseErrorsCarryFileAndRowContext) {
+  auto bad = ParseCellRecord("not json at all", "sweep.ckpt:12");
+  ASSERT_FALSE(bad.ok());
+  // The operator must be able to open the offending row directly.
+  EXPECT_NE(bad.status().message().find("sweep.ckpt:12"), std::string::npos)
+      << bad.status().ToString();
+  auto missing_field = ParseCellRecord("{\"ok\":true}", "sweep.ckpt:3");
+  ASSERT_FALSE(missing_field.ok());
+  EXPECT_NE(missing_field.status().message().find("sweep.ckpt:3"),
+            std::string::npos);
+  EXPECT_NE(missing_field.status().message().find("key"), std::string::npos);
+}
+
 TEST(CheckpointStoreTest, InMemoryWhenPathEmpty) {
   CheckpointStore store("");
   EXPECT_FALSE(store.persistent());
@@ -109,6 +122,10 @@ TEST(CheckpointStoreTest, PersistsAndReloads) {
   EXPECT_DOUBLE_EQ(reloaded.Find("a")->mean_average_rating, 1.5);
   ASSERT_NE(reloaded.Find("b"), nullptr);
   EXPECT_DOUBLE_EQ(reloaded.Find("b")->mean_hit_rate, 0.75);
+  // Reloaded records know which row they came from (1-based), so resume
+  // refusals can say "<file>:<row>"; fresh appends carry no source row.
+  EXPECT_EQ(reloaded.Find("a")->source_line, 1);
+  EXPECT_EQ(reloaded.Find("b")->source_line, 2);
 }
 
 TEST(CheckpointStoreTest, DuplicateKeysKeepTheLastRecord) {

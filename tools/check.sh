@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Repo-wide correctness gate: build + tests (serial and MSOPDS_THREADS=4),
-# graph verifier + registry gradcheck, the serving suite at 1 and 4
-# kernel threads, sanitizer matrix (MSOPDS_SANITIZE=address/undefined,
+# graph verifier + registry gradcheck, the serving (`serve`) and
+# overload/chaos (`serve_fault`) suites at 1 and 4 kernel threads,
+# sanitizer matrix (MSOPDS_SANITIZE=address/undefined,
 # each with a multi-threaded pass over the `parallel` suite, plus a
-# ThreadSanitizer build running the `serve` label so the engine's
-# hot-swap path is race-checked when the toolchain ships TSan),
+# ThreadSanitizer build running the `serve` and `serve_fault` labels so
+# the engine's hot-swap and overload paths are race-checked when the
+# toolchain ships TSan),
 # clang-tidy over src/, and the Python-free lint. Prints a per-stage
 # summary table and exits non-zero if any stage fails. Stages whose
 # toolchain is missing (e.g. clang-tidy not installed) are reported
@@ -125,6 +127,21 @@ if [ "${STAGE_RESULTS[-1]}" = "PASS" ]; then
     MSOPDS_THREADS=4 ctest --test-dir build -L serve --output-on-failure -j
   }
   run_stage "ctest-serve-t4" ctest_serve_t4
+  # Overload/chaos suite pinned to both thread counts: the chaos replay
+  # contract is identical shed/reject/degraded traces at any pool size.
+  # (`-L serve` above matches the serve_fault label too — regex match —
+  # but the explicit stages keep the robustness gate visible and runnable
+  # on its own.)
+  ctest_serve_fault_t1() {
+    MSOPDS_THREADS=1 ctest --test-dir build -L serve_fault \
+      --output-on-failure -j
+  }
+  run_stage "ctest-serve-fault-t1" ctest_serve_fault_t1
+  ctest_serve_fault_t4() {
+    MSOPDS_THREADS=4 ctest --test-dir build -L serve_fault \
+      --output-on-failure -j
+  }
+  run_stage "ctest-serve-fault-t4" ctest_serve_fault_t4
   run_stage "verify-graph" ./build/tools/verify_graph
 else
   skip_stage "ctest-release" "build failed"
@@ -132,6 +149,8 @@ else
   skip_stage "ctest-release-arena-off" "build failed"
   skip_stage "ctest-serve-t1" "build failed"
   skip_stage "ctest-serve-t4" "build failed"
+  skip_stage "ctest-serve-fault-t1" "build failed"
+  skip_stage "ctest-serve-fault-t4" "build failed"
   skip_stage "verify-graph" "build failed"
 fi
 
@@ -197,12 +216,22 @@ if [ $SANITIZERS -eq 1 ]; then
           --output-on-failure -j
       }
       run_stage "ctest-thread-serve" ctest_thread_serve
+      # Overload/chaos suite under TSan: rejection, shedding, degraded
+      # routing, and retry/backoff all cross the queue mutex and the
+      # snapshot/fallback slots concurrently — race-check them explicitly.
+      ctest_thread_serve_fault() {
+        MSOPDS_THREADS=4 ctest --test-dir build-thread -L serve_fault \
+          --output-on-failure -j
+      }
+      run_stage "ctest-thread-serve-fault" ctest_thread_serve_fault
     else
       skip_stage "ctest-thread-serve" "build failed"
+      skip_stage "ctest-thread-serve-fault" "build failed"
     fi
   else
     skip_stage "build-thread" "toolchain has no TSan runtime"
     skip_stage "ctest-thread-serve" "toolchain has no TSan runtime"
+    skip_stage "ctest-thread-serve-fault" "toolchain has no TSan runtime"
   fi
 else
   skip_stage "sanitizers" "--no-sanitizers"

@@ -56,6 +56,20 @@ while IFS= read -r match; do
 done < <(grep -rnE --include='*.h' --include='*.cc' \
              'MSOPDS_CHECK[A-Z_]*\([^)]*(\+\+|--)' src)
 
+# --- 4. unbounded blocking waits in the serve path ---------------------------
+# Serving code must never park a thread without a deadline: a missing
+# wakeup becomes a hung request instead of a slow one. condition_variable
+# waits must be wait_for/wait_until, and future .get()/.wait() needs an
+# explicit '// lint:allow-blocking-wait' justifying why the wait is
+# bounded by some other contract (e.g. the engine resolves every
+# promise). The .get() pattern requires the ')' of a call chain before
+# it, so shared_ptr/unique_ptr '.get()' on plain variables stays legal.
+while IFS= read -r match; do
+  report blocking-wait "$match (deadline-less wait in serve path; use wait_for/wait_until or annotate '// lint:allow-blocking-wait')"
+done < <(grep -rnE --include='*.h' --include='*.cc' \
+             '\.wait\(|\)\.get\(\)|\)\.wait\(\)' src/serve \
+         | grep -v 'lint:allow-blocking-wait')
+
 # --- Summary ---------------------------------------------------------------
 if [ "$failures" -ne 0 ]; then
   echo "lint: $failures finding(s)"
