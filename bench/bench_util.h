@@ -37,6 +37,7 @@
 #include "serve/engine.h"
 #include "util/arena.h"
 #include "util/checkpoint.h"
+#include "util/determinism_lint.h"
 #include "util/fault.h"
 #include "util/json_writer.h"
 #include "util/string_util.h"
@@ -93,6 +94,62 @@ struct MemStats {
     return stats;
   }
 };
+
+/// Static-analysis posture the bench numbers were produced under: the
+/// determinism linter's counts over the source tree this binary was
+/// built from (DESIGN.md §13), and whether the Clang thread-safety
+/// annotations were active in this build. Benches record it in their
+/// JSON headers the same way they record thread counts and fault
+/// plans, so a result file carries the hygiene of its build.
+struct StaticCheckStats {
+  /// False when the build does not know its source root (or the tree
+  /// moved): the lint_* fields are then meaningless zeros.
+  bool sampled = false;
+  int64_t lint_files = 0;
+  int64_t lint_checks = 0;
+  int64_t lint_findings = 0;
+  /// True when util/sync.h's annotations expand to real Clang
+  /// attributes in this translation unit (Clang builds), i.e. a
+  /// -Wthread-safety pass over this build would be enforceable.
+  bool thread_safety_annotations = false;
+
+  static StaticCheckStats Sample() {
+    StaticCheckStats stats;
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+    stats.thread_safety_annotations = true;
+#endif
+#endif
+#ifdef MSOPDS_SOURCE_ROOT
+    const std::filesystem::path src =
+        std::filesystem::path(MSOPDS_SOURCE_ROOT) / "src";
+    std::error_code ec;
+    if (std::filesystem::is_directory(src, ec)) {
+      const LintReport report = RunDeterminismLint(src.string());
+      stats.sampled = true;
+      stats.lint_files = report.files_scanned;
+      stats.lint_checks = report.checks_run;
+      stats.lint_findings = static_cast<int64_t>(report.findings.size());
+    }
+#endif
+    return stats;
+  }
+};
+
+/// Emits one "static_checks" object into the current JSON object.
+/// Call between Key/Value pairs of an open object, like
+/// WriteRobustnessFields.
+inline void WriteStaticChecksFields(JsonWriter* json,
+                                    const StaticCheckStats& stats) {
+  json->Key("static_checks").BeginObject();
+  json->Key("sampled").Bool(stats.sampled);
+  json->Key("lint_files").Int(stats.lint_files);
+  json->Key("lint_checks").Int(stats.lint_checks);
+  json->Key("lint_findings").Int(stats.lint_findings);
+  json->Key("lint_clean").Bool(stats.sampled && stats.lint_findings == 0);
+  json->Key("thread_safety_annotations").Bool(stats.thread_safety_annotations);
+  json->EndObject();
+}
 
 /// Emits the serving engine's robustness counters (plus client-side
 /// retry totals) into the current JSON object, so BENCH_serving.json

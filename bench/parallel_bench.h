@@ -100,6 +100,7 @@ class SpeedupReporter : public benchmark::ConsoleReporter {
     JsonWriter json;
     json.BeginObject();
     json.Key("threads_compared").Int(ComparisonThreads());
+    WriteStaticChecksFields(&json, StaticCheckStats::Sample());
     json.Key("cases").BeginArray();
     int pairs = 0;
     for (const auto& [name, by_threads] : times_) {

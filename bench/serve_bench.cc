@@ -463,6 +463,7 @@ void WriteTable(const ServeBenchFlags& flags,
   json.Key("fault_batch_delay").Double(flags.fault_batch_delay);
   json.Key("fault_batch_delay_us").Int(flags.fault_batch_delay_us);
   json.Key("swap_ms").Int(flags.swap_ms);
+  WriteStaticChecksFields(&json, StaticCheckStats::Sample());
   json.Key("cases").BeginArray();
   for (const RowResult& row : rows) {
     json.BeginObject();

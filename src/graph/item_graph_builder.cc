@@ -1,5 +1,6 @@
 #include "graph/item_graph_builder.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "util/logging.h"
@@ -24,6 +25,7 @@ UndirectedGraph BuildItemGraph(const std::vector<RaterRecord>& records,
 
   // Count co-raters per item pair through each user's item list.
   std::unordered_map<uint64_t, int64_t> pair_count;
+  // determinism-lint: order-insensitive (commutative += into pair_count)
   for (const auto& [user, items] : items_by_user) {
     (void)user;
     if (static_cast<int64_t>(items.size()) > options.max_items_per_user)
@@ -40,7 +42,21 @@ UndirectedGraph BuildItemGraph(const std::vector<RaterRecord>& records,
   }
 
   UndirectedGraph graph(num_items);
+  // Edge insertion order feeds the adjacency lists and, through
+  // AppendDirectedEdges, the GNN kernels' accumulation order — hash
+  // iteration order here would make results depend on the standard
+  // library's bucket layout. Iterate the pairs in sorted key order so
+  // the built graph is a pure function of the records.
+  std::vector<uint64_t> keys;
+  keys.reserve(pair_count.size());
+  // determinism-lint: order-insensitive (keys are sorted below)
   for (const auto& [key, shared] : pair_count) {
+    (void)shared;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const uint64_t key : keys) {
+    const int64_t shared = pair_count.at(key);
     const int64_t a = static_cast<int64_t>(key & 0xffffffffULL);
     const int64_t b = static_cast<int64_t>(key >> 32);
     const int64_t ra = rater_count[static_cast<size_t>(a)];

@@ -50,7 +50,7 @@ ServingEngine::~ServingEngine() { Stop(); }
 
 bool ServingEngine::Publish(std::shared_ptr<const ModelSnapshot> snapshot) {
   MSOPDS_CHECK(snapshot != nullptr);
-  std::lock_guard<std::mutex> lock(publish_mu_);
+  MutexLock lock(publish_mu_);
   if (FaultInjector::Global().ShouldFailPublish()) {
     // Rollback: the active snapshot and its popularity fallback stay
     // live; the caller can retry against an engine that kept serving.
@@ -91,7 +91,7 @@ std::future<ServeResponse> ServingEngine::Submit(const ServeRequest& request) {
   bool cancelled = false;
   bool rejected = false;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (stopping_) {
       // Racing past (or arriving after) Stop(): resolve, never drop.
       cancelled = true;
@@ -115,11 +115,11 @@ std::future<ServeResponse> ServingEngine::Submit(const ServeRequest& request) {
                                    : ServeStatus::kResourceExhausted);
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++requests_;
     if (cancelled) ++cancelled_;
   }
-  if (!cancelled && !rejected) queue_cv_.notify_one();
+  if (!cancelled && !rejected) queue_cv_.NotifyOne();
   return future;
 }
 
@@ -134,23 +134,20 @@ void ServingEngine::BatcherLoop() {
   // Idle housekeeping tick: the lint gate bans deadline-less blocking
   // waits in src/serve, so even the idle wait re-arms periodically.
   const auto idle_tick = std::chrono::milliseconds(50);
-  std::unique_lock<std::mutex> lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   while (true) {
-    queue_cv_.wait_for(lock, idle_tick,
-                       [this] { return stopping_ || !queue_.empty(); });
+    if (!stopping_ && queue_.empty()) queue_cv_.WaitFor(lock, idle_tick);
     if (queue_.empty()) {
       if (stopping_) return;
       continue;
     }
     // Micro-batch window: flush when full, when the oldest request has
-    // dwelt max_wait_us, or on shutdown.
+    // dwelt max_wait_us, or on shutdown. Spurious wakeups re-check the
+    // conditions and re-arm against the same deadline.
     const auto flush_at = queue_.front().enqueued + max_wait;
     while (!stopping_ &&
-           static_cast<int>(queue_.size()) < options_.max_batch_size &&
-           queue_cv_.wait_until(lock, flush_at, [this] {
-             return stopping_ || static_cast<int>(queue_.size()) >=
-                                     options_.max_batch_size;
-           })) {
+           static_cast<int>(queue_.size()) < options_.max_batch_size) {
+      if (!queue_cv_.WaitUntil(lock, flush_at)) break;  // window elapsed
     }
     // Drain bounded by count and by cumulative cost: one huge-K request
     // closes its batch early instead of riding with (and starving) a
@@ -168,7 +165,7 @@ void ServingEngine::BatcherLoop() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
-    lock.unlock();
+    lock.Unlock();
     // Chaos point: injected latency spike between pickup and scoring —
     // queued deadlines keep running, so a spiked batch sheds.
     const int64_t delay_us = FaultInjector::Global().MaybeBatchFlushDelayUs();
@@ -176,7 +173,7 @@ void ServingEngine::BatcherLoop() {
       std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
     }
     ScoreBatch(std::move(batch));
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -286,7 +283,7 @@ void ServingEngine::ScoreBatch(std::vector<Pending> batch) {
     if (response.deadline_missed) ++misses;
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     batches_ += 1;
     batched_requests_ += static_cast<int64_t>(batch.size());
     deadline_misses_ += misses;
@@ -304,7 +301,7 @@ EngineStats ServingEngine::Stats() const {
   EngineStats stats;
   std::vector<int64_t> sorted;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats.requests = requests_;
     stats.batches = batches_;
     stats.deadline_misses = deadline_misses_;
@@ -318,7 +315,7 @@ EngineStats ServingEngine::Stats() const {
     sorted = latencies_us_;
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stats.admitted = admission_.admitted();
     stats.rejected = admission_.rejected();
     stats.max_queue_depth = admission_.max_queue_depth();
@@ -334,27 +331,34 @@ EngineStats ServingEngine::Stats() const {
 }
 
 void ServingEngine::Stop() {
+  // The thread handle is swapped out under queue_mu_ and joined on a
+  // private copy: two concurrent Stop() calls (say destructor vs. an
+  // explicit shutdown path) must never both reach join() on the same
+  // std::thread, which is undefined behavior. The loser of the swap sees
+  // an empty handle and only drains stragglers.
+  std::thread batcher;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (stopping_ && !batcher_.joinable()) return;
     stopping_ = true;
+    batcher.swap(batcher_);
   }
-  queue_cv_.notify_all();
-  if (batcher_.joinable()) batcher_.join();
+  queue_cv_.NotifyAll();
+  if (batcher.joinable()) batcher.join();
   // The batcher drains by scoring until the queue is empty, but a Submit
   // that passed the stopping_ check before we set it can still land an
   // entry after the batcher's last look. Resolve such stragglers with
   // kCancelled — a promise is never dropped.
   std::deque<Pending> stragglers;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stragglers.swap(queue_);
   }
   if (!stragglers.empty()) {
     for (Pending& pending : stragglers) {
       ResolveNow(&pending, ServeStatus::kCancelled);
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     cancelled_ += static_cast<int64_t>(stragglers.size());
   }
 }

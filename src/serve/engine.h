@@ -3,12 +3,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -16,6 +14,7 @@
 #include "serve/degraded.h"
 #include "serve/model_snapshot.h"
 #include "serve/topk.h"
+#include "util/sync.h"
 
 namespace msopds {
 namespace serve {
@@ -204,41 +203,46 @@ class ServingEngine {
     bool degraded_hint = false;
   };
 
-  void BatcherLoop();
-  void ScoreBatch(std::vector<Pending> batch);
+  void BatcherLoop() MSOPDS_EXCLUDES(queue_mu_);
+  void ScoreBatch(std::vector<Pending> batch)
+      MSOPDS_EXCLUDES(queue_mu_, stats_mu_);
   /// Resolves `pending` with an immediate non-scored response.
   void ResolveNow(Pending* pending, ServeStatus status);
 
   const EngineOptions options_;
 
-  SnapshotSlot snapshot_;
+  SnapshotSlot snapshot_;    // determinism-lint: unguarded(internally synchronized slot)
   /// Popularity fallback derived from the active snapshot (same slot
   /// protocol; rebuilt on every successful publish).
-  AtomicPtrSlot<const PopularityCatalog> fallback_;
+  AtomicPtrSlot<const PopularityCatalog> fallback_;  // determinism-lint: unguarded(internally synchronized slot)
   // Double buffer: pins the previously active snapshot until the next
   // publish (see class comment). Only Publish() touches it.
-  std::shared_ptr<const ModelSnapshot> retired_;
-  std::mutex publish_mu_;
+  std::shared_ptr<const ModelSnapshot> retired_ MSOPDS_GUARDED_BY(publish_mu_);
+  Mutex publish_mu_;
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
-  AdmissionController admission_;  // guarded by queue_mu_
-  bool stopping_ = false;
+  mutable Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<Pending> queue_ MSOPDS_GUARDED_BY(queue_mu_);
+  AdmissionController admission_ MSOPDS_GUARDED_BY(queue_mu_);
+  bool stopping_ MSOPDS_GUARDED_BY(queue_mu_) = false;
 
-  mutable std::mutex stats_mu_;
-  int64_t requests_ = 0;
-  int64_t batches_ = 0;
-  int64_t batched_requests_ = 0;
-  int64_t deadline_misses_ = 0;
-  int64_t shed_ = 0;
-  int64_t degraded_ = 0;
-  int64_t cancelled_ = 0;
+  mutable Mutex stats_mu_;
+  int64_t requests_ MSOPDS_GUARDED_BY(stats_mu_) = 0;
+  int64_t batches_ MSOPDS_GUARDED_BY(stats_mu_) = 0;
+  int64_t batched_requests_ MSOPDS_GUARDED_BY(stats_mu_) = 0;
+  int64_t deadline_misses_ MSOPDS_GUARDED_BY(stats_mu_) = 0;
+  int64_t shed_ MSOPDS_GUARDED_BY(stats_mu_) = 0;
+  int64_t degraded_ MSOPDS_GUARDED_BY(stats_mu_) = 0;
+  int64_t cancelled_ MSOPDS_GUARDED_BY(stats_mu_) = 0;
   std::atomic<int64_t> publishes_{0};
   std::atomic<int64_t> publish_failures_{0};
-  std::vector<int64_t> latencies_us_;
+  std::vector<int64_t> latencies_us_ MSOPDS_GUARDED_BY(stats_mu_);
 
-  std::thread batcher_;
+  // Joined through a queue_mu_ handshake: Stop() swaps the handle out
+  // under queue_mu_ and joins its private copy, so concurrent Stop()
+  // calls never race on join() (latent discipline finding; see
+  // engine_test.ConcurrentStopIsSafe).
+  std::thread batcher_ MSOPDS_GUARDED_BY(queue_mu_);
 };
 
 }  // namespace serve

@@ -939,6 +939,121 @@ GradcheckCase Case2(const char* description,
   return c;
 }
 
+// ---------------------------------------------------------------------------
+// Static write plans. Each builder mirrors its kernel's ParallelFor /
+// ParallelChunks grid above, sharing the same grain constants
+// (kElementGrain / RowGrain / kReduceGrain), so plan and kernel cannot
+// drift apart on grid shape. VerifyWritePlan then proves the per-chunk
+// destination ranges disjoint — the invariant that makes the kernels
+// bit-identical at every MSOPDS_THREADS setting.
+// ---------------------------------------------------------------------------
+
+int64_t ShapeElems(const std::vector<int64_t>& shape) {
+  int64_t elems = 1;
+  for (const int64_t dim : shape) elems *= dim;
+  return elems;
+}
+
+// Grid over `units` units writing `width` contiguous output elements
+// each: chunk c writes [c*grain*width, min((c+1)*grain, units)*width).
+// Covers elementwise kernels (width 1) and full-row kernels (width =
+// row length). `covers` is false for kernels whose destination is
+// zero-filled first and only partially written (scatters, windows).
+WritePlan UnitGridPlan(int64_t units, int64_t grain, int64_t width,
+                       int64_t output_elems, bool covers = true) {
+  WritePlan plan;
+  plan.units = units;
+  plan.grain = grain;
+  plan.num_chunks = NumChunks(units, grain);
+  plan.output_elems = output_elems;
+  plan.covers_output = covers;
+  plan.writes.reserve(static_cast<size_t>(plan.num_chunks));
+  for (int64_t c = 0; c < plan.num_chunks; ++c) {
+    const int64_t begin = c * grain;
+    const int64_t end = std::min(begin + grain, units);
+    plan.writes.push_back({c, begin * width, end * width});
+  }
+  return plan;
+}
+
+// Flat elementwise grid over the whole output.
+WritePlan FlatPlan(const std::vector<int64_t>& out_shape) {
+  const int64_t elems = ShapeElems(out_shape);
+  return UnitGridPlan(elems, kElementGrain, 1, elems);
+}
+
+// Row-partitioned grid writing full rows of a [rows, cols] output.
+WritePlan RowPlan(const std::vector<int64_t>& out_shape, bool covers = true) {
+  const int64_t rows = out_shape[0];
+  const int64_t cols = out_shape[1];
+  return UnitGridPlan(rows, RowGrain(cols), cols, rows * cols, covers);
+}
+
+// Row-partitioned grid where each row write is a `width`-wide window of
+// a `stride`-wide row (PadCols). Chunk ranges are the bounding
+// intervals of their rows; disjoint across chunks because width never
+// exceeds the stride. The window offset (pad lo) is data held in the
+// kernel closure, but it shifts every chunk equally and is irrelevant
+// to overlap, so the plan takes it as 0.
+WritePlan RowWindowPlan(int64_t rows, int64_t width, int64_t stride) {
+  const int64_t grain = RowGrain(stride);
+  WritePlan plan;
+  plan.units = rows;
+  plan.grain = grain;
+  plan.num_chunks = NumChunks(rows, grain);
+  plan.output_elems = rows * stride;
+  plan.covers_output = false;
+  plan.writes.reserve(static_cast<size_t>(plan.num_chunks));
+  for (int64_t c = 0; c < plan.num_chunks; ++c) {
+    const int64_t begin = c * grain;
+    const int64_t end = std::min(begin + grain, rows);
+    plan.writes.push_back(
+        {c, begin * stride, (end - 1) * stride + std::min(width, stride)});
+  }
+  return plan;
+}
+
+// Concat1 launches one elementwise grid per operand, back to back; the
+// plan renumbers the second grid's chunks after the first and offsets
+// its ranges by the first operand's length.
+WritePlan Concat1Plan(int64_t na, int64_t nb) {
+  WritePlan plan;
+  plan.units = na + nb;
+  plan.grain = kElementGrain;
+  plan.grids = 2;
+  plan.output_elems = na + nb;
+  const int64_t chunks_a = NumChunks(na, kElementGrain);
+  const int64_t chunks_b = NumChunks(nb, kElementGrain);
+  plan.num_chunks = chunks_a + chunks_b;
+  for (int64_t c = 0; c < chunks_a; ++c) {
+    const int64_t begin = c * kElementGrain;
+    plan.writes.push_back({c, begin, std::min(begin + kElementGrain, na)});
+  }
+  for (int64_t c = 0; c < chunks_b; ++c) {
+    const int64_t begin = c * kElementGrain;
+    plan.writes.push_back({chunks_a + c, na + begin,
+                           na + std::min(begin + kElementGrain, nb)});
+  }
+  return plan;
+}
+
+// Sum reduces via ParallelReduceSum: each chunk writes its own partial
+// slot, then a fixed pairwise tree folds the slots in ascending lane
+// order on the calling thread.
+WritePlan ReducePlan(int64_t input_elems) {
+  WritePlan plan;
+  plan.units = input_elems;
+  plan.grain = kReduceGrain;
+  plan.num_chunks = NumChunks(input_elems, kReduceGrain);
+  plan.output_elems = plan.num_chunks;
+  plan.reduction = true;
+  for (int64_t c = 0; c < plan.num_chunks; ++c) {
+    plan.writes.push_back({c, c, c + 1});
+    plan.reduction_lanes.push_back(c);
+  }
+  return plan;
+}
+
 std::vector<OpSpec> BuildOpRegistry() {
   std::vector<OpSpec> registry;
   auto add = [&registry](const char* name, int arity,
@@ -1335,6 +1450,108 @@ std::vector<OpSpec> BuildOpRegistry() {
       "SpMM",       "EdgeDot"};
   for (OpSpec& spec : registry) {
     spec.parallel_kernel = parallel_kernels.count(spec.name) > 0;
+  }
+
+  // Write plans, attached post-registration like the parallel_kernel
+  // flag so the add() calls above stay readable. `in` carries the
+  // recorded input shapes, `out` the output shape; both have already
+  // passed the op's infer check when the verifier calls the plan.
+  using Shapes = std::vector<std::vector<int64_t>>;
+  using Shape = std::vector<int64_t>;
+  auto plan = [&registry](const std::string& name,
+                          std::function<WritePlan(const Shapes&, const Shape&)>
+                              write_plan,
+                          PlanExample example) {
+    for (OpSpec& spec : registry) {
+      if (spec.name != name) continue;
+      spec.write_plan = std::move(write_plan);
+      spec.plan_example = [example] { return example; };
+      return;
+    }
+    MSOPDS_CHECK(false) << "write plan for unregistered op " << name;
+  };
+  const auto flat = [](const Shapes&, const Shape& out) {
+    return FlatPlan(out);
+  };
+  const auto rows = [](const Shapes&, const Shape& out) {
+    return RowPlan(out);
+  };
+  const auto scatter_rows = [](const Shapes&, const Shape& out) {
+    return RowPlan(out, /*covers=*/false);
+  };
+  // Elementwise / flat kernels; examples sized for a 3-chunk grid.
+  const Shape kFlat = {3, kElementGrain};
+  for (const char* name : {"Neg", "ScalarMul", "AddScalar", "Exp", "Log",
+                           "Sqrt"}) {
+    plan(name, flat, {{kFlat}, kFlat});
+  }
+  for (const char* name : {"Add", "Sub", "Mul", "Div", "Where"}) {
+    plan(name, flat, {{kFlat, kFlat}, kFlat});
+  }
+  plan("Reshape", flat, {{kFlat}, {3 * kElementGrain}});
+  plan("Slice1", flat, {{{20000}}, {9000}});
+  plan("Gather1", flat, {{{64}}, {9000}});
+  // Row-partitioned kernels writing full output rows; examples use an
+  // 8-wide output so RowGrain(8) = 512 rows/chunk over 9000 rows.
+  plan("MatMul", rows, {{{9000, 16}, {16, 8}}, {9000, 8}});
+  plan("Transpose", rows, {{{8, 9000}}, {9000, 8}});
+  plan("TileCols", rows, {{{9000}}, {9000, 8}});
+  plan("ConcatCols", rows, {{{9000, 3}, {9000, 5}}, {9000, 8}});
+  plan("SliceCols", rows, {{{9000, 16}}, {9000, 8}});
+  plan("GatherRows", rows, {{{64, 8}}, {9000, 8}});
+  // Reductions to one scalar per row/graph.
+  plan("RowSum",
+       [](const Shapes& in, const Shape& out) {
+         return UnitGridPlan(out[0], RowGrain(in[0][1]), 1, out[0]);
+       },
+       {{{9000, 8}}, {9000}});
+  plan("EdgeDot",
+       [](const Shapes& in, const Shape& out) {
+         return UnitGridPlan(out[0], RowGrain(in[0][1]), 1, out[0]);
+       },
+       {{{9000, 8}, {9000, 8}}, {9000}});
+  plan("Sum",
+       [](const Shapes& in, const Shape&) {
+         return ReducePlan(ShapeElems(in[0]));
+       },
+       {{{3, kReduceGrain}}, {}});
+  // Window writes into a zero-filled destination.
+  plan("PadCols",
+       [](const Shapes& in, const Shape& out) {
+         return RowWindowPlan(out[0], in[0][1], out[1]);
+       },
+       {{{9000, 5}}, {9000, 8}});
+  plan("Pad1",
+       [](const Shapes& in, const Shape& out) {
+         const int64_t w = in[0][0];
+         return UnitGridPlan(w, kElementGrain, 1, out[0],
+                             /*covers=*/w == out[0]);
+       },
+       {{{9000}}, {20000}});
+  plan("Concat1",
+       [](const Shapes& in, const Shape&) {
+         return Concat1Plan(in[0][0], in[1][0]);
+       },
+       {{{5000}, {4000}}, {9000}});
+  // Destination-bucketed scatters: a chunk owns a disjoint slice of
+  // destination rows/elements and applies its bucket's edges in edge
+  // order, so the full owned range is the (conservative) write range.
+  plan("ScatterAddRows", scatter_rows, {{{64, 8}}, {9000, 8}});
+  plan("SpMM", scatter_rows, {{{12}, {64, 8}}, {9000, 8}});
+  plan("ScatterAdd1",
+       [](const Shapes&, const Shape& out) {
+         return UnitGridPlan(out[0], kElementGrain, 1, out[0],
+                             /*covers=*/false);
+       },
+       {{{64}}, {9000}});
+
+  // Every parallel kernel must carry a plan (the overlap pass is only as
+  // strong as its coverage), and only parallel kernels may carry one.
+  for (const OpSpec& spec : registry) {
+    MSOPDS_CHECK(spec.parallel_kernel == (spec.write_plan != nullptr))
+        << "op " << spec.name
+        << (spec.parallel_kernel ? " is a parallel kernel without a write plan"
+                                 : " has a write plan but no parallel kernel");
   }
   return registry;
 }

@@ -11,10 +11,6 @@
 namespace msopds {
 namespace {
 
-// Reduction chunk size. Tensors at or below this size form a one-chunk
-// grid and take the exact pre-pool serial code path.
-constexpr int64_t kReduceGrain = 32768;
-
 int64_t ShapeSize(const std::vector<int64_t>& shape) {
   int64_t size = 1;
   for (int64_t d : shape) {

@@ -11,6 +11,12 @@
 
 namespace msopds {
 
+/// Reduction chunk grain for Tensor::Sum / Tensor::Max: tensors at or
+/// below this size form a one-chunk grid and take the exact pre-pool
+/// serial code path. Exposed so the write-overlap verifier (ops.cc's
+/// Sum plan) rebuilds the same partial-slot grid the kernel runs.
+inline constexpr int64_t kReduceGrain = 32768;
+
 /// Flat element view of a tensor buffer used inside kernels: indexing is
 /// bounds-checked in Debug builds (MSOPDS_DCHECK) and compiles down to a
 /// raw pointer access in Release, unlike Tensor::at() which pays rank and

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace msopds {
 namespace {
@@ -113,7 +114,7 @@ int64_t MaxDepth(Node* root) {
 }
 
 void CheckNode(Node* node, const GraphVerifier::Options& options,
-               std::vector<Diagnostic>* diagnostics) {
+               std::vector<Diagnostic>* diagnostics, GraphStats* stats) {
   // Nodes with no recorded inputs are leaves for verification purposes:
   // ops over all-constant operands keep their op_name but record neither
   // inputs nor a backward (they act as constants).
@@ -194,10 +195,123 @@ void CheckNode(Node* node, const GraphVerifier::Options& options,
   if (!status.ok()) {
     diagnostics->push_back({DiagSeverity::kError, node, node->op_name,
                             "shape check failed: " + status.message()});
+    return;
+  }
+
+  // Write-overlap pass: rebuild the kernel's chunk grid from the recorded
+  // shapes (now known consistent) and check no two chunks write the same
+  // destination element. Catches a grid/kernel mismatch — the class of
+  // bug that only shows up as a data race under MSOPDS_THREADS > 1 —
+  // without executing anything.
+  if (!options.check_write_overlap || !spec->write_plan) return;
+  std::vector<std::vector<int64_t>> input_shapes;
+  input_shapes.reserve(input_values.size());
+  for (const Tensor* input : input_values) {
+    input_shapes.push_back(input->shape());
+  }
+  const WritePlan plan = spec->write_plan(input_shapes, node->value.shape());
+  ++stats->num_write_planned_nodes;
+  stats->num_planned_chunks += plan.num_chunks;
+  const Status plan_status = VerifyWritePlan(node->op_name, plan);
+  if (!plan_status.ok()) {
+    diagnostics->push_back(
+        {DiagSeverity::kError, node, node->op_name,
+         "write-overlap check failed: " + plan_status.message()});
   }
 }
 
 }  // namespace
+
+Status VerifyWritePlan(const std::string& op_name, const WritePlan& plan) {
+  auto fail = [&op_name](const std::string& message) {
+    return Status::InvalidArgument(op_name + ": " + message);
+  };
+  auto str = [](int64_t v) { return std::to_string(v); };
+
+  if (plan.units < 0) return fail("negative unit count " + str(plan.units));
+  if (plan.grain <= 0) return fail("non-positive grain " + str(plan.grain));
+  if (plan.output_elems < 0) {
+    return fail("negative output size " + str(plan.output_elems));
+  }
+  if (plan.grids < 1) return fail("non-positive grid count " + str(plan.grids));
+  const int64_t expected_chunks = NumChunks(plan.units, plan.grain);
+  if (plan.grids == 1 && plan.num_chunks != expected_chunks) {
+    return fail("grid mismatch: " + str(plan.num_chunks) + " chunks declared, "
+                "NumChunks(" + str(plan.units) + ", " + str(plan.grain) +
+                ") = " + str(expected_chunks));
+  }
+  if (plan.num_chunks < 0) {
+    return fail("negative chunk count " + str(plan.num_chunks));
+  }
+
+  // Exactly one write range per chunk, each in-bounds. One range per
+  // chunk is what makes "sort by begin, compare neighbours" a complete
+  // overlap check below.
+  if (static_cast<int64_t>(plan.writes.size()) != plan.num_chunks) {
+    return fail(str(plan.writes.size()) + " write ranges for " +
+                str(plan.num_chunks) + " chunks");
+  }
+  std::vector<bool> chunk_seen(static_cast<size_t>(plan.num_chunks), false);
+  for (const ChunkWrite& write : plan.writes) {
+    if (write.chunk < 0 || write.chunk >= plan.num_chunks) {
+      return fail("chunk id " + str(write.chunk) + " outside grid of " +
+                  str(plan.num_chunks));
+    }
+    if (chunk_seen[static_cast<size_t>(write.chunk)]) {
+      return fail("chunk " + str(write.chunk) + " declares two write ranges");
+    }
+    chunk_seen[static_cast<size_t>(write.chunk)] = true;
+    if (write.begin < 0 || write.begin > write.end ||
+        write.end > plan.output_elems) {
+      return fail("chunk " + str(write.chunk) + " range [" + str(write.begin) +
+                  ", " + str(write.end) + ") outside output of " +
+                  str(plan.output_elems) + " elements");
+    }
+  }
+
+  // Pairwise disjointness (the determinism core: two chunks writing one
+  // element race under MSOPDS_THREADS > 1), plus exact tiling when the
+  // kernel claims full coverage.
+  std::vector<ChunkWrite> sorted = plan.writes;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ChunkWrite& a, const ChunkWrite& b) {
+              return a.begin != b.begin ? a.begin < b.begin : a.end < b.end;
+            });
+  int64_t covered = 0;
+  bool contiguous = true;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0 && sorted[i].begin < sorted[i - 1].end) {
+      return fail("chunks " + str(sorted[i - 1].chunk) + " and " +
+                  str(sorted[i].chunk) + " both write [" +
+                  str(sorted[i].begin) + ", " +
+                  str(std::min(sorted[i - 1].end, sorted[i].end)) +
+                  "): parallel write overlap");
+    }
+    if (sorted[i].begin != covered) contiguous = false;
+    covered = sorted[i].end;
+  }
+  if (plan.covers_output && (!contiguous || covered != plan.output_elems)) {
+    return fail("kernel claims full coverage but writes leave gaps in [0, " +
+                str(plan.output_elems) + ")");
+  }
+
+  if (plan.reduction) {
+    if (static_cast<int64_t>(plan.reduction_lanes.size()) != plan.num_chunks) {
+      return fail(str(plan.reduction_lanes.size()) + " reduction lanes for " +
+                  str(plan.num_chunks) + " chunks");
+    }
+    for (int64_t i = 0; i < plan.num_chunks; ++i) {
+      if (plan.reduction_lanes[static_cast<size_t>(i)] != i) {
+        return fail("reduction lane " + str(i) + " maps to chunk " +
+                    str(plan.reduction_lanes[static_cast<size_t>(i)]) +
+                    ": combine order is not the fixed ascending tree");
+      }
+    }
+  } else if (!plan.reduction_lanes.empty()) {
+    return fail("reduction lanes declared on a non-reduction plan");
+  }
+  return Status::Ok();
+}
 
 std::string DiagnosticToString(const Diagnostic& diagnostic) {
   std::ostringstream out;
@@ -247,7 +361,7 @@ VerifyResult GraphVerifier::Verify(const Variable& root) const {
   std::unordered_set<const void*> seen_buffers;
   seen_buffers.reserve(nodes.size());
   for (Node* node : nodes) {
-    CheckNode(node, options_, &result.diagnostics);
+    CheckNode(node, options_, &result.diagnostics, &result.stats);
     ++result.stats.num_nodes;
     result.stats.num_edges += static_cast<int64_t>(node->inputs.size());
     const int64_t payload =

@@ -32,6 +32,60 @@ struct GradcheckCase {
   size_t hvp_arg = 0;
 };
 
+/// One chunk's destination range in flat output elements: chunk `chunk`
+/// writes (only) into [begin, end). Row-strided kernels that write a
+/// sub-span of each row (PadCols) report the bounding interval of their
+/// rows, which is still disjoint across chunks because the span width
+/// never exceeds the row stride.
+struct ChunkWrite {
+  int64_t chunk = 0;
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+/// Static description of a parallel kernel's writes over the ThreadPool
+/// chunk grid. A pure function of input/output *shapes* — never of data,
+/// the thread count, or scheduling — which is exactly why the overlap
+/// check can run at verification time without executing the kernel.
+struct WritePlan {
+  /// ParallelFor total / grain; num_chunks == NumChunks(units, grain).
+  int64_t units = 0;
+  int64_t grain = 0;
+  int64_t num_chunks = 0;
+  /// Flat element count of the destination buffer the chunks write into
+  /// (the op output, or the partial-sum buffer for reductions).
+  int64_t output_elems = 0;
+  /// Sequential ParallelFor launches the kernel makes (Concat1 runs one
+  /// grid per operand). Chunk ids are renumbered consecutively across
+  /// grids; the units/grain arithmetic check applies only when 1.
+  /// Overlap is still rejected across grids — stricter than racing
+  /// requires (sequential grids cannot race), but true of every kernel.
+  int64_t grids = 1;
+  /// Exactly one entry per chunk. VerifyWritePlan checks the ranges are
+  /// in-bounds and pairwise disjoint.
+  std::vector<ChunkWrite> writes;
+  /// True when the union of writes must tile [0, output_elems) exactly
+  /// (kernels that fully overwrite their destination). False for
+  /// window/pad/scatter kernels that write a subset of a zero-filled
+  /// destination.
+  bool covers_output = true;
+  /// True for reduction kernels (Sum): chunks write per-chunk partial
+  /// slots that a fixed pairwise tree later combines in lane order.
+  bool reduction = false;
+  /// Order the reduction combines partial slots in; determinism requires
+  /// the identity permutation 0..num_chunks-1 (the tree shape is then
+  /// fixed by num_chunks alone).
+  std::vector<int64_t> reduction_lanes;
+};
+
+/// Deterministic input/output shapes that exercise an op's write plan
+/// with a multi-chunk grid, for registry-wide sweeps (tools/verify_graph
+/// --overlap-only) where no recorded node supplies shapes.
+struct PlanExample {
+  std::vector<std::vector<int64_t>> input_shapes;
+  std::vector<int64_t> output_shape;
+};
+
 struct OpSpec {
   std::string name;
   /// Expected number of *recorded* inputs (constants captured in the
@@ -53,7 +107,27 @@ struct OpSpec {
   /// destination-bucketed scheduling). Surfaces in GraphStats so
   /// verify_graph can report how much of a recorded graph parallelizes.
   bool parallel_kernel = false;
+  /// Rebuilds the kernel's chunk grid and per-chunk write ranges from
+  /// shapes (mirroring the grain constants in ops.cc). Null only for ops
+  /// without a parallel kernel. Offset attributes hidden in closures
+  /// (slice/pad lo) are taken as 0 — they shift every chunk's range by
+  /// the same amount and cannot introduce an overlap.
+  std::function<WritePlan(
+      const std::vector<std::vector<int64_t>>& input_shapes,
+      const std::vector<int64_t>& output_shape)>
+      write_plan;
+  /// Shapes for a registry-wide sweep of write_plan; chosen so the grid
+  /// has several chunks (a one-chunk grid checks nothing).
+  std::function<PlanExample()> plan_example;
 };
+
+/// Checks the determinism invariants of one write plan: grid arithmetic
+/// consistent (num_chunks == NumChunks(units, grain)), exactly one write
+/// range per chunk, all ranges in-bounds and pairwise disjoint, exact
+/// coverage of [0, output_elems) when covers_output, and identity lane
+/// order for reductions. Returns InvalidArgument naming the earliest
+/// offending chunk pair on violation.
+Status VerifyWritePlan(const std::string& op_name, const WritePlan& plan);
 
 /// All registered primitive ops, in registration order. Defined in ops.cc
 /// next to the kernels it describes.
@@ -99,6 +173,11 @@ struct GraphStats {
   int64_t max_depth = 0;      // longest input chain, leaves at depth 1
   /// Recorded non-leaf nodes whose OpSpec has parallel_kernel set.
   int64_t num_parallel_kernel_nodes = 0;
+  /// Nodes whose write plan was rebuilt and overlap-checked, and the
+  /// total chunk count across those plans (the number of disjointness
+  /// obligations discharged).
+  int64_t num_write_planned_nodes = 0;
+  int64_t num_planned_chunks = 0;
   std::map<std::string, int64_t> op_counts;
 };
 
@@ -134,6 +213,11 @@ class GraphVerifier {
     bool check_requires_grad = true;
     bool check_cycles = true;
     bool check_stale_inputs = true;
+    /// Rebuild each registered node's chunk-grid write plan from its
+    /// recorded shapes and reject overlapping destination ranges or
+    /// unordered reduction lanes (runs only after the shape check
+    /// passes, so plans see consistent shapes).
+    bool check_write_overlap = true;
     /// Emit a warning for recorded ops missing from the registry.
     bool warn_unknown_ops = true;
   };

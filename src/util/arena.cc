@@ -98,7 +98,7 @@ double* Arena::Allocate(int64_t num_doubles) {
   const int64_t capacity = SizeClassCapacity(num_doubles);
   const int64_t payload_bytes = num_doubles * 8;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.alloc_calls;
   stats_.bytes_live += payload_bytes;
   stats_.high_water_bytes = std::max(stats_.high_water_bytes,
@@ -124,7 +124,7 @@ void Arena::Deallocate(double* block, int64_t num_doubles) {
   if (block == nullptr || num_doubles == 0) return;
   const int64_t capacity = SizeClassCapacity(num_doubles);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.bytes_live -= num_doubles * 8;
   const bool pooled = (enabled_override_ == -1 ? EnvEnabled()
                                                : enabled_override_ != 0) &&
@@ -140,7 +140,7 @@ void Arena::Deallocate(double* block, int64_t num_doubles) {
 }
 
 void Arena::Trim() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   bool freed_any = false;
   for (int c = 0; c < kNumClasses; ++c) {
     for (double* block : free_lists_[c]) {
@@ -156,12 +156,12 @@ void Arena::Trim() {
 }
 
 ArenaStats Arena::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void Arena::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const int64_t live = stats_.bytes_live;
   const int64_t cached = stats_.bytes_cached;
   stats_ = ArenaStats{};
@@ -171,17 +171,17 @@ void Arena::ResetStats() {
 }
 
 void Arena::ResetPeak() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.high_water_bytes = stats_.bytes_live;
 }
 
 bool Arena::enabled() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return enabled_override_ == -1 ? EnvEnabled() : enabled_override_ != 0;
 }
 
 bool Arena::SetEnabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const bool previous =
       enabled_override_ == -1 ? EnvEnabled() : enabled_override_ != 0;
   enabled_override_ = enabled ? 1 : 0;

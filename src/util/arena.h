@@ -2,8 +2,9 @@
 #define MSOPDS_UTIL_ARENA_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace msopds {
 
@@ -110,11 +111,11 @@ class Arena {
   // One free list per power-of-two class; index = log2(capacity).
   static constexpr int kNumClasses = 25;
 
-  mutable std::mutex mutex_;
-  std::vector<double*> free_lists_[kNumClasses];
-  ArenaStats stats_;
+  mutable Mutex mutex_;
+  std::vector<double*> free_lists_[kNumClasses] MSOPDS_GUARDED_BY(mutex_);
+  ArenaStats stats_ MSOPDS_GUARDED_BY(mutex_);
   // -1 = consult MSOPDS_ARENA lazily, else 0/1.
-  int enabled_override_ = -1;
+  int enabled_override_ MSOPDS_GUARDED_BY(mutex_) = -1;
 };
 
 /// Scoped bulk release: when the outermost region on a thread of control

@@ -25,7 +25,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Configure(const FaultConfig& config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   config_ = config;
   streams_.clear();
   for (int site = 0; site < kNumFaultSites; ++site) {
@@ -34,6 +34,16 @@ void FaultInjector::Configure(const FaultConfig& config) {
   }
   injected_.assign(kNumFaultSites, 0);
   crash_fired_ = false;
+}
+
+FaultConfig FaultInjector::config() const {
+  MutexLock lock(mu_);
+  return config_;
+}
+
+bool FaultInjector::enabled() const {
+  MutexLock lock(mu_);
+  return config_.any_enabled();
 }
 
 Rng& FaultInjector::stream(FaultSite site) {
@@ -45,7 +55,7 @@ void FaultInjector::RecordInjection(FaultSite site) {
 }
 
 bool FaultInjector::MaybeCorruptTrainerGradients(std::vector<Tensor>* grads) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (config_.trainer_nan_probability <= 0.0) return false;
   MSOPDS_CHECK(grads != nullptr);
   Rng& rng = stream(FaultSite::kTrainerGradient);
@@ -60,7 +70,7 @@ bool FaultInjector::MaybeCorruptTrainerGradients(std::vector<Tensor>* grads) {
 }
 
 bool FaultInjector::ShouldCorruptSurrogateStep() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (config_.surrogate_nan_probability <= 0.0) return false;
   if (!stream(FaultSite::kSurrogateGradient)
            .Bernoulli(config_.surrogate_nan_probability)) {
@@ -71,7 +81,7 @@ bool FaultInjector::ShouldCorruptSurrogateStep() {
 }
 
 bool FaultInjector::ShouldBreakSolver() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (config_.solver_breakdown_probability <= 0.0) return false;
   if (!stream(FaultSite::kSolver)
            .Bernoulli(config_.solver_breakdown_probability)) {
@@ -82,7 +92,7 @@ bool FaultInjector::ShouldBreakSolver() {
 }
 
 bool FaultInjector::ShouldFailPublish() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (config_.publish_fail_probability <= 0.0) return false;
   if (!stream(FaultSite::kSnapshotPublish)
            .Bernoulli(config_.publish_fail_probability)) {
@@ -93,7 +103,7 @@ bool FaultInjector::ShouldFailPublish() {
 }
 
 int64_t FaultInjector::MaybeBatchFlushDelayUs() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (config_.batch_delay_probability <= 0.0 || config_.batch_delay_us <= 0) {
     return 0;
   }
@@ -106,7 +116,7 @@ int64_t FaultInjector::MaybeBatchFlushDelayUs() {
 }
 
 bool FaultInjector::ShouldFailScoring() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (config_.scoring_error_probability <= 0.0) return false;
   if (!stream(FaultSite::kScoring)
            .Bernoulli(config_.scoring_error_probability)) {
@@ -117,7 +127,7 @@ bool FaultInjector::ShouldFailScoring() {
 }
 
 bool FaultInjector::ShouldCrashAtCell(int executed_cell_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (config_.crash_at_cell < 0 || crash_fired_) return false;
   if (executed_cell_index != config_.crash_at_cell) return false;
   crash_fired_ = true;
@@ -126,12 +136,12 @@ bool FaultInjector::ShouldCrashAtCell(int executed_cell_index) {
 }
 
 int64_t FaultInjector::injected_count(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return injected_[static_cast<size_t>(site)];
 }
 
 int64_t FaultInjector::total_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t total = 0;
   for (int64_t count : injected_) total += count;
   return total;

@@ -2,11 +2,11 @@
 #define MSOPDS_UTIL_FAULT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/rng.h"
+#include "util/sync.h"
 
 namespace msopds {
 
@@ -101,8 +101,12 @@ class FaultInjector {
   /// Installs a new plan and resets all per-site streams and counters.
   void Configure(const FaultConfig& config);
 
-  const FaultConfig& config() const { return config_; }
-  bool enabled() const { return config_.any_enabled(); }
+  /// Snapshot of the installed plan. Returns by value under the mutex:
+  /// a reference would let the caller read config_ while a concurrent
+  /// Configure() rewrites it (latent race surfaced by the thread-safety
+  /// annotations; see fault_test.ConfigSnapshotIsRaceFree).
+  FaultConfig config() const MSOPDS_EXCLUDES(mu_);
+  bool enabled() const MSOPDS_EXCLUDES(mu_);
 
   /// Trainer hook: corrupts `grads` with probability
   /// trainer_nan_probability (one NaN into one deterministic element of
@@ -143,14 +147,14 @@ class FaultInjector {
  private:
   FaultInjector();
 
-  Rng& stream(FaultSite site);
-  void RecordInjection(FaultSite site);
+  Rng& stream(FaultSite site) MSOPDS_REQUIRES(mu_);
+  void RecordInjection(FaultSite site) MSOPDS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  FaultConfig config_;
-  std::vector<Rng> streams_;
-  std::vector<int64_t> injected_;
-  bool crash_fired_ = false;
+  mutable Mutex mu_;
+  FaultConfig config_ MSOPDS_GUARDED_BY(mu_);
+  std::vector<Rng> streams_ MSOPDS_GUARDED_BY(mu_);
+  std::vector<int64_t> injected_ MSOPDS_GUARDED_BY(mu_);
+  bool crash_fired_ MSOPDS_GUARDED_BY(mu_) = false;
 };
 
 /// RAII installer for tests and drivers: installs `config` on

@@ -1,0 +1,141 @@
+#ifndef MSOPDS_UTIL_SYNC_H_
+#define MSOPDS_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+/// Annotated synchronization layer (see DESIGN.md §13).
+///
+/// This header is the only place in src/ allowed to name std::mutex or
+/// std::condition_variable (enforced by tools/determinism_lint). All
+/// other code uses the Mutex / MutexLock / CondVar wrappers below, which
+/// carry Clang thread-safety attributes so lock discipline is checked at
+/// compile time under `-Wthread-safety` (CMake option
+/// MSOPDS_THREAD_SAFETY; the attributes compile to nothing on other
+/// compilers, so GCC builds are unchanged).
+///
+/// Annotation conventions:
+///   - Every mutex-guarded member is declared with
+///     `MSOPDS_GUARDED_BY(mu_)` (enforced by determinism_lint for any
+///     class owning a Mutex).
+///   - A private helper that asserts "caller holds mu_" declares
+///     `MSOPDS_REQUIRES(mu_)`; a public method that takes mu_ itself
+///     declares `MSOPDS_EXCLUDES(mu_)` when deadlock with a re-entrant
+///     caller is plausible.
+///   - Members synchronized by something other than a mutex (atomics,
+///     join handshakes, "only mutated while workers are stopped") carry
+///     a `// determinism-lint: unguarded(<why>)` marker instead.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MSOPDS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MSOPDS_THREAD_ANNOTATION
+#define MSOPDS_THREAD_ANNOTATION(x)
+#endif
+
+#define MSOPDS_CAPABILITY(x) MSOPDS_THREAD_ANNOTATION(capability(x))
+#define MSOPDS_SCOPED_CAPABILITY MSOPDS_THREAD_ANNOTATION(scoped_lockable)
+#define MSOPDS_GUARDED_BY(x) MSOPDS_THREAD_ANNOTATION(guarded_by(x))
+#define MSOPDS_PT_GUARDED_BY(x) MSOPDS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define MSOPDS_REQUIRES(...) \
+  MSOPDS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MSOPDS_EXCLUDES(...) \
+  MSOPDS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define MSOPDS_ACQUIRE(...) \
+  MSOPDS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MSOPDS_RELEASE(...) \
+  MSOPDS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MSOPDS_RETURN_CAPABILITY(x) MSOPDS_THREAD_ANNOTATION(lock_returned(x))
+#define MSOPDS_NO_THREAD_SAFETY_ANALYSIS \
+  MSOPDS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace msopds {
+
+class CondVar;
+class MutexLock;
+
+/// std::mutex carrying the Clang `capability` attribute, so
+/// MSOPDS_GUARDED_BY(mu_) declarations on members are checkable.
+/// Prefer MutexLock over manual Lock()/Unlock().
+class MSOPDS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MSOPDS_ACQUIRE() { mu_.lock(); }
+  void Unlock() MSOPDS_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock over a Mutex (replaces std::lock_guard /
+/// std::unique_lock). Supports the mid-scope Unlock()/Lock() pattern the
+/// serving batcher uses to drop the queue mutex while scoring.
+class MSOPDS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MSOPDS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() MSOPDS_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily releases the mutex; must be balanced by Lock() or be
+  /// the last touch before destruction (unique_lock tolerates both).
+  void Unlock() MSOPDS_RELEASE() { lock_.unlock(); }
+  void Lock() MSOPDS_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable used with MutexLock. The wait methods take the
+/// lock object itself so a caller cannot wait on a mutex it does not
+/// hold. Predicates are deliberately *not* taken as callables: re-check
+/// the condition in a `while` loop around the wait, which keeps every
+/// guarded-member read inside the annotated caller where the analysis
+/// can see the lock is held (a lambda body is analyzed as a lock-free
+/// function and would warn).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Unbounded wait for a notification (spurious wakeups possible).
+  /// Callers outside util/ must justify the missing deadline per the
+  /// lint gate's blocking-wait rule.
+  void Wait(MutexLock& lock) {
+    cv_.wait(lock.lock_);  // lint:allow-blocking-wait (bound is the caller's contract)
+  }
+
+  /// Waits up to `timeout`; returns false on timeout, true when
+  /// notified (or woken spuriously) before it.
+  template <class Rep, class Period>
+  bool WaitFor(MutexLock& lock, std::chrono::duration<Rep, Period> timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
+
+  /// Waits until `deadline`; returns false on timeout.
+  template <class Clock, class Duration>
+  bool WaitUntil(MutexLock& lock,
+                 std::chrono::time_point<Clock, Duration> deadline) {
+    return cv_.wait_until(lock.lock_, deadline) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_UTIL_SYNC_H_

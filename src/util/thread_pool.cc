@@ -26,10 +26,12 @@ int64_t NumChunks(int64_t total, int64_t grain) {
 // worker that wakes up late can still safely inspect an already-finished
 // job.
 struct ThreadPool::Job {
+  // The region shape is written once, before the job is published to the
+  // workers under mu_, and read-only afterwards.
   const std::function<void(int64_t, int64_t, int64_t)>* fn = nullptr;
-  int64_t total = 0;
-  int64_t grain = 0;
-  int64_t num_chunks = 0;
+  int64_t total = 0;       // determinism-lint: unguarded(immutable after publish)
+  int64_t grain = 0;       // determinism-lint: unguarded(immutable after publish)
+  int64_t num_chunks = 0;  // determinism-lint: unguarded(immutable after publish)
 
   std::atomic<int64_t> next_chunk{0};
   std::atomic<int64_t> finished_chunks{0};
@@ -37,9 +39,9 @@ struct ThreadPool::Job {
 
   // Lowest-indexed exception observed across chunks; rethrown by the
   // caller so a failing chunk behaves like the serial path reaching it.
-  std::mutex error_mu;
-  int64_t error_chunk = -1;
-  std::exception_ptr error;
+  Mutex error_mu;
+  int64_t error_chunk MSOPDS_GUARDED_BY(error_mu) = -1;
+  std::exception_ptr error MSOPDS_GUARDED_BY(error_mu);
 };
 
 ThreadPool& ThreadPool::Global() {
@@ -77,7 +79,10 @@ void ThreadPool::SetNumThreads(int num_threads) {
 bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
 
 void ThreadPool::StartWorkers() {
-  stopping_ = false;
+  {
+    MutexLock lock(mu_);
+    stopping_ = false;
+  }
   const int helpers = num_threads_ - 1;  // the caller is worker zero
   workers_.reserve(static_cast<size_t>(std::max(helpers, 0)));
   for (int i = 0; i < helpers; ++i) {
@@ -87,10 +92,10 @@ void ThreadPool::StartWorkers() {
 
 void ThreadPool::StopWorkers() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
 }
@@ -99,14 +104,18 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_cv_.wait(lock, [this] { return stopping_ || job_ != nullptr; });
+      MutexLock lock(mu_);
+      // Bounded by the pool's lifecycle contract: StopWorkers() sets
+      // stopping_ and notifies before joining.
+      while (!stopping_ && job_ == nullptr) {
+        job_cv_.Wait(lock);  // lint:allow-blocking-wait (lifecycle-bounded)
+      }
       if (stopping_) return;
       job = job_;
     }
     RunChunks(job.get());
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       // Drop the drained job so we block instead of spinning on it.
       if (job_ == job &&
           job->next_chunk.load(std::memory_order_relaxed) >=
@@ -114,7 +123,7 @@ void ThreadPool::WorkerLoop() {
         job_ = nullptr;
       }
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 
@@ -134,7 +143,7 @@ void ThreadPool::RunChunks(Job* job) {
         (*job->fn)(begin, end, chunk);
       } catch (...) {
         job->cancelled.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(job->error_mu);
+        MutexLock lock(job->error_mu);
         if (job->error_chunk < 0 || chunk < job->error_chunk) {
           job->error_chunk = chunk;
           job->error = std::current_exception();
@@ -172,24 +181,31 @@ void ThreadPool::ParallelFor(
   job->grain = grain;
   job->num_chunks = num_chunks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     MSOPDS_CHECK(job_ == nullptr) << "concurrent top-level ParallelFor";
     job_ = job;
   }
-  job_cv_.notify_all();
+  job_cv_.NotifyAll();
 
   RunChunks(job.get());  // the calling thread is worker zero
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&job] {
-      return job->finished_chunks.load(std::memory_order_acquire) >=
-             job->num_chunks;
-    });
+    MutexLock lock(mu_);
+    // Bounded by grid progress: every chunk increments finished_chunks,
+    // and workers notify after draining the job.
+    while (job->finished_chunks.load(std::memory_order_acquire) <
+           job->num_chunks) {
+      done_cv_.Wait(lock);  // lint:allow-blocking-wait (grid-progress-bounded)
+    }
     if (job_ == job) job_ = nullptr;
   }
 
-  if (job->error) std::rethrow_exception(job->error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(job->error_mu);
+    error = job->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 double ThreadPool::ParallelReduceSum(

@@ -2,13 +2,13 @@
 #define MSOPDS_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace msopds {
 
@@ -94,19 +94,22 @@ class ThreadPool {
  private:
   struct Job;
 
-  void WorkerLoop();
+  void WorkerLoop() MSOPDS_EXCLUDES(mu_);
   static void RunChunks(Job* job);
-  void StartWorkers();
-  void StopWorkers();
+  void StartWorkers() MSOPDS_EXCLUDES(mu_);
+  void StopWorkers() MSOPDS_EXCLUDES(mu_);
 
-  int num_threads_ = 1;
-  std::vector<std::thread> workers_;
+  // Pool shape: only mutated by SetNumThreads() with every worker
+  // joined, and read by ParallelFor() callers that are externally
+  // serialized against resizing (the pool rejects nested regions).
+  int num_threads_ = 1;              // determinism-lint: unguarded(mutated only with workers joined)
+  std::vector<std::thread> workers_;  // determinism-lint: unguarded(mutated only with workers joined)
 
-  std::mutex mu_;
-  std::condition_variable job_cv_;    // workers wait here for a job
-  std::condition_variable done_cv_;   // the caller waits here for chunks
-  std::shared_ptr<Job> job_;          // current region, null when idle
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar job_cv_;    // workers wait here for a job
+  CondVar done_cv_;   // the caller waits here for chunks
+  std::shared_ptr<Job> job_ MSOPDS_GUARDED_BY(mu_);  // current region
+  bool stopping_ MSOPDS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace msopds

@@ -247,6 +247,24 @@ TEST(ServingEngineTest, RetiredSnapshotStaysValidForHolders) {
   EXPECT_EQ(engine.CurrentSnapshot()->version(), 3u);
 }
 
+// Regression for a latent join race surfaced by the thread-safety
+// annotations: two concurrent Stop() calls could both observe the
+// batcher thread joinable and both join it (UB). Stop() now swaps the
+// thread handle out under queue_mu_, so exactly one caller joins and
+// the rest (including the destructor's Stop()) return immediately.
+TEST(ServingEngineTest, ConcurrentStopIsSafe) {
+  for (int round = 0; round < 20; ++round) {
+    ServingEngine engine;
+    engine.Publish(TinySnapshot(1, 1.0));
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 4; ++t) {
+      stoppers.emplace_back([&engine] { engine.Stop(); });
+    }
+    for (std::thread& stopper : stoppers) stopper.join();
+    // The destructor's Stop() must also be a no-op, not a double join.
+  }
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace msopds

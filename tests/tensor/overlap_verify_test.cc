@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "tensor/variable.h"
+#include "tensor/verify.h"
+#include "util/thread_pool.h"
+
+namespace msopds {
+namespace {
+
+// A well-formed single-grid plan: `chunks` chunks of `grain` units, each
+// writing `width` contiguous elements per unit. The planted-violation
+// tests below each break exactly one invariant of this shape.
+WritePlan GoodPlan(int64_t units = 100, int64_t grain = 10,
+                   int64_t width = 8) {
+  WritePlan plan;
+  plan.units = units;
+  plan.grain = grain;
+  plan.num_chunks = NumChunks(units, grain);
+  plan.output_elems = units * width;
+  for (int64_t c = 0; c < plan.num_chunks; ++c) {
+    const int64_t begin = c * grain;
+    const int64_t end = std::min(begin + grain, units);
+    plan.writes.push_back({c, begin * width, end * width});
+  }
+  return plan;
+}
+
+TEST(VerifyWritePlanTest, AcceptsDisjointCoveringGrid) {
+  EXPECT_TRUE(VerifyWritePlan("good", GoodPlan()).ok());
+}
+
+TEST(VerifyWritePlanTest, RejectsOverlappingChunks) {
+  WritePlan plan = GoodPlan();
+  plan.writes[1].end += 1;  // reaches one element into chunk 2's range
+  const Status status = VerifyWritePlan("bad", plan);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("parallel write overlap"),
+            std::string::npos);
+}
+
+TEST(VerifyWritePlanTest, RejectsCoverageGap) {
+  WritePlan plan = GoodPlan();
+  plan.writes[3].begin += 2;  // claims covers_output but skips 2 elements
+  EXPECT_FALSE(VerifyWritePlan("bad", plan).ok());
+}
+
+TEST(VerifyWritePlanTest, AcceptsPartialWritesWhenNotCovering) {
+  WritePlan plan = GoodPlan();
+  plan.writes[3].begin += 2;
+  plan.covers_output = false;  // zero-filled destination: gaps are fine
+  EXPECT_TRUE(VerifyWritePlan("scatterish", plan).ok());
+}
+
+TEST(VerifyWritePlanTest, RejectsDuplicateChunkRanges) {
+  WritePlan plan = GoodPlan();
+  plan.writes[4].chunk = 3;
+  EXPECT_FALSE(VerifyWritePlan("bad", plan).ok());
+}
+
+TEST(VerifyWritePlanTest, RejectsOutOfBoundsRange) {
+  WritePlan plan = GoodPlan();
+  plan.writes.back().end = plan.output_elems + 1;
+  EXPECT_FALSE(VerifyWritePlan("bad", plan).ok());
+}
+
+TEST(VerifyWritePlanTest, RejectsGridArithmeticMismatch) {
+  WritePlan plan = GoodPlan();
+  plan.grain = 7;  // NumChunks(100, 7) = 15 != the 10 chunks declared
+  EXPECT_FALSE(VerifyWritePlan("bad", plan).ok());
+}
+
+TEST(VerifyWritePlanTest, MultiGridPlanSkipsArithmeticButNotOverlap) {
+  // Concat1-style: two sequential grids, chunk ids renumbered. The
+  // units/grain arithmetic no longer applies, overlap detection still
+  // does.
+  WritePlan plan = GoodPlan();
+  plan.grids = 2;
+  plan.num_chunks += 1;
+  plan.writes.push_back(
+      {plan.num_chunks - 1, plan.output_elems, plan.output_elems});
+  EXPECT_TRUE(VerifyWritePlan("concatish", plan).ok());
+  plan.writes.back() = {plan.num_chunks - 1, 0, 1};
+  EXPECT_FALSE(VerifyWritePlan("concatish", plan).ok());
+}
+
+TEST(VerifyWritePlanTest, RejectsPermutedReductionLanes) {
+  WritePlan plan;
+  plan.units = 100;
+  plan.grain = 10;
+  plan.num_chunks = 10;
+  plan.output_elems = 10;
+  plan.reduction = true;
+  for (int64_t c = 0; c < 10; ++c) {
+    plan.writes.push_back({c, c, c + 1});
+    plan.reduction_lanes.push_back(c);
+  }
+  ASSERT_TRUE(VerifyWritePlan("sum", plan).ok());
+  std::swap(plan.reduction_lanes[2], plan.reduction_lanes[5]);
+  const Status status = VerifyWritePlan("sum", plan);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("fixed ascending tree"), std::string::npos);
+}
+
+TEST(VerifyWritePlanTest, RejectsLanesOnNonReduction) {
+  WritePlan plan = GoodPlan();
+  plan.reduction_lanes = {0};
+  EXPECT_FALSE(VerifyWritePlan("bad", plan).ok());
+}
+
+// Every registered parallel kernel must carry a plan, the plan must be
+// disjoint at its example shapes, and the example must exercise a real
+// multi-chunk grid (a one-chunk grid proves nothing).
+TEST(OpRegistryWritePlanTest, AllParallelKernelsPlanDisjointWrites) {
+  int planned = 0;
+  for (const OpSpec& spec : OpRegistry()) {
+    EXPECT_EQ(spec.parallel_kernel, spec.write_plan != nullptr)
+        << spec.name << ": parallel_kernel and write_plan must agree";
+    if (!spec.write_plan) continue;
+    ASSERT_TRUE(spec.plan_example != nullptr) << spec.name;
+    const PlanExample example = spec.plan_example();
+    const WritePlan plan =
+        spec.write_plan(example.input_shapes, example.output_shape);
+    EXPECT_GE(plan.num_chunks, 2) << spec.name << ": one-chunk example";
+    const Status status = VerifyWritePlan(spec.name, plan);
+    EXPECT_TRUE(status.ok()) << status.message();
+    ++planned;
+  }
+  EXPECT_GE(planned, 29);  // every kernel scheduled on the chunk grid
+}
+
+// The pass runs on recorded graphs: a real multi-chunk MatMul node gets
+// its plan rebuilt from recorded shapes and overlap-checked.
+TEST(GraphWriteOverlapTest, RecordedNodesAreOverlapChecked) {
+  Variable a = Param(Tensor::Full({700, 16}, 0.25));
+  Variable b = Param(Tensor::Full({16, 8}, -0.5));
+  Variable loss = Sum(MatMul(a, b));
+  const VerifyResult result = VerifyGraph(loss);
+  EXPECT_TRUE(result.ok()) << result.Report();
+  // MatMul (700x8, RowGrain(8)=512 -> 2 chunks) and Sum both planned.
+  EXPECT_GE(result.stats.num_write_planned_nodes, 2);
+  EXPECT_GE(result.stats.num_planned_chunks, 3);
+}
+
+TEST(GraphWriteOverlapTest, OptionDisablesThePass) {
+  Variable a = Param(Tensor::Full({700, 16}, 0.25));
+  Variable b = Param(Tensor::Full({16, 8}, -0.5));
+  Variable loss = Sum(MatMul(a, b));
+  GraphVerifier::Options options;
+  options.check_write_overlap = false;
+  const VerifyResult result = GraphVerifier(options).Verify(loss);
+  EXPECT_TRUE(result.ok()) << result.Report();
+  EXPECT_EQ(result.stats.num_write_planned_nodes, 0);
+  EXPECT_EQ(result.stats.num_planned_chunks, 0);
+}
+
+// A node that fails shape inference must not reach the write planner
+// (plans assume infer-consistent shapes).
+TEST(GraphWriteOverlapTest, ShapeFailureSkipsThePlanner) {
+  Variable a = Param(Tensor::Full({700, 16}, 0.25));
+  Variable b = Param(Tensor::Full({16, 8}, -0.5));
+  Variable bad = internal::MakeTestNode("MatMul", Tensor::Full({3, 3}, 0.0),
+                                        {a, b}, /*requires_grad=*/true);
+  const VerifyResult result = VerifyGraph(bad);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.stats.num_write_planned_nodes, 0);
+}
+
+}  // namespace
+}  // namespace msopds

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -107,6 +109,36 @@ TEST(ScopedFaultInjectionTest, RestoresDisabledInjectorOnExit) {
   }
   EXPECT_FALSE(FaultInjector::Global().enabled());
   EXPECT_FALSE(FaultInjector::Global().ShouldCorruptSurrogateStep());
+}
+
+// Regression for a latent race surfaced by the thread-safety
+// annotations: config() used to return a const reference to config_,
+// readable while a concurrent Configure() rewrote it. It now snapshots
+// by value under the injector mutex, so every observed config is one
+// that was actually installed — never a torn mix of two.
+TEST(FaultInjectorTest, ConfigSnapshotIsRaceFree) {
+  ScopedFaultInjection scope(SurrogateOnly(1, 0.25));
+  std::atomic<bool> stop{false};
+  std::thread writer([&stop] {
+    uint64_t flip = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const bool odd = (++flip % 2) == 1;
+      FaultInjector::Global().Configure(
+          SurrogateOnly(odd ? 2 : 1, odd ? 0.5 : 0.25));
+    }
+  });
+  for (int i = 0; i < 5000; ++i) {
+    const FaultConfig snapshot = FaultInjector::Global().config();
+    const bool consistent =
+        (snapshot.seed == 1 && snapshot.surrogate_nan_probability == 0.25) ||
+        (snapshot.seed == 2 && snapshot.surrogate_nan_probability == 0.5);
+    ASSERT_TRUE(consistent)
+        << "torn config: seed=" << snapshot.seed
+        << " p=" << snapshot.surrogate_nan_probability;
+    ASSERT_TRUE(FaultInjector::Global().enabled());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
 }
 
 }  // namespace

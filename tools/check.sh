@@ -2,6 +2,8 @@
 # Repo-wide correctness gate: build + tests (serial and MSOPDS_THREADS=4),
 # graph verifier + registry gradcheck, the serving (`serve`) and
 # overload/chaos (`serve_fault`) suites at 1 and 4 kernel threads,
+# the determinism linter and the parallel write-overlap sweep
+# (DESIGN.md §13), a Clang -Wthread-safety build of the library,
 # sanitizer matrix (MSOPDS_SANITIZE=address/undefined,
 # each with a multi-threaded pass over the `parallel` suite, plus a
 # ThreadSanitizer build running the `serve` and `serve_fault` labels so
@@ -9,8 +11,8 @@
 # toolchain ships TSan),
 # clang-tidy over src/, and the Python-free lint. Prints a per-stage
 # summary table and exits non-zero if any stage fails. Stages whose
-# toolchain is missing (e.g. clang-tidy not installed) are reported
-# SKIP, not FAIL.
+# toolchain is missing (e.g. clang-tidy or clang++ not installed) are
+# reported SKIP, not FAIL.
 #
 # Usage:
 #   tools/check.sh                 full matrix (three builds; slow)
@@ -143,6 +145,15 @@ if [ "${STAGE_RESULTS[-1]}" = "PASS" ]; then
   }
   run_stage "ctest-serve-fault-t4" ctest_serve_fault_t4
   run_stage "verify-graph" ./build/tools/verify_graph
+  # Determinism/concurrency linter over the whole source tree: raw sync
+  # primitives outside util/sync.h, ambient RNG, unordered iteration
+  # feeding output order, unguarded members of mutex-owning classes
+  # (DESIGN.md §13).
+  run_stage "determinism-lint" ./build/tools/determinism_lint
+  # Write-overlap pass alone (also part of verify-graph above): every
+  # registered parallel kernel's chunk grid proven disjoint, plus the
+  # checker's planted-violation self-test.
+  run_stage "overlap-verify" ./build/tools/verify_graph --overlap-only
 else
   skip_stage "ctest-release" "build failed"
   skip_stage "ctest-release-mt4" "build failed"
@@ -152,6 +163,8 @@ else
   skip_stage "ctest-serve-fault-t1" "build failed"
   skip_stage "ctest-serve-fault-t4" "build failed"
   skip_stage "verify-graph" "build failed"
+  skip_stage "determinism-lint" "build failed"
+  skip_stage "overlap-verify" "build failed"
 fi
 
 # --- clang-tidy over src/ ----------------------------------------------------
@@ -164,6 +177,22 @@ if command -v clang-tidy > /dev/null 2>&1; then
   run_stage "clang-tidy" tidy_src
 else
   skip_stage "clang-tidy" "clang-tidy not installed"
+fi
+
+# --- Clang thread-safety analysis --------------------------------------------
+# Compiles the library with -Wthread-safety -Werror=thread-safety so the
+# util/sync.h annotations (DESIGN.md §13) are enforced, not decorative.
+# Clang-only: gcc ignores the attributes, so the stage SKIPs without a
+# clang++ on PATH.
+if command -v clang++ > /dev/null 2>&1; then
+  build_thread_safety() {
+    cmake -B build-tsafety -S . -DCMAKE_BUILD_TYPE=Release \
+          -DCMAKE_CXX_COMPILER=clang++ -DMSOPDS_THREAD_SAFETY=ON \
+      && cmake --build build-tsafety -j --target msopds
+  }
+  run_stage "thread-safety" build_thread_safety
+else
+  skip_stage "thread-safety" "clang++ not installed (-Wthread-safety is Clang-only)"
 fi
 
 # --- sanitizer matrix: Debug builds so MSOPDS_CHECK/auto-verify stay in -----

@@ -56,19 +56,41 @@ while IFS= read -r match; do
 done < <(grep -rnE --include='*.h' --include='*.cc' \
              'MSOPDS_CHECK[A-Z_]*\([^)]*(\+\+|--)' src)
 
-# --- 4. unbounded blocking waits in the serve path ---------------------------
-# Serving code must never park a thread without a deadline: a missing
-# wakeup becomes a hung request instead of a slow one. condition_variable
-# waits must be wait_for/wait_until, and future .get()/.wait() needs an
-# explicit '// lint:allow-blocking-wait' justifying why the wait is
-# bounded by some other contract (e.g. the engine resolves every
-# promise). The .get() pattern requires the ')' of a call chain before
-# it, so shared_ptr/unique_ptr '.get()' on plain variables stays legal.
+# --- 4. unbounded blocking waits (repo-wide) --------------------------------
+# No code may park a thread without a deadline: a missing wakeup becomes
+# a hang instead of a slowdown. Condition-variable waits go through
+# CondVar::WaitFor/WaitUntil; a bare Wait() (or the underlying std wait)
+# needs '// lint:allow-blocking-wait' naming the contract that bounds it
+# (pool lifecycle, grid progress, the engine resolving every promise).
+# Originally scoped to src/serve, now repo-wide since the annotated sync
+# layer gave every subsystem the same wait vocabulary.
 while IFS= read -r match; do
-  report blocking-wait "$match (deadline-less wait in serve path; use wait_for/wait_until or annotate '// lint:allow-blocking-wait')"
+  report blocking-wait "$match (deadline-less wait; use WaitFor/WaitUntil or annotate '// lint:allow-blocking-wait')"
 done < <(grep -rnE --include='*.h' --include='*.cc' \
-             '\.wait\(|\)\.get\(\)|\)\.wait\(\)' src/serve \
+             '\.wait\(|\.Wait\(' src \
          | grep -v 'lint:allow-blocking-wait')
+# future .get()/.wait() is checked only in files that use <future>, with
+# the ')' call-chain pattern, so shared_ptr/unique_ptr '.get()' on plain
+# variables stays legal everywhere else.
+while IFS= read -r future_file; do
+  while IFS= read -r match; do
+    report blocking-wait "$future_file:$match (deadline-less future wait; annotate '// lint:allow-blocking-wait')"
+  done < <(grep -nE '\)\.get\(\)|\)\.wait\(\)' "$future_file" \
+           | grep -v 'lint:allow-blocking-wait')
+done < <(grep -rlE --include='*.h' --include='*.cc' \
+             '^#include <future>' src)
+
+# --- 5. util headers documented in DESIGN.md --------------------------------
+# Every header in src/util is cross-cutting infrastructure; each must be
+# referenced from DESIGN.md so the design doc stays the complete map of
+# the utility layer (the doc names headers like util/sync.h).
+while IFS= read -r header; do
+  rel="${header#src/}"
+  mod="${rel%.h}"  # DESIGN.md names modules without the extension
+  if ! grep -q "$mod" DESIGN.md; then
+    report design-doc "$header: not referenced in DESIGN.md (document $mod)"
+  fi
+done < <(find src/util -name '*.h' | sort)
 
 # --- Summary ---------------------------------------------------------------
 if [ "$failures" -ne 0 ]; then

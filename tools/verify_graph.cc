@@ -7,24 +7,35 @@
 // Exits non-zero on any diagnostic or tolerance violation, so it can gate
 // CI (tools/check.sh stage "verify").
 //
+// Between those stages it sweeps every parallel kernel's static write
+// plan (OpSpec::write_plan at OpSpec::plan_example shapes) through
+// VerifyWritePlan, proving no two chunks of any registered kernel write
+// overlapping destination ranges, and self-tests the checker against
+// planted-bad plans (an overlap, a gap, a permuted reduction lane) that
+// it must reject.
+//
 // Flags:
 //   --op=NAME            only gradcheck the named op
 //   --dot=PATH           write the representative graph as Graphviz DOT
 //   --max_grad_err=X     first-order tolerance (default 1e-6)
 //   --max_hvp_err=X      second-order tolerance (default 1e-5)
+//   --overlap-only       run only the write-overlap sweep + self-test
 //   --list               print the registry and exit
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tensor/gradcheck.h"
 #include "tensor/ops.h"
 #include "tensor/verify.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -33,6 +44,7 @@ struct Args {
   std::string dot_path;
   double max_grad_err = 1e-6;
   double max_hvp_err = 1e-5;
+  bool overlap_only = false;
   bool list = false;
 };
 
@@ -51,6 +63,8 @@ Args ParseArgs(int argc, char** argv) {
       args.max_grad_err = std::atof(value_of("--max_grad_err=").c_str());
     } else if (arg.rfind("--max_hvp_err=", 0) == 0) {
       args.max_hvp_err = std::atof(value_of("--max_hvp_err=").c_str());
+    } else if (arg == "--overlap-only") {
+      args.overlap_only = true;
     } else if (arg == "--list") {
       args.list = true;
     } else {
@@ -96,6 +110,102 @@ msopds::Variable BuildRepresentativeGraph(
                      msopds::SquaredNorm(w));
 }
 
+// Sweeps every registered parallel kernel's write plan at its example
+// shapes through VerifyWritePlan, then self-tests the checker on planted
+// violations it must reject. Returns the number of failures.
+int RunOverlapSweep(const std::vector<msopds::OpSpec>& registry) {
+  int failures = 0;
+  std::printf("\n%-16s %8s %8s %10s %7s  %s\n", "op", "units", "chunks",
+              "elems", "covers", "overlap");
+  for (const msopds::OpSpec& spec : registry) {
+    if (!spec.write_plan) continue;  // non-parallel op: nothing to prove
+    if (!spec.plan_example) {
+      std::printf("%-16s: FAIL: parallel kernel without plan example\n",
+                  spec.name.c_str());
+      ++failures;
+      continue;
+    }
+    const msopds::PlanExample example = spec.plan_example();
+    const msopds::WritePlan plan =
+        spec.write_plan(example.input_shapes, example.output_shape);
+    const msopds::Status status = msopds::VerifyWritePlan(spec.name, plan);
+    // A one-chunk grid proves nothing; the example shapes must exercise
+    // real chunk boundaries.
+    const bool multi_chunk = plan.num_chunks >= 2;
+    std::printf("%-16s %8lld %8lld %10lld %7s  %s\n", spec.name.c_str(),
+                static_cast<long long>(plan.units),
+                static_cast<long long>(plan.num_chunks),
+                static_cast<long long>(plan.output_elems),
+                plan.covers_output ? "yes" : "no",
+                !status.ok()          ? "FAIL"
+                : multi_chunk         ? "disjoint"
+                                      : "FAIL (one-chunk example)");
+    if (!status.ok()) {
+      std::printf("  %s\n", status.message().c_str());
+      ++failures;
+    } else if (!multi_chunk) {
+      ++failures;
+    }
+  }
+
+  // Self-test: the checker must reject planted-bad plans, or a passing
+  // sweep means nothing.
+  auto grid = [](int64_t units, int64_t grain, int64_t width) {
+    msopds::WritePlan plan;
+    plan.units = units;
+    plan.grain = grain;
+    plan.num_chunks = msopds::NumChunks(units, grain);
+    plan.output_elems = units * width;
+    for (int64_t c = 0; c < plan.num_chunks; ++c) {
+      const int64_t begin = c * grain;
+      const int64_t end = std::min(begin + grain, units);
+      plan.writes.push_back({c, begin * width, end * width});
+    }
+    return plan;
+  };
+  struct PlantedCase {
+    const char* name;
+    msopds::WritePlan plan;
+  };
+  std::vector<PlantedCase> planted;
+  {
+    // Chunk 1 reaches one element into chunk 2's rows (the classic
+    // off-by-one a fused kernel edit would introduce).
+    msopds::WritePlan overlap = grid(100, 10, 8);
+    overlap.writes[1].end += 1;
+    planted.push_back({"planted overlap", overlap});
+    // Full-coverage kernel that leaves a gap before its last chunk.
+    msopds::WritePlan gap = grid(100, 10, 8);
+    gap.writes[3].begin += 2;
+    planted.push_back({"planted gap", gap});
+    // Reduction combining partial slots in swapped lane order.
+    msopds::WritePlan lanes = grid(100, 10, 1);
+    lanes.reduction = true;
+    for (int64_t c = 0; c < lanes.num_chunks; ++c) {
+      lanes.reduction_lanes.push_back(c);
+    }
+    std::swap(lanes.reduction_lanes[2], lanes.reduction_lanes[5]);
+    planted.push_back({"planted lane swap", lanes});
+    // Grid arithmetic that disagrees with NumChunks.
+    msopds::WritePlan arith = grid(100, 10, 8);
+    arith.num_chunks += 1;
+    arith.writes.push_back({arith.num_chunks - 1, 0, 0});
+    planted.push_back({"planted grid mismatch", arith});
+  }
+  for (const PlantedCase& fixture : planted) {
+    const msopds::Status status =
+        msopds::VerifyWritePlan(fixture.name, fixture.plan);
+    if (status.ok()) {
+      std::printf("self-test FAIL: %s was not rejected\n", fixture.name);
+      ++failures;
+    } else {
+      std::printf("self-test ok: rejected %s (%s)\n", fixture.name,
+                  status.message().c_str());
+    }
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,6 +231,12 @@ int main(int argc, char** argv) {
 
   int failures = 0;
 
+  if (args.overlap_only) {
+    failures = RunOverlapSweep(registry);
+    std::printf("\nwrite-overlap sweep: %d failure(s)\n", failures);
+    return failures == 0 ? 0 : 1;
+  }
+
   // Stage 1: static verification of the representative graph.
   std::vector<msopds::Variable> params;
   msopds::Variable loss = BuildRepresentativeGraph(&params);
@@ -138,6 +254,10 @@ int main(int argc, char** argv) {
               "by backward\n",
               static_cast<long long>(result.stats.live_bytes),
               static_cast<long long>(result.stats.releasable_bytes));
+  std::printf("write plans: %lld node(s) overlap-checked, %lld chunk "
+              "disjointness obligation(s) discharged\n",
+              static_cast<long long>(result.stats.num_write_planned_nodes),
+              static_cast<long long>(result.stats.num_planned_chunks));
   if (!result.diagnostics.empty()) {
     std::printf("%s", result.Report().c_str());
   }
@@ -152,7 +272,11 @@ int main(int argc, char** argv) {
     std::printf("wrote DOT dump to %s\n", args.dot_path.c_str());
   }
 
-  // Stage 2: exhaustive first- and second-order gradcheck over the
+  // Stage 2: write-overlap sweep over every parallel kernel in the
+  // registry, plus the checker self-test.
+  failures += RunOverlapSweep(registry);
+
+  // Stage 3: exhaustive first- and second-order gradcheck over the
   // registry.
   std::printf("\n%-16s %-34s %12s %12s  %s\n", "op", "case", "grad_err",
               "hvp_err", "status");
