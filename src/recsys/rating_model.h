@@ -11,14 +11,15 @@ namespace msopds {
 /// Dense scoring view of a trained model, sufficient to reproduce
 /// PredictPairs for any (user, item) pair as
 ///
-///   (((<user_factors[u], item_factors[i]>  (summed left-to-right over D)
-///      + user_bias[u])                     (skipped when undefined)
-///     + item_bias[i])                      (skipped when undefined)
-///    + offset)
+///   (((<user_factors[u], item_factors[i]>  (fixed 4-lane order over D,
+///      + user_bias[u])                      simd::Dot — DESIGN.md §14)
+///     + item_bias[i])                      (each bias skipped when
+///    + offset)                              undefined)
 ///
 /// with each partial sum associating exactly as the model's recorded op
-/// sequence (PairDot = RowSum of stored products, then Add / AddScalar),
-/// so a scorer that follows this recipe is bit-identical to PredictPairs.
+/// sequence (PairDot = RowSum of stored products — the same 4-lane
+/// reduction as simd::Dot — then Add / AddScalar), so a scorer that
+/// follows this recipe is bit-identical to PredictPairs.
 /// For factorization models these are the parameter tables themselves;
 /// for the GNNs they are the *final* embeddings after the forward pass
 /// (the graph convolutions are baked in at export time). The Tensors may

@@ -8,6 +8,7 @@
 
 #include "data/dataset.h"
 #include "recsys/rating_model.h"
+#include "tensor/simd.h"
 #include "util/logging.h"
 
 namespace msopds {
@@ -62,10 +63,11 @@ struct SnapshotOptions {
 /// mutated, so concurrent readers need no synchronization beyond the
 /// pointer hand-off (serve/engine.h).
 ///
-/// Scoring follows the ServingParams recipe exactly — dot product summed
-/// left-to-right over the latent dimension, then `+ user_bias`,
-/// `+ item_bias` (each skipped when the model has none), then `+ offset`
-/// — which makes Score() bit-identical to the model's PredictPairs.
+/// Scoring follows the ServingParams recipe exactly — simd::Dot over the
+/// latent dimension (the same fixed 4-lane reduction PairDot's RowSum
+/// uses offline, DESIGN.md §14), then `+ user_bias`, `+ item_bias` (each
+/// skipped when the model has none), then `+ offset` — which makes
+/// Score() bit-identical to the model's PredictPairs.
 class ModelSnapshot {
  public:
   /// Exports `model` against `dataset` (which provides the seen-item CSR;
@@ -115,8 +117,7 @@ class ModelSnapshot {
   /// keeps the row pointer across an item tile.
   double ScoreRow(const double* user_row, int64_t user, int64_t item) const {
     const double* item_row = ItemRow(item);
-    double s = 0.0;
-    for (int64_t j = 0; j < dim_; ++j) s += user_row[j] * item_row[j];
+    double s = simd::Dot(user_row, item_row, dim_);
     if (!user_bias_.empty()) s += user_bias_[static_cast<size_t>(user)];
     if (!item_bias_.empty()) s += item_bias_[static_cast<size_t>(item)];
     return s + offset_;

@@ -1,0 +1,425 @@
+#include "tensor/compile.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "tensor/verify.h"
+#include "util/logging.h"
+
+namespace msopds {
+namespace {
+
+// Free-event sentinel for buffers that escaped the recording scope.
+constexpr int64_t kLiveToEnd = std::numeric_limits<int64_t>::max();
+
+// Slab offsets are 8-double (64-byte) aligned so planned buffers start on
+// cache-line boundaries, like the arena's size-class blocks.
+constexpr int64_t kAlignDoubles = 8;
+
+int64_t AlignedSize(int64_t size) {
+  return (size + kAlignDoubles - 1) / kAlignDoubles * kAlignDoubles;
+}
+
+// Installs an allocation hook for the current scope and restores the
+// previous one (bumping the epoch both ways, so storages created under
+// this installation never call a stale hook).
+class ScopedAllocHook {
+ public:
+  explicit ScopedAllocHook(TensorStorage::AllocHook* hook)
+      : previous_(TensorStorage::SetThreadAllocHook(hook)) {}
+  ~ScopedAllocHook() { TensorStorage::SetThreadAllocHook(previous_); }
+  ScopedAllocHook(const ScopedAllocHook&) = delete;
+  ScopedAllocHook& operator=(const ScopedAllocHook&) = delete;
+
+ private:
+  TensorStorage::AllocHook* previous_;
+};
+
+// Ops whose kernels are pure same-shape elementwise maps — the fusion
+// planner may chain these (tensor/simd.h implements their inner loops).
+bool IsElementwiseOp(const std::string& op) {
+  static const std::set<std::string> kElementwise = {
+      "Add", "Sub",       "Mul",       "Div", "Neg", "ScalarMul",
+      "AddScalar", "Exp", "Log", "Sqrt", "Where"};
+  return kElementwise.count(op) > 0;
+}
+
+}  // namespace
+
+// Recording hook: assigns slot ids in creation order and stamps each
+// slot's [alloc, free) position on one global event timeline.
+class TapeRecorder : public TensorStorage::AllocHook {
+ public:
+  explicit TapeRecorder(CompiledTape* tape) : tape_(tape) {}
+
+  double* OnCreate(int64_t size, int64_t* slot,
+                   std::shared_ptr<void>* keepalive) override {
+    (void)keepalive;
+    *slot = static_cast<int64_t>(tape_->slots_.size());
+    tape_->slots_.push_back({size, next_event_++, kLiveToEnd, 0});
+    return nullptr;  // record only; the arena still serves the buffer
+  }
+
+  void OnDestroy(int64_t slot) override {
+    tape_->slots_[static_cast<size_t>(slot)].free_event = next_event_++;
+  }
+
+ private:
+  CompiledTape* tape_;
+  int64_t next_event_ = 0;
+};
+
+// Replay hook: serves allocation i of the run at the planned offset of
+// slot i. Any departure from the recorded sequence (count or size)
+// permanently downgrades the rest of the run to the arena.
+class TapeReplayer : public TensorStorage::AllocHook {
+ public:
+  explicit TapeReplayer(CompiledTape* tape) : tape_(tape) {}
+
+  double* OnCreate(int64_t size, int64_t* slot,
+                   std::shared_ptr<void>* keepalive) override {
+    (void)slot;
+    if (diverged_) return nullptr;
+    if (cursor_ >= tape_->slots_.size() ||
+        tape_->slots_[cursor_].size != size) {
+      diverged_ = true;
+      ++tape_->stats_.replay_fallbacks;
+      return nullptr;
+    }
+    const CompiledTape::Slot& s = tape_->slots_[cursor_++];
+    *keepalive = tape_->slab_;
+    return tape_->slab_->data() + s.offset;
+  }
+
+  void OnDestroy(int64_t slot) override { (void)slot; }
+
+ private:
+  CompiledTape* tape_;
+  size_t cursor_ = 0;
+  bool diverged_ = false;
+};
+
+std::shared_ptr<CompiledTape> CompiledTape::Compile(const BuildFn& build) {
+  auto tape = std::shared_ptr<CompiledTape>(new CompiledTape());
+  TapeRecorder recorder(tape.get());
+  {
+    ScopedAllocHook install(&recorder);
+    Variable root = build();
+    tape->HarvestGraph(root);
+    // `root` dies here, still inside the recording scope, so the frees of
+    // every interior tape buffer are captured — that is what gives the
+    // planner lifetimes to overlap. Results the builder moved out through
+    // captures miss their free event instead and stay live to the end.
+  }
+  tape->PlanOffsets();
+  tape->PlanFusion();
+  return tape;
+}
+
+Variable CompiledTape::Replay(const BuildFn& build) {
+  EnsureSlab();
+  TapeReplayer replayer(this);
+  Variable root;
+  {
+    ScopedAllocHook install(&replayer);
+    root = build();
+  }
+  ++stats_.replays;
+  return root;
+}
+
+void CompiledTape::HarvestGraph(const Variable& root) {
+  if (!root.defined()) return;
+  std::vector<const internal::Node*> stack = {root.node().get()};
+  std::unordered_set<const internal::Node*> visited = {stack[0]};
+  std::vector<const internal::Node*> ops;
+  while (!stack.empty()) {
+    const internal::Node* node = stack.back();
+    stack.pop_back();
+    if (!node->inputs.empty()) ops.push_back(node);
+    for (const Variable& input : node->inputs) {
+      const internal::Node* in = input.node().get();
+      if (in != nullptr && visited.insert(in).second) stack.push_back(in);
+    }
+  }
+  // seq order is creation order, which is a topological execution order.
+  std::sort(ops.begin(), ops.end(),
+            [](const internal::Node* a, const internal::Node* b) {
+              return a->seq < b->seq;
+            });
+  schedule_.reserve(ops.size());
+  for (const internal::Node* node : ops) {
+    NodeInfo info;
+    info.op = node->op_name;
+    info.seq = node->seq;
+    info.shape = node->value.shape();
+    info.input_seqs.reserve(node->inputs.size());
+    info.input_shapes.reserve(node->inputs.size());
+    for (const Variable& input : node->inputs) {
+      info.input_seqs.push_back(input.node()->seq);
+      info.input_shapes.push_back(input.value().shape());
+    }
+    schedule_.push_back(std::move(info));
+  }
+  stats_.ops = static_cast<int64_t>(schedule_.size());
+}
+
+void CompiledTape::PlanOffsets() {
+  stats_.allocations = static_cast<int64_t>(slots_.size());
+  struct Event {
+    int64_t time = 0;
+    bool is_alloc = false;
+    size_t slot = 0;
+  };
+  std::vector<Event> events;
+  events.reserve(2 * slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    stats_.naive_doubles += AlignedSize(slots_[i].size);
+    events.push_back({slots_[i].alloc_event, true, i});
+    if (slots_[i].free_event != kLiveToEnd) {
+      events.push_back({slots_[i].free_event, false, i});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+
+  // First-fit over a coalescing interval free list; allocations that fit
+  // no hole extend the slab's high-water mark.
+  std::map<int64_t, int64_t> free_list;  // offset -> length
+  int64_t high_water = 0;
+  int64_t live = 0;
+  for (const Event& event : events) {
+    Slot& slot = slots_[event.slot];
+    const int64_t need = AlignedSize(slot.size);
+    if (event.is_alloc) {
+      if (need == 0) {
+        slot.offset = 0;
+        continue;
+      }
+      int64_t offset = -1;
+      for (auto it = free_list.begin(); it != free_list.end(); ++it) {
+        if (it->second < need) continue;
+        offset = it->first;
+        const int64_t remaining = it->second - need;
+        free_list.erase(it);
+        if (remaining > 0) free_list.emplace(offset + need, remaining);
+        break;
+      }
+      if (offset < 0) {
+        offset = high_water;
+        high_water += need;
+      }
+      slot.offset = offset;
+      live += need;
+      stats_.peak_live_doubles = std::max(stats_.peak_live_doubles, live);
+    } else {
+      if (need == 0) continue;
+      live -= need;
+      auto [it, inserted] = free_list.emplace(slot.offset, need);
+      MSOPDS_CHECK(inserted) << "double free in recorded tape timeline";
+      auto next = std::next(it);
+      if (next != free_list.end() && it->first + it->second == next->first) {
+        it->second += next->second;
+        free_list.erase(next);
+      }
+      if (it != free_list.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+          prev->second += it->second;
+          free_list.erase(it);
+        }
+      }
+    }
+  }
+  stats_.slab_doubles = high_water;
+}
+
+void CompiledTape::PlanFusion() {
+  if (schedule_.empty()) return;
+  std::unordered_map<uint64_t, size_t> index_of;
+  index_of.reserve(schedule_.size());
+  for (size_t i = 0; i < schedule_.size(); ++i) {
+    index_of.emplace(schedule_[i].seq, i);
+  }
+  // Consumer counts within the harvested graph, and each node's sole
+  // consumer when it has exactly one.
+  std::unordered_map<uint64_t, int> consumers;
+  std::unordered_map<uint64_t, uint64_t> sole_consumer;
+  for (const NodeInfo& info : schedule_) {
+    for (uint64_t in : info.input_seqs) {
+      sole_consumer[in] = info.seq;
+      ++consumers[in];
+    }
+  }
+  // A chain edge runs producer -> consumer when both are same-shape
+  // elementwise ops and the producer has no other consumer (its buffer
+  // is dead the moment the consumer runs — the fusable case).
+  std::unordered_map<uint64_t, uint64_t> chain_next;
+  std::unordered_set<uint64_t> has_incoming;
+  for (const NodeInfo& info : schedule_) {
+    if (!IsElementwiseOp(info.op)) continue;
+    auto count_it = consumers.find(info.seq);
+    if (count_it == consumers.end() || count_it->second != 1) continue;
+    auto next_it = index_of.find(sole_consumer[info.seq]);
+    if (next_it == index_of.end()) continue;
+    const NodeInfo& next = schedule_[next_it->second];
+    if (!IsElementwiseOp(next.op) || next.shape != info.shape) continue;
+    chain_next.emplace(info.seq, next.seq);
+    has_incoming.insert(next.seq);
+  }
+  // Walk maximal chains from their heads, in schedule order.
+  for (const NodeInfo& info : schedule_) {
+    if (chain_next.count(info.seq) == 0 || has_incoming.count(info.seq) > 0) {
+      continue;
+    }
+    std::vector<uint64_t> chain = {info.seq};
+    uint64_t current = info.seq;
+    for (auto it = chain_next.find(current); it != chain_next.end();
+         it = chain_next.find(current)) {
+      current = it->second;
+      chain.push_back(current);
+    }
+    stats_.fused_ops += static_cast<int64_t>(chain.size());
+    ++stats_.fusion_chains;
+    fusion_chains_.push_back(std::move(chain));
+  }
+}
+
+void CompiledTape::EnsureSlab() {
+  if (slab_ != nullptr) return;
+  slab_ = std::make_shared<std::vector<double>>(
+      static_cast<size_t>(std::max<int64_t>(stats_.slab_doubles, 1)));
+}
+
+Status CompiledTape::Validate() const {
+  // Planned offsets: any two buffers whose slab address ranges intersect
+  // must have disjoint [alloc, free) lifetimes. Sweep in offset order,
+  // keeping the set of ranges still open at the current offset.
+  std::vector<size_t> by_offset;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].size > 0) by_offset.push_back(i);
+  }
+  std::sort(by_offset.begin(), by_offset.end(), [this](size_t a, size_t b) {
+    return slots_[a].offset < slots_[b].offset;
+  });
+  std::vector<size_t> open;
+  for (size_t bi : by_offset) {
+    const Slot& b = slots_[bi];
+    std::vector<size_t> still_open;
+    for (size_t ai : open) {
+      const Slot& a = slots_[ai];
+      if (a.offset + AlignedSize(a.size) <= b.offset) continue;
+      still_open.push_back(ai);
+      const bool disjoint_lifetimes =
+          a.free_event <= b.alloc_event || b.free_event <= a.alloc_event;
+      if (!disjoint_lifetimes) {
+        return Status::Internal(
+            "planned offsets alias two live buffers: slot " +
+            std::to_string(ai) + " [offset " + std::to_string(a.offset) +
+            ", " + std::to_string(a.size) + " doubles) overlaps slot " +
+            std::to_string(bi) + " [offset " + std::to_string(b.offset) +
+            ", " + std::to_string(b.size) + " doubles)");
+      }
+    }
+    still_open.push_back(bi);
+    open = std::move(still_open);
+  }
+
+  // The schedule must be a valid topological execution order.
+  std::set<uint64_t> scheduled;
+  uint64_t previous_seq = 0;
+  for (size_t i = 0; i < schedule_.size(); ++i) {
+    const NodeInfo& info = schedule_[i];
+    if (i > 0 && info.seq <= previous_seq) {
+      return Status::Internal("schedule not in ascending seq order at op " +
+                              info.op);
+    }
+    previous_seq = info.seq;
+    scheduled.insert(info.seq);
+    for (uint64_t in : info.input_seqs) {
+      if (in >= info.seq) {
+        return Status::Internal("op " + info.op +
+                                " consumes a node recorded after it");
+      }
+    }
+  }
+
+  // Every scheduled op must re-pass its registry shape inference on the
+  // shapes captured at record time.
+  for (const NodeInfo& info : schedule_) {
+    const OpSpec* spec = FindOpSpec(info.op);
+    if (spec == nullptr || !spec->infer) continue;  // verifier warns on these
+    if (static_cast<size_t>(spec->arity) != info.input_shapes.size()) {
+      return Status::Internal("op " + info.op + " recorded " +
+                              std::to_string(info.input_shapes.size()) +
+                              " inputs, registry arity is " +
+                              std::to_string(spec->arity));
+    }
+    std::vector<Tensor> inputs;
+    inputs.reserve(info.input_shapes.size());
+    for (const std::vector<int64_t>& shape : info.input_shapes) {
+      inputs.push_back(Tensor::Zeros(shape));
+    }
+    std::vector<const Tensor*> pointers;
+    pointers.reserve(inputs.size());
+    for (const Tensor& t : inputs) pointers.push_back(&t);
+    const Status inferred = spec->infer(pointers, Tensor::Zeros(info.shape));
+    if (!inferred.ok()) {
+      return Status::Internal("captured shapes of op " + info.op +
+                              " fail registry inference: " +
+                              inferred.message());
+    }
+  }
+
+  // Fusion chains: length >= 2, members scheduled, consecutive members
+  // connected producer -> consumer, all elementwise over one shape.
+  for (const std::vector<uint64_t>& chain : fusion_chains_) {
+    if (chain.size() < 2) {
+      return Status::Internal("fusion chain of length " +
+                              std::to_string(chain.size()));
+    }
+    const NodeInfo* previous = nullptr;
+    for (uint64_t seq : chain) {
+      if (scheduled.count(seq) == 0) {
+        return Status::Internal("fusion chain references unscheduled node");
+      }
+      const NodeInfo* info = nullptr;
+      for (const NodeInfo& candidate : schedule_) {
+        if (candidate.seq == seq) {
+          info = &candidate;
+          break;
+        }
+      }
+      MSOPDS_CHECK(info != nullptr);
+      if (!IsElementwiseOp(info->op)) {
+        return Status::Internal("fusion chain contains non-elementwise op " +
+                                info->op);
+      }
+      if (previous != nullptr) {
+        if (info->shape != previous->shape) {
+          return Status::Internal("fusion chain changes shape at op " +
+                                  info->op);
+        }
+        const bool consumes = std::find(info->input_seqs.begin(),
+                                        info->input_seqs.end(),
+                                        previous->seq) != info->input_seqs.end();
+        if (!consumes) {
+          return Status::Internal("fusion chain breaks producer-consumer "
+                                  "order at op " +
+                                  info->op);
+        }
+      }
+      previous = info;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace msopds

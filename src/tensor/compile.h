@@ -1,0 +1,150 @@
+#ifndef MSOPDS_TENSOR_COMPILE_H_
+#define MSOPDS_TENSOR_COMPILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/variable.h"
+#include "util/status.h"
+
+namespace msopds {
+
+/// Accounting for one compiled tape (see CompiledTape).
+struct TapeStats {
+  /// Allocation events captured during the recording run.
+  int64_t allocations = 0;
+  /// Doubles in the planned slab (after liveness-based offset reuse and
+  /// 8-double alignment padding).
+  int64_t slab_doubles = 0;
+  /// Doubles the same tape costs with no reuse (sum of aligned sizes) —
+  /// the denominator of the reuse ratio.
+  int64_t naive_doubles = 0;
+  /// Maximum doubles simultaneously live during the recording, a lower
+  /// bound on any offset plan. slab_doubles between this and
+  /// naive_doubles measures the first-fit planner's packing quality.
+  int64_t peak_live_doubles = 0;
+  /// Recorded (non-leaf) graph nodes harvested into the schedule.
+  int64_t ops = 0;
+  /// Maximal single-consumer chains of same-shape elementwise ops found
+  /// in the schedule, and the ops they cover. A chain's intermediates
+  /// are producer-consumer pairs the planner can overlap in the slab and
+  /// a fused executor could keep in registers.
+  int64_t fusion_chains = 0;
+  int64_t fused_ops = 0;
+  /// Replay runs completed, and how many of them diverged from the
+  /// recorded allocation sequence and fell back to the arena mid-run.
+  int64_t replays = 0;
+  int64_t replay_fallbacks = 0;
+};
+
+/// Ahead-of-time compilation of a tensor tape (DESIGN.md §14).
+///
+/// Training loops rebuild the *same* graph every iteration: identical op
+/// sequence, identical shapes, only the leaf values change. Compile()
+/// runs the builder once under a recording allocation hook
+/// (TensorStorage::AllocHook), captures the full allocation/free
+/// timeline plus a lightweight schedule of the recorded graph, and plans
+/// a single slab in which every temporary gets a fixed offset —
+/// first-fit over the captured lifetimes, so buffers that were never
+/// simultaneously live share addresses. Replay() then re-runs the
+/// builder with every allocation served at its planned offset: no arena
+/// traffic, no size-class rounding, perfect reuse, same values.
+///
+/// Determinism: replay changes only *where* buffers live, never what is
+/// computed or in what order, so replayed results are bit-identical to
+/// the eager run at any thread count (asserted by tests/tensor/
+/// compile_test.cc over full TrainModel and PDS attack steps).
+///
+/// Divergence: if a replay's allocation sequence departs from the
+/// recording (a data-dependent branch — e.g. a trainer health rollback —
+/// changed the graph), the replay permanently falls back to the arena
+/// for the rest of that run and counts a replay_fallback. Results are
+/// still correct; only the planned-reuse benefit is lost for that run.
+///
+/// Escape: tensors that outlive the builder (results moved out through
+/// captures, or the returned root) miss their free event, so the planner
+/// conservatively keeps them live to the end of the tape — they get
+/// dedicated slab space that is never reused. Each replayed tensor holds
+/// a reference to the slab, which therefore outlives anything that
+/// escapes; but note a later Replay() overwrites those buffers in place.
+/// Callers that keep results across replays must Clone() them out first
+/// (PdsSurrogate does).
+///
+/// Threading: the hook is thread-local and kernels never allocate inside
+/// parallel regions (DESIGN.md §9), so worker-thread activity bypasses
+/// the hook by construction. Compile/Replay must be called from one
+/// thread at a time per tape.
+class CompiledTape {
+ public:
+  /// Builds one iteration of the tape and returns its root (or an
+  /// undefined Variable when the iteration's results escape through
+  /// captures — the schedule is then not harvested, only the
+  /// allocation plan).
+  using BuildFn = std::function<Variable()>;
+
+  /// One harvested graph node, in execution (seq) order.
+  struct NodeInfo {
+    std::string op;
+    uint64_t seq = 0;
+    std::vector<uint64_t> input_seqs;
+    std::vector<int64_t> shape;
+    std::vector<std::vector<int64_t>> input_shapes;
+  };
+
+  /// Runs `build` eagerly under the recording hook (its side effects —
+  /// captured results — are those of a normal eager run, bit-exact) and
+  /// plans offsets + schedule from the capture.
+  static std::shared_ptr<CompiledTape> Compile(const BuildFn& build);
+
+  /// Re-runs `build` with allocations served from the planned slab.
+  /// Returns the new root.
+  Variable Replay(const BuildFn& build);
+
+  /// Dry-run validation of the plan, for tools/verify_graph
+  /// --compile-only: planned offsets of lifetime-overlapping buffers
+  /// must not alias, the schedule must be a valid topological order,
+  /// every scheduled op must re-pass its registry shape inference on the
+  /// captured shapes, and fusion chains must be well-formed.
+  Status Validate() const;
+
+  const TapeStats& stats() const { return stats_; }
+  const std::vector<NodeInfo>& schedule() const { return schedule_; }
+  /// Seq lists of the fused elementwise runs, each of length >= 2.
+  const std::vector<std::vector<uint64_t>>& fusion_chains() const {
+    return fusion_chains_;
+  }
+
+ private:
+  friend class TapeRecorder;
+  friend class TapeReplayer;
+
+  /// One recorded allocation: its size and [alloc, free) position in the
+  /// event timeline (free == INT64_MAX when the buffer escaped the
+  /// recording scope). `offset` is assigned by the planner.
+  struct Slot {
+    int64_t size = 0;
+    int64_t alloc_event = 0;
+    int64_t free_event = 0;
+    int64_t offset = 0;
+  };
+
+  CompiledTape() = default;
+
+  void HarvestGraph(const Variable& root);
+  void PlanOffsets();
+  void PlanFusion();
+  void EnsureSlab();
+
+  std::vector<Slot> slots_;
+  std::vector<NodeInfo> schedule_;
+  std::vector<std::vector<uint64_t>> fusion_chains_;
+  std::shared_ptr<std::vector<double>> slab_;
+  TapeStats stats_;
+};
+
+}  // namespace msopds
+
+#endif  // MSOPDS_TENSOR_COMPILE_H_

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "tensor/simd.h"
 #include "tensor/verify.h"
 #include "util/logging.h"
 
@@ -48,10 +49,7 @@ struct Accum {
 void AddInPlace(Tensor* acc, const Tensor& g) {
   MSOPDS_CHECK(acc->SameShape(g));
   if (!acc->sole_buffer_owner()) *acc = acc->Clone();
-  double* a = acc->data();
-  const double* b = g.data();
-  const int64_t n = acc->size();
-  for (int64_t i = 0; i < n; ++i) a[i] += b[i];
+  simd::AddInPlace(acc->data(), g.data(), acc->size());
 }
 
 struct BackwardOutputs {

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "tensor/simd.h"
 #include "tensor/verify.h"
 #include "util/logging.h"
 #include "util/status.h"
@@ -49,6 +50,21 @@ Tensor UnaryKernel(const Tensor& input, Fn&& fn) {
   ParallelChunks(out.size(), kElementGrain,
                  [po, &fn](int64_t begin, int64_t end) {
                    for (int64_t i = begin; i < end; ++i) po[i] = fn(po[i]);
+                 });
+  return out;
+}
+
+// Span-at-a-time unary kernel: `fn(in, out, n)` maps a contiguous chunk
+// through one of the simd.h primitives. Same chunk grid as UnaryKernel,
+// without the Clone's redundant copy of the input values.
+template <typename Fn>
+Tensor SpanKernel(const Tensor& input, Fn&& fn) {
+  Tensor out(input.shape());
+  const double* pa = input.data();
+  double* po = out.data();
+  ParallelChunks(out.size(), kElementGrain,
+                 [pa, po, &fn](int64_t begin, int64_t end) {
+                   fn(pa + begin, po + begin, end - begin);
                  });
   return out;
 }
@@ -142,6 +158,29 @@ Tensor EvalBinary(BinaryKind kind, const Tensor& a, const Tensor& b) {
   const double* pa = a.data();
   const double* pb = b.data();
   double* po = out.data();
+  // Same-shape operands take the vectorized elementwise primitives
+  // (bit-exact vs the scalar loop, DESIGN.md §14); the rarer
+  // scalar-broadcast forms keep the reference loop below.
+  if (!a_scalar && !b_scalar) {
+    ParallelChunks(n, kElementGrain, [&](int64_t begin, int64_t end) {
+      const int64_t len = end - begin;
+      switch (kind) {
+        case BinaryKind::kAdd:
+          simd::Add(pa + begin, pb + begin, po + begin, len);
+          break;
+        case BinaryKind::kSub:
+          simd::Sub(pa + begin, pb + begin, po + begin, len);
+          break;
+        case BinaryKind::kMul:
+          simd::Mul(pa + begin, pb + begin, po + begin, len);
+          break;
+        case BinaryKind::kDiv:
+          simd::Div(pa + begin, pb + begin, po + begin, len);
+          break;
+      }
+    });
+    return out;
+  }
   ParallelChunks(n, kElementGrain, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       const double x = a_scalar ? pa[0] : pa[i];
@@ -211,7 +250,10 @@ Variable Div(const Variable& a, const Variable& b) {
 }
 
 Variable Neg(const Variable& a) {
-  Tensor out = UnaryKernel(a.value(), [](double x) { return -x; });
+  Tensor out = SpanKernel(a.value(),
+                          [](const double* in, double* po, int64_t n) {
+                            simd::Neg(in, po, n);
+                          });
   return MakeOp("Neg", std::move(out), {a},
                 [](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{Neg(g)};
@@ -219,7 +261,10 @@ Variable Neg(const Variable& a) {
 }
 
 Variable ScalarMul(const Variable& a, double c) {
-  Tensor out = UnaryKernel(a.value(), [c](double x) { return x * c; });
+  Tensor out = SpanKernel(a.value(),
+                          [c](const double* in, double* po, int64_t n) {
+                            simd::Scale(in, c, po, n);
+                          });
   return MakeOp("ScalarMul", std::move(out), {a},
                 [c](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{ScalarMul(g, c)};
@@ -227,7 +272,10 @@ Variable ScalarMul(const Variable& a, double c) {
 }
 
 Variable AddScalar(const Variable& a, double c) {
-  Tensor out = UnaryKernel(a.value(), [c](double x) { return x + c; });
+  Tensor out = SpanKernel(a.value(),
+                          [c](const double* in, double* po, int64_t n) {
+                            simd::Offset(in, c, po, n);
+                          });
   return MakeOp("AddScalar", std::move(out), {a},
                 [](const Variable& g, const std::vector<Variable>&) {
                   return std::vector<Variable>{g};
@@ -252,7 +300,12 @@ Variable Log(const Variable& a) {
 }
 
 Variable Sqrt(const Variable& a) {
-  Tensor out = UnaryKernel(a.value(), [](double x) { return std::sqrt(x); });
+  // IEEE sqrt is correctly rounded in every backend, so the vector path
+  // stays bit-exact; Exp/Log above stay on scalar libm (§14).
+  Tensor out = SpanKernel(a.value(),
+                          [](const double* in, double* po, int64_t n) {
+                            simd::Sqrt(in, po, n);
+                          });
   return MakeOp("Sqrt", std::move(out), {a},
                 [](const Variable& g, const std::vector<Variable>& in) {
                   return std::vector<Variable>{
@@ -327,7 +380,11 @@ Variable MatMul(const Variable& a, const Variable& b) {
   // of the chunk consumes it. k-blocks advance in order, so each output
   // element accumulates over kk in strictly increasing order — the exact
   // serial order, at any thread count. Output rows are chunk-disjoint.
-  constexpr int64_t kKBlock = 64;
+  // Contributing k-steps are issued four at a time through simd::Axpy4
+  // (same association as sequential Axpy calls, so bit-exact, but the
+  // output row is loaded/stored once per four steps instead of per
+  // step); stragglers at the block tail flush through plain Axpy.
+  constexpr int64_t kKBlock = 32;
   ThreadPool::Global().ParallelFor(
       n, RowGrain(m), [&](int64_t row_begin, int64_t row_end, int64_t) {
         for (int64_t kb = 0; kb < k; kb += kKBlock) {
@@ -335,20 +392,119 @@ Variable MatMul(const Variable& a, const Variable& b) {
           for (int64_t i = row_begin; i < row_end; ++i) {
             const double* arow = pa + i * k;
             double* orow = po + i * m;
+            double coeff[4];
+            const double* rows[4];
+            int pending = 0;
             for (int64_t kk = kb; kk < kb_end; ++kk) {
               const double aik = arow[kk];
               if (aik == 0.0) continue;
-              const double* brow = pb + kk * m;
-              for (int64_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
+              coeff[pending] = aik;
+              rows[pending] = pb + kk * m;
+              if (++pending == 4) {
+                simd::Axpy4(coeff, rows[0], rows[1], rows[2], rows[3], orow,
+                            m);
+                pending = 0;
+              }
+            }
+            for (int p = 0; p < pending; ++p) {
+              simd::Axpy(coeff[p], rows[p], orow, m);
             }
           }
         }
       });
+  // Transposed-layout kernels read A and B in their original layouts, so
+  // the backward no longer materializes Transpose() copies per grad step.
   return MakeOp("MatMul", std::move(out), {a, b},
                 [](const Variable& g, const std::vector<Variable>& in) {
                   return std::vector<Variable>{
-                      MatMul(g, Transpose(in[1])),
-                      MatMul(Transpose(in[0]), g)};
+                      MatMulNT(g, in[1]),
+                      MatMulTN(in[0], g)};
+                });
+}
+
+Variable MatMulNT(const Variable& a, const Variable& b) {
+  const Tensor& ta = a.value();
+  const Tensor& tb = b.value();
+  MSOPDS_CHECK_EQ(ta.rank(), 2);
+  MSOPDS_CHECK_EQ(tb.rank(), 2);
+  MSOPDS_CHECK_EQ(ta.dim(1), tb.dim(1));
+  const int64_t n = ta.dim(0), k = ta.dim(1), m = tb.dim(0);
+  Tensor out({n, m});
+  const double* pa = ta.data();
+  const double* pb = tb.data();
+  double* po = out.data();
+  // A·Bᵀ with B in its original row-major layout: out[i][j] is the dot of
+  // two contiguous rows. The reduction uses simd::Dot's fixed 4-lane
+  // order (deterministic; ULP-different from a serial sum, see §14).
+  // Output rows are chunk-disjoint as in MatMul.
+  ThreadPool::Global().ParallelFor(
+      n, RowGrain(m), [&](int64_t row_begin, int64_t row_end, int64_t) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          const double* arow = pa + i * k;
+          double* orow = po + i * m;
+          for (int64_t j = 0; j < m; ++j) {
+            orow[j] = simd::Dot(arow, pb + j * k, k);
+          }
+        }
+      });
+  return MakeOp("MatMulNT", std::move(out), {a, b},
+                [](const Variable& g, const std::vector<Variable>& in) {
+                  return std::vector<Variable>{
+                      MatMul(g, in[1]),
+                      MatMulTN(g, in[0])};
+                });
+}
+
+Variable MatMulTN(const Variable& a, const Variable& b) {
+  const Tensor& ta = a.value();
+  const Tensor& tb = b.value();
+  MSOPDS_CHECK_EQ(ta.rank(), 2);
+  MSOPDS_CHECK_EQ(tb.rank(), 2);
+  MSOPDS_CHECK_EQ(ta.dim(0), tb.dim(0));
+  const int64_t k = ta.dim(0), n = ta.dim(1), m = tb.dim(1);
+  Tensor out({n, m});
+  const double* pa = ta.data();
+  const double* pb = tb.data();
+  double* po = out.data();
+  // Aᵀ·B with A in its original layout: out row i accumulates
+  // A[kk][i] * B[kk][:] over kk in strictly increasing order — the same
+  // accumulation order as MatMul on pre-transposed operands, so swapping
+  // the backward to this kernel is bit-exact for this factor. k-blocked
+  // like MatMul so a slab of B stays hot; rows are chunk-disjoint.
+  // Contributing k-steps fuse four at a time via simd::Axpy4 as in
+  // MatMul (bit-exact with sequential Axpy; quarter the orow traffic).
+  constexpr int64_t kKBlock = 32;
+  ThreadPool::Global().ParallelFor(
+      n, RowGrain(m), [&](int64_t row_begin, int64_t row_end, int64_t) {
+        for (int64_t kb = 0; kb < k; kb += kKBlock) {
+          const int64_t kb_end = std::min(kb + kKBlock, k);
+          for (int64_t i = row_begin; i < row_end; ++i) {
+            double* orow = po + i * m;
+            double coeff[4];
+            const double* rows[4];
+            int pending = 0;
+            for (int64_t kk = kb; kk < kb_end; ++kk) {
+              const double aik = pa[kk * n + i];
+              if (aik == 0.0) continue;
+              coeff[pending] = aik;
+              rows[pending] = pb + kk * m;
+              if (++pending == 4) {
+                simd::Axpy4(coeff, rows[0], rows[1], rows[2], rows[3], orow,
+                            m);
+                pending = 0;
+              }
+            }
+            for (int p = 0; p < pending; ++p) {
+              simd::Axpy(coeff[p], rows[p], orow, m);
+            }
+          }
+        }
+      });
+  return MakeOp("MatMulTN", std::move(out), {a, b},
+                [](const Variable& g, const std::vector<Variable>& in) {
+                  return std::vector<Variable>{
+                      MatMulNT(in[1], g),
+                      MatMul(in[0], g)};
                 });
 }
 
@@ -396,10 +552,9 @@ Variable RowSum(const Variable& a) {
   ThreadPool::Global().ParallelFor(
       n, RowGrain(m), [&](int64_t row_begin, int64_t row_end, int64_t) {
         for (int64_t i = row_begin; i < row_end; ++i) {
-          const double* row = pt + i * m;
-          double s = 0.0;
-          for (int64_t j = 0; j < m; ++j) s += row[j];
-          po[i] = s;
+          // Fixed 4-lane reduction (simd.h): deterministic at any thread
+          // count and bit-equal across backends.
+          po[i] = simd::Sum(pt + i * m, m);
         }
       });
   return MakeOp("RowSum", std::move(out), {a},
@@ -623,9 +778,7 @@ Variable ScatterAddRows(const Variable& g, const IndexVec& idx, int64_t rows) {
   ThreadPool::Global().ParallelFor(
       rows, grain, [&](int64_t, int64_t, int64_t chunk) {
         for (const int64_t i : buckets[static_cast<size_t>(chunk)]) {
-          const double* grow = pt + i * d;
-          double* orow = po + dst[i] * d;
-          for (int64_t j = 0; j < d; ++j) orow[j] += grow[j];
+          simd::AddInPlace(po + dst[i] * d, pt + i * d, d);
         }
       });
   return MakeOp("ScatterAddRows", std::move(out), {g},
@@ -700,16 +853,39 @@ Variable SpMM(const IndexVec& dst, const IndexVec& src, const Variable& w,
   double* po = out.data();
   // Row-partitioned destination-bucketed scatter (see ScatterAddRows):
   // each chunk of destination rows applies its edges in edge order.
+  // Runs of consecutive edges into the same destination row fuse four
+  // at a time through simd::Axpy4 — same association as sequential
+  // Axpy calls (bit-exact), but the destination row is loaded/stored
+  // once per four edges. Typical edge lists arrive grouped by
+  // destination, so runs are long.
   const int64_t grain = RowGrain(d);
   const auto buckets = BucketByDestination(dsti, num_dst, grain);
   ThreadPool::Global().ParallelFor(
       num_dst, grain, [&](int64_t, int64_t, int64_t chunk) {
-        for (const int64_t k : buckets[static_cast<size_t>(chunk)]) {
-          const double wk = pw[k];
-          if (wk == 0.0) continue;
-          const double* xrow = px + srci[k] * d;
-          double* orow = po + dsti[k] * d;
-          for (int64_t j = 0; j < d; ++j) orow[j] += wk * xrow[j];
+        const auto& bucket = buckets[static_cast<size_t>(chunk)];
+        const size_t bn = bucket.size();
+        size_t t = 0;
+        while (t < bn) {
+          const int64_t row = dsti[bucket[t]];
+          double* orow = po + row * d;
+          double coeff[4];
+          const double* rows[4];
+          int pending = 0;
+          while (t < bn && dsti[bucket[t]] == row) {
+            const int64_t k = bucket[t];
+            ++t;
+            const double wk = pw[k];
+            if (wk == 0.0) continue;
+            coeff[pending] = wk;
+            rows[pending] = px + srci[k] * d;
+            if (++pending == 4) {
+              simd::Axpy4(coeff, rows[0], rows[1], rows[2], rows[3], orow, d);
+              pending = 0;
+            }
+          }
+          for (int p = 0; p < pending; ++p) {
+            simd::Axpy(coeff[p], rows[p], orow, d);
+          }
         }
       });
   return MakeOp(
@@ -743,16 +919,13 @@ Variable EdgeDot(const Variable& a, const Variable& b, const IndexVec& ai,
   const double* pa = ta.data();
   const double* pb = tb.data();
   double* po = out.data();
-  // Edge-partitioned: each edge owns its output element; the inner dot
-  // product order is untouched, so this is trivially bit-exact.
+  // Edge-partitioned: each edge owns its output element. The per-edge
+  // dot uses simd::Dot's fixed 4-lane order — a pure function of the
+  // edge, so still bit-identical at any thread count.
   ThreadPool::Global().ParallelFor(
       e, RowGrain(d), [&](int64_t edge_begin, int64_t edge_end, int64_t) {
         for (int64_t k = edge_begin; k < edge_end; ++k) {
-          const double* ra = pa + aii[k] * d;
-          const double* rb = pb + bii[k] * d;
-          double s = 0.0;
-          for (int64_t j = 0; j < d; ++j) s += ra[j] * rb[j];
-          po[k] = s;
+          po[k] = simd::Dot(pa + aii[k] * d, pb + bii[k] * d, d);
         }
       });
   return MakeOp(
@@ -1177,6 +1350,46 @@ std::vector<OpSpec> BuildOpRegistry() {
                      },
                      ExA23(), ExM32());
       });
+  add("MatMulNT", 2,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        const Tensor& b = *inputs[1];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 2, "MatMulNT lhs"));
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(b, 2, "MatMulNT rhs"));
+        if (a.dim(1) != b.dim(1) || output.rank() != 2 ||
+            output.dim(0) != a.dim(0) || output.dim(1) != b.dim(0)) {
+          return ShapeError("MatMulNT shapes must chain [n,k]x[m,k]->[n,m]",
+                            inputs, output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case2("SumSq(MatMulNT(a, b))",
+                     [](const Variable& a, const Variable& b) {
+                       return SumSq(MatMulNT(a, b));
+                     },
+                     ExA23(), ExB23());
+      });
+  add("MatMulTN", 2,
+      [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
+        const Tensor& a = *inputs[0];
+        const Tensor& b = *inputs[1];
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(a, 2, "MatMulTN lhs"));
+        MSOPDS_RETURN_IF_ERROR(ExpectRank(b, 2, "MatMulTN rhs"));
+        if (a.dim(0) != b.dim(0) || output.rank() != 2 ||
+            output.dim(0) != a.dim(1) || output.dim(1) != b.dim(1)) {
+          return ShapeError("MatMulTN shapes must chain [k,n]x[k,m]->[n,m]",
+                            inputs, output);
+        }
+        return Status::Ok();
+      },
+      [] {
+        return Case2("SumSq(MatMulTN(a, b))",
+                     [](const Variable& a, const Variable& b) {
+                       return SumSq(MatMulTN(a, b));
+                     },
+                     ExA23(), ExB23(), /*hvp_arg=*/1);
+      });
   add("Transpose", 1,
       [](const std::vector<const Tensor*>& inputs, const Tensor& output) {
         const Tensor& a = *inputs[0];
@@ -1443,7 +1656,8 @@ std::vector<OpSpec> BuildOpRegistry() {
       "Add",        "Sub",       "Mul",        "Div",
       "Neg",        "ScalarMul", "AddScalar",  "Exp",
       "Log",        "Sqrt",      "Reshape",    "Where",
-      "MatMul",     "Transpose", "Sum",        "RowSum",
+      "MatMul",     "MatMulNT",  "MatMulTN",   "Transpose",
+      "Sum",        "RowSum",
       "TileCols",   "ConcatCols","SliceCols",  "PadCols",
       "Concat1",    "Slice1",    "Pad1",       "GatherRows",
       "ScatterAddRows",          "Gather1",    "ScatterAdd1",
@@ -1494,6 +1708,8 @@ std::vector<OpSpec> BuildOpRegistry() {
   // Row-partitioned kernels writing full output rows; examples use an
   // 8-wide output so RowGrain(8) = 512 rows/chunk over 9000 rows.
   plan("MatMul", rows, {{{9000, 16}, {16, 8}}, {9000, 8}});
+  plan("MatMulNT", rows, {{{9000, 16}, {8, 16}}, {9000, 8}});
+  plan("MatMulTN", rows, {{{16, 9000}, {16, 8}}, {9000, 8}});
   plan("Transpose", rows, {{{8, 9000}}, {9000, 8}});
   plan("TileCols", rows, {{{9000}}, {9000, 8}});
   plan("ConcatCols", rows, {{{9000, 3}, {9000, 5}}, {9000, 8}});

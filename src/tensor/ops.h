@@ -54,6 +54,11 @@ Tensor GreaterZeroMask(const Tensor& x);
 // ---------------------------------------------------------------------------
 
 Variable MatMul(const Variable& a, const Variable& b);
+/// A[n,k] · Bᵀ for B[m,k] -> [n,m]; reads B in its original layout
+/// (row-dot kernel), so backward passes never materialize a transpose.
+Variable MatMulNT(const Variable& a, const Variable& b);
+/// Aᵀ · B[k,m] for A[k,n] -> [n,m]; reads A in its original layout.
+Variable MatMulTN(const Variable& a, const Variable& b);
 Variable Transpose(const Variable& a);
 
 /// Sum of all elements -> scalar.

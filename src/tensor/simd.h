@@ -1,0 +1,716 @@
+#ifndef MSOPDS_TENSOR_SIMD_H_
+#define MSOPDS_TENSOR_SIMD_H_
+
+// Vectorized inner-loop primitives for the tensor kernels (DESIGN.md §14).
+//
+// This header is the *only* sanctioned home for raw SIMD intrinsics in the
+// repo (determinism-lint rule 5): every kernel that wants vector code calls
+// one of the primitives below, never an intrinsic directly, so the numeric
+// contract lives in exactly one place.
+//
+// Contract. Every primitive has one semantic definition, shared verbatim by
+// all backends:
+//
+//  * Elementwise maps (Add/Sub/Mul/Div/Scale/Offset/Neg/Sqrt/Axpy/
+//    AddInPlace) perform the same IEEE-754 double operation per element in
+//    every backend. AVX2 mul/add/div/sqrt are IEEE-exact and fused
+//    multiply-add is never emitted (no fmadd intrinsics here; the build
+//    compiles with -ffp-contract=off so the scalar fallback cannot be
+//    contracted either). These primitives are therefore *bit-exact* across
+//    backends and across the MSOPDS_SIMD switch.
+//
+//  * Reductions (Dot/Sum/MaxAbs) use a fixed 4-lane accumulation order:
+//    lane j accumulates elements j, j+4, j+8, ... (the tail of n mod 4
+//    elements lands in lanes 0..r-1), and the four lane partials are folded
+//    as (l0 + l1) + (l2 + l3). The scalar fallback implements the *same*
+//    4-lane schedule with four named accumulators, so reductions are also
+//    bit-exact across backends — but they differ (by normal ULP-level
+//    reassociation) from a naive left-to-right sum. Callers that used to
+//    reduce left-to-right get deterministically different low bits the day
+//    they switch to these primitives; DESIGN.md §14 records which results
+//    changed. Lane order never depends on thread count, so the
+//    bit-identical-across-threads contract (§9) is untouched.
+//
+// Dispatch. The backend is picked once per process:
+//   - compile-time: MSOPDS_SIMD=OFF defines MSOPDS_SIMD_DISABLED and
+//     removes the vector paths entirely (pure scalar build);
+//   - runtime: __builtin_cpu_supports("avx2") gates the x86 path, so a
+//     binary built on an AVX2 machine still runs (scalar) on older CPUs;
+//   - env override: MSOPDS_SIMD=0 in the environment forces the scalar
+//     fallback at startup even in a vector-enabled build — this is how the
+//     parity tests A/B the two paths inside one binary.
+//
+// Vector functions carry per-function target attributes instead of a
+// global -mavx2 so enabling SIMD cannot change code generation (and hence
+// numerics) anywhere outside this header.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+#if !defined(MSOPDS_SIMD_DISABLED) && defined(__GNUC__) && \
+    (defined(__x86_64__) || defined(_M_X64))
+#define MSOPDS_SIMD_X86 1
+#include <immintrin.h>
+#elif !defined(MSOPDS_SIMD_DISABLED) && defined(__GNUC__) && \
+    defined(__aarch64__)
+#define MSOPDS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace msopds {
+namespace simd {
+
+enum class Backend {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+namespace internal {
+
+inline Backend ProbeBackend() {
+  if (const char* env = std::getenv("MSOPDS_SIMD")) {
+    if (env[0] == '0' && env[1] == '\0') return Backend::kScalar;
+  }
+#if defined(MSOPDS_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) return Backend::kAvx2;
+  return Backend::kScalar;
+#elif defined(MSOPDS_SIMD_NEON)
+  return Backend::kNeon;  // Baseline AArch64 always has Advanced SIMD.
+#else
+  return Backend::kScalar;
+#endif
+}
+
+inline Backend& ActiveBackendSlot() {
+  static Backend backend = ProbeBackend();
+  return backend;
+}
+
+}  // namespace internal
+
+/// Backend picked at process start (compile switch, CPUID probe, and the
+/// MSOPDS_SIMD=0 env override). Stable for the process lifetime, except
+/// under the test-only override below.
+inline Backend ActiveBackend() { return internal::ActiveBackendSlot(); }
+
+namespace internal {
+
+/// Test-only A/B switch: forces the dispatch wrappers onto `backend` and
+/// returns the previous choice so parity tests can compare the vector
+/// and scalar paths inside one process. Only kScalar and the probed
+/// backend are safe choices (forcing a vector backend the CPU lacks is
+/// an illegal-instruction crash). Call from single-threaded test code,
+/// never in parallel regions.
+inline Backend SetBackendForTesting(Backend backend) {
+  Backend previous = ActiveBackendSlot();
+  ActiveBackendSlot() = backend;
+  return previous;
+}
+
+}  // namespace internal
+
+inline const char* BackendName() {
+  switch (ActiveBackend()) {
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+    case Backend::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+/// True when a vector backend (not the scalar fallback) is active.
+inline bool VectorActive() { return ActiveBackend() != Backend::kScalar; }
+
+// ---------------------------------------------------------------------------
+// Scalar fallback. The reference semantics: reductions use the same 4-lane
+// schedule as the vector paths, with four named accumulators.
+//
+// Codegen for the reference is pinned to plain scalar instructions. GCC's
+// autovectorizer would otherwise turn these loops into 2-lane SSE code —
+// the bits stay identical (the arithmetic DAG is unchanged), but then
+// "scalar" silently means "whatever the autovectorizer emitted", which
+// varies with -O level and compiler, and the scalar-vs-vector table in
+// BENCH_simd.json stops measuring the hand-written backends against the
+// reference. Only codegen is affected; every parity test passes with or
+// without the pin.
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define MSOPDS_SCALAR_NOVEC \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define MSOPDS_SCALAR_NOVEC
+#endif
+
+namespace scalar {
+
+MSOPDS_SCALAR_NOVEC inline double Dot(const double* a, const double* b, int64_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += a[i] * b[i];
+    l1 += a[i + 1] * b[i + 1];
+    l2 += a[i + 2] * b[i + 2];
+    l3 += a[i + 3] * b[i + 3];
+  }
+  if (i < n) l0 += a[i] * b[i];
+  if (i + 1 < n) l1 += a[i + 1] * b[i + 1];
+  if (i + 2 < n) l2 += a[i + 2] * b[i + 2];
+  return (l0 + l1) + (l2 + l3);
+}
+
+MSOPDS_SCALAR_NOVEC inline double Sum(const double* a, int64_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += a[i];
+    l1 += a[i + 1];
+    l2 += a[i + 2];
+    l3 += a[i + 3];
+  }
+  if (i < n) l0 += a[i];
+  if (i + 1 < n) l1 += a[i + 1];
+  if (i + 2 < n) l2 += a[i + 2];
+  return (l0 + l1) + (l2 + l3);
+}
+
+MSOPDS_SCALAR_NOVEC inline double MaxAbs(const double* a, int64_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 = std::max(l0, std::fabs(a[i]));
+    l1 = std::max(l1, std::fabs(a[i + 1]));
+    l2 = std::max(l2, std::fabs(a[i + 2]));
+    l3 = std::max(l3, std::fabs(a[i + 3]));
+  }
+  if (i < n) l0 = std::max(l0, std::fabs(a[i]));
+  if (i + 1 < n) l1 = std::max(l1, std::fabs(a[i + 1]));
+  if (i + 2 < n) l2 = std::max(l2, std::fabs(a[i + 2]));
+  return std::max(std::max(l0, l1), std::max(l2, l3));
+}
+
+MSOPDS_SCALAR_NOVEC inline void Axpy(double alpha, const double* x, double* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+MSOPDS_SCALAR_NOVEC inline void Axpy4(const double* alpha4, const double* x0,
+                                      const double* x1, const double* x2,
+                                      const double* x3, double* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    y[i] = (((y[i] + alpha4[0] * x0[i]) + alpha4[1] * x1[i]) +
+            alpha4[2] * x2[i]) +
+           alpha4[3] * x3[i];
+  }
+}
+
+MSOPDS_SCALAR_NOVEC inline void AddInPlace(double* y, const double* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+MSOPDS_SCALAR_NOVEC inline void Add(const double* a, const double* b, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+MSOPDS_SCALAR_NOVEC inline void Sub(const double* a, const double* b, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+MSOPDS_SCALAR_NOVEC inline void Mul(const double* a, const double* b, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+MSOPDS_SCALAR_NOVEC inline void Div(const double* a, const double* b, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] / b[i];
+}
+
+MSOPDS_SCALAR_NOVEC inline void Scale(const double* a, double alpha, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] * alpha;
+}
+
+MSOPDS_SCALAR_NOVEC inline void Offset(const double* a, double alpha, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] + alpha;
+}
+
+MSOPDS_SCALAR_NOVEC inline void Neg(const double* a, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = -a[i];
+}
+
+MSOPDS_SCALAR_NOVEC inline void Sqrt(const double* a, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = std::sqrt(a[i]);
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// AVX2 backend (x86-64). Per-function target attributes; never fmadd.
+// ---------------------------------------------------------------------------
+
+#if defined(MSOPDS_SIMD_X86)
+
+namespace avx2 {
+
+__attribute__((target("avx2"))) inline double Dot(const double* a,
+                                                  const double* b, int64_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a + i);
+    const __m256d vb = _mm256_loadu_pd(b + i);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  if (i < n) lanes[0] += a[i] * b[i];
+  if (i + 1 < n) lanes[1] += a[i + 1] * b[i + 1];
+  if (i + 2 < n) lanes[2] += a[i + 2] * b[i + 2];
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+__attribute__((target("avx2"))) inline double Sum(const double* a, int64_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(a + i));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  if (i < n) lanes[0] += a[i];
+  if (i + 1 < n) lanes[1] += a[i + 1];
+  if (i + 2 < n) lanes[2] += a[i + 2];
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+__attribute__((target("avx2"))) inline double MaxAbs(const double* a,
+                                                     int64_t n) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  __m256d acc = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_max_pd(acc, _mm256_andnot_pd(sign, _mm256_loadu_pd(a + i)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  if (i < n) lanes[0] = std::max(lanes[0], std::fabs(a[i]));
+  if (i + 1 < n) lanes[1] = std::max(lanes[1], std::fabs(a[i + 1]));
+  if (i + 2 < n) lanes[2] = std::max(lanes[2], std::fabs(a[i + 2]));
+  return std::max(std::max(lanes[0], lanes[1]),
+                  std::max(lanes[2], lanes[3]));
+}
+
+__attribute__((target("avx2"))) inline void Axpy(double alpha, const double* x,
+                                                 double* y, int64_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(vy, _mm256_mul_pd(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2"))) inline void Axpy4(
+    const double* alpha4, const double* x0, const double* x1, const double* x2,
+    const double* x3, double* y, int64_t n) {
+  const __m256d va0 = _mm256_set1_pd(alpha4[0]);
+  const __m256d va1 = _mm256_set1_pd(alpha4[1]);
+  const __m256d va2 = _mm256_set1_pd(alpha4[2]);
+  const __m256d va3 = _mm256_set1_pd(alpha4[3]);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d vy = _mm256_loadu_pd(y + i);
+    vy = _mm256_add_pd(vy, _mm256_mul_pd(va0, _mm256_loadu_pd(x0 + i)));
+    vy = _mm256_add_pd(vy, _mm256_mul_pd(va1, _mm256_loadu_pd(x1 + i)));
+    vy = _mm256_add_pd(vy, _mm256_mul_pd(va2, _mm256_loadu_pd(x2 + i)));
+    vy = _mm256_add_pd(vy, _mm256_mul_pd(va3, _mm256_loadu_pd(x3 + i)));
+    _mm256_storeu_pd(y + i, vy);
+  }
+  for (; i < n; ++i) {
+    y[i] = (((y[i] + alpha4[0] * x0[i]) + alpha4[1] * x1[i]) +
+            alpha4[2] * x2[i]) +
+           alpha4[3] * x3[i];
+  }
+}
+
+__attribute__((target("avx2"))) inline void AddInPlace(double* y,
+                                                       const double* x,
+                                                       int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+__attribute__((target("avx2"))) inline void Add(const double* a,
+                                                const double* b, double* out,
+                                                int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_add_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+__attribute__((target("avx2"))) inline void Sub(const double* a,
+                                                const double* b, double* out,
+                                                int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+__attribute__((target("avx2"))) inline void Mul(const double* a,
+                                                const double* b, double* out,
+                                                int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+__attribute__((target("avx2"))) inline void Div(const double* a,
+                                                const double* b, double* out,
+                                                int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_div_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] / b[i];
+}
+
+__attribute__((target("avx2"))) inline void Scale(const double* a, double alpha,
+                                                  double* out, int64_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(_mm256_loadu_pd(a + i), va));
+  }
+  for (; i < n; ++i) out[i] = a[i] * alpha;
+}
+
+__attribute__((target("avx2"))) inline void Offset(const double* a,
+                                                   double alpha, double* out,
+                                                   int64_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(a + i), va));
+  }
+  for (; i < n; ++i) out[i] = a[i] + alpha;
+}
+
+__attribute__((target("avx2"))) inline void Neg(const double* a, double* out,
+                                                int64_t n) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_xor_pd(_mm256_loadu_pd(a + i), sign));
+  }
+  for (; i < n; ++i) out[i] = -a[i];
+}
+
+__attribute__((target("avx2"))) inline void Sqrt(const double* a, double* out,
+                                                 int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_sqrt_pd(_mm256_loadu_pd(a + i)));
+  }
+  for (; i < n; ++i) out[i] = std::sqrt(a[i]);
+}
+
+}  // namespace avx2
+
+#endif  // MSOPDS_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON backend (AArch64). Two 128-bit registers emulate the 4-lane schedule
+// (lanes {0,1} and {2,3}); never vfma.
+// ---------------------------------------------------------------------------
+
+#if defined(MSOPDS_SIMD_NEON)
+
+namespace neon {
+
+inline double Dot(const double* a, const double* b, int64_t n) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = vaddq_f64(acc01, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+    acc23 = vaddq_f64(acc23,
+                      vmulq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2)));
+  }
+  double lanes[4] = {vgetq_lane_f64(acc01, 0), vgetq_lane_f64(acc01, 1),
+                     vgetq_lane_f64(acc23, 0), vgetq_lane_f64(acc23, 1)};
+  if (i < n) lanes[0] += a[i] * b[i];
+  if (i + 1 < n) lanes[1] += a[i + 1] * b[i + 1];
+  if (i + 2 < n) lanes[2] += a[i + 2] * b[i + 2];
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+inline double Sum(const double* a, int64_t n) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = vaddq_f64(acc01, vld1q_f64(a + i));
+    acc23 = vaddq_f64(acc23, vld1q_f64(a + i + 2));
+  }
+  double lanes[4] = {vgetq_lane_f64(acc01, 0), vgetq_lane_f64(acc01, 1),
+                     vgetq_lane_f64(acc23, 0), vgetq_lane_f64(acc23, 1)};
+  if (i < n) lanes[0] += a[i];
+  if (i + 1 < n) lanes[1] += a[i + 1];
+  if (i + 2 < n) lanes[2] += a[i + 2];
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+inline double MaxAbs(const double* a, int64_t n) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = vmaxq_f64(acc01, vabsq_f64(vld1q_f64(a + i)));
+    acc23 = vmaxq_f64(acc23, vabsq_f64(vld1q_f64(a + i + 2)));
+  }
+  double lanes[4] = {vgetq_lane_f64(acc01, 0), vgetq_lane_f64(acc01, 1),
+                     vgetq_lane_f64(acc23, 0), vgetq_lane_f64(acc23, 1)};
+  if (i < n) lanes[0] = std::max(lanes[0], std::fabs(a[i]));
+  if (i + 1 < n) lanes[1] = std::max(lanes[1], std::fabs(a[i + 1]));
+  if (i + 2 < n) lanes[2] = std::max(lanes[2], std::fabs(a[i + 2]));
+  return std::max(std::max(lanes[0], lanes[1]),
+                  std::max(lanes[2], lanes[3]));
+}
+
+inline void Axpy(double alpha, const double* x, double* y, int64_t n) {
+  const float64x2_t va = vdupq_n_f64(alpha);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(y + i,
+              vaddq_f64(vld1q_f64(y + i), vmulq_f64(va, vld1q_f64(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+inline void Axpy4(const double* alpha4, const double* x0, const double* x1,
+                  const double* x2, const double* x3, double* y, int64_t n) {
+  const float64x2_t va0 = vdupq_n_f64(alpha4[0]);
+  const float64x2_t va1 = vdupq_n_f64(alpha4[1]);
+  const float64x2_t va2 = vdupq_n_f64(alpha4[2]);
+  const float64x2_t va3 = vdupq_n_f64(alpha4[3]);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t vy = vld1q_f64(y + i);
+    vy = vaddq_f64(vy, vmulq_f64(va0, vld1q_f64(x0 + i)));
+    vy = vaddq_f64(vy, vmulq_f64(va1, vld1q_f64(x1 + i)));
+    vy = vaddq_f64(vy, vmulq_f64(va2, vld1q_f64(x2 + i)));
+    vy = vaddq_f64(vy, vmulq_f64(va3, vld1q_f64(x3 + i)));
+    vst1q_f64(y + i, vy);
+  }
+  for (; i < n; ++i) {
+    y[i] = (((y[i] + alpha4[0] * x0[i]) + alpha4[1] * x1[i]) +
+            alpha4[2] * x2[i]) +
+           alpha4[3] * x3[i];
+  }
+}
+
+inline void AddInPlace(double* y, const double* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), vld1q_f64(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+inline void Add(const double* a, const double* b, double* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vaddq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+inline void Sub(const double* a, const double* b, double* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+inline void Mul(const double* a, const double* b, double* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+inline void Div(const double* a, const double* b, double* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vdivq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] / b[i];
+}
+
+inline void Scale(const double* a, double alpha, double* out, int64_t n) {
+  const float64x2_t va = vdupq_n_f64(alpha);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vmulq_f64(vld1q_f64(a + i), va));
+  }
+  for (; i < n; ++i) out[i] = a[i] * alpha;
+}
+
+inline void Offset(const double* a, double alpha, double* out, int64_t n) {
+  const float64x2_t va = vdupq_n_f64(alpha);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vaddq_f64(vld1q_f64(a + i), va));
+  }
+  for (; i < n; ++i) out[i] = a[i] + alpha;
+}
+
+inline void Neg(const double* a, double* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vnegq_f64(vld1q_f64(a + i)));
+  }
+  for (; i < n; ++i) out[i] = -a[i];
+}
+
+inline void Sqrt(const double* a, double* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(out + i, vsqrtq_f64(vld1q_f64(a + i)));
+  }
+  for (; i < n; ++i) out[i] = std::sqrt(a[i]);
+}
+
+}  // namespace neon
+
+#endif  // MSOPDS_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatch wrappers: the API the kernels call.
+// ---------------------------------------------------------------------------
+
+#if defined(MSOPDS_SIMD_X86)
+#define MSOPDS_SIMD_DISPATCH(fn, ...)                                 \
+  do {                                                                \
+    if (ActiveBackend() == Backend::kAvx2) return avx2::fn(__VA_ARGS__); \
+    return scalar::fn(__VA_ARGS__);                                   \
+  } while (0)
+#elif defined(MSOPDS_SIMD_NEON)
+#define MSOPDS_SIMD_DISPATCH(fn, ...)                                 \
+  do {                                                                \
+    if (ActiveBackend() == Backend::kNeon) return neon::fn(__VA_ARGS__); \
+    return scalar::fn(__VA_ARGS__);                                   \
+  } while (0)
+#else
+#define MSOPDS_SIMD_DISPATCH(fn, ...) return scalar::fn(__VA_ARGS__)
+#endif
+
+/// sum_j a[j]*b[j], fixed 4-lane order (see header comment).
+inline double Dot(const double* a, const double* b, int64_t n) {
+  MSOPDS_SIMD_DISPATCH(Dot, a, b, n);
+}
+
+/// sum_j a[j], fixed 4-lane order.
+inline double Sum(const double* a, int64_t n) { MSOPDS_SIMD_DISPATCH(Sum, a, n); }
+
+/// max_j |a[j]| (0 for empty spans), fixed 4-lane order.
+inline double MaxAbs(const double* a, int64_t n) {
+  MSOPDS_SIMD_DISPATCH(MaxAbs, a, n);
+}
+
+/// y[j] += alpha * x[j]. Bit-exact across backends.
+inline void Axpy(double alpha, const double* x, double* y, int64_t n) {
+  MSOPDS_SIMD_DISPATCH(Axpy, alpha, x, y, n);
+}
+
+/// Four fused axpy steps against four independent rows:
+///   y[j] = (((y[j] + a4[0]*x0[j]) + a4[1]*x1[j]) + a4[2]*x2[j])
+///          + a4[3]*x3[j]
+/// The per-element association is identical to four sequential Axpy
+/// calls (intermediate stores never change IEEE results), so this is
+/// bit-exact with the unfused form and across backends. It exists
+/// because the fused form touches y once instead of four times — the
+/// matmul k-loop is load/store bound on y otherwise. The rows are
+/// independent pointers (not a stride) so callers can fuse the next
+/// four *contributing* k-steps even when zero-skip makes them
+/// non-adjacent.
+inline void Axpy4(const double* alpha4, const double* x0, const double* x1,
+                  const double* x2, const double* x3, double* y, int64_t n) {
+  MSOPDS_SIMD_DISPATCH(Axpy4, alpha4, x0, x1, x2, x3, y, n);
+}
+
+/// y[j] += x[j]. Bit-exact across backends.
+inline void AddInPlace(double* y, const double* x, int64_t n) {
+  MSOPDS_SIMD_DISPATCH(AddInPlace, y, x, n);
+}
+
+/// out[j] = a[j] + b[j]. Bit-exact across backends.
+inline void Add(const double* a, const double* b, double* out, int64_t n) {
+  MSOPDS_SIMD_DISPATCH(Add, a, b, out, n);
+}
+
+/// out[j] = a[j] - b[j]. Bit-exact across backends.
+inline void Sub(const double* a, const double* b, double* out, int64_t n) {
+  MSOPDS_SIMD_DISPATCH(Sub, a, b, out, n);
+}
+
+/// out[j] = a[j] * b[j]. Bit-exact across backends.
+inline void Mul(const double* a, const double* b, double* out, int64_t n) {
+  MSOPDS_SIMD_DISPATCH(Mul, a, b, out, n);
+}
+
+/// out[j] = a[j] / b[j]. Bit-exact across backends.
+inline void Div(const double* a, const double* b, double* out, int64_t n) {
+  MSOPDS_SIMD_DISPATCH(Div, a, b, out, n);
+}
+
+/// out[j] = a[j] * alpha. Bit-exact across backends.
+inline void Scale(const double* a, double alpha, double* out, int64_t n) {
+  MSOPDS_SIMD_DISPATCH(Scale, a, alpha, out, n);
+}
+
+/// out[j] = a[j] + alpha. Bit-exact across backends.
+inline void Offset(const double* a, double alpha, double* out, int64_t n) {
+  MSOPDS_SIMD_DISPATCH(Offset, a, alpha, out, n);
+}
+
+/// out[j] = -a[j]. Bit-exact across backends.
+inline void Neg(const double* a, double* out, int64_t n) {
+  MSOPDS_SIMD_DISPATCH(Neg, a, out, n);
+}
+
+/// out[j] = sqrt(a[j]). IEEE sqrt is exact, so bit-exact across backends.
+inline void Sqrt(const double* a, double* out, int64_t n) {
+  MSOPDS_SIMD_DISPATCH(Sqrt, a, out, n);
+}
+
+#undef MSOPDS_SIMD_DISPATCH
+
+}  // namespace simd
+}  // namespace msopds
+
+#endif  // MSOPDS_TENSOR_SIMD_H_

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "tensor/simd.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -138,11 +139,12 @@ void Tensor::Fill(double value) {
 double Tensor::Sum() const {
   if (!defined()) return 0.0;
   const double* values = data_->data();
+  // Within-chunk partials use simd.h's fixed 4-lane order; the chunk
+  // grid (kReduceGrain) and the pairwise fold tree are unchanged, so the
+  // result is still a pure function of the values at any thread count.
   return ThreadPool::Global().ParallelReduceSum(
       size_, kReduceGrain, [values](int64_t begin, int64_t end) {
-        double total = 0.0;
-        for (int64_t i = begin; i < end; ++i) total += values[i];
-        return total;
+        return simd::Sum(values + begin, end - begin);
       });
 }
 
@@ -151,10 +153,7 @@ double Tensor::MaxAbs() const {
   const double* values = data_->data();
   return ThreadPool::Global().ParallelReduceMax(
       size_, kReduceGrain, 0.0, [values](int64_t begin, int64_t end) {
-        double best = 0.0;
-        for (int64_t i = begin; i < end; ++i)
-          best = std::max(best, std::fabs(values[i]));
-        return best;
+        return simd::MaxAbs(values + begin, end - begin);
       });
 }
 

@@ -231,7 +231,38 @@ void CheckUnorderedIteration(const std::string& rel,
   }
 }
 
-// --- rule 4: unguarded-member -----------------------------------------------
+// --- rule 4: raw-simd -------------------------------------------------------
+
+// Vendor intrinsics and vector types: the x86 <immintrin.h> family and
+// its _mm/_mm256/_mm512 identifiers, and the NEON <arm_neon.h> header
+// with its v*q_* intrinsics and NxM_t lane types. Hand-vectorized code
+// is allowed exactly one home — tensor/simd.h — where every backend is
+// forced onto the shared fixed-lane reduction schedule (DESIGN.md §14);
+// intrinsics sprinkled anywhere else can silently change associativity
+// and break the bit-exactness contract between backends.
+const std::regex kRawSimdRe(
+    R"(#\s*include\s*<([a-z]+intrin|arm_neon|x86intrin)\.h>)"
+    R"(|\b_mm(256|512)?_[a-z0-9_]+\s*\()"
+    R"(|\b__m(128|256|512)[di]?\b)"
+    R"(|\bv[a-z0-9_]+q?_[fsu](8|16|32|64)\s*\()"
+    R"(|\b(float|int|uint|poly)(8|16|32|64)x(2|4|8|16)(x(2|3|4))?_t\b)");
+
+void CheckRawSimd(const std::string& rel, const std::vector<SourceLine>& lines,
+                  LintReport* report) {
+  if (rel == "tensor/simd.h") return;  // the one sanctioned home
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (!std::regex_search(lines[i].code, kRawSimdRe)) continue;
+    if (AllowedBy(lines, i, "determinism-lint: allow(raw-simd)")) continue;
+    if (AllowedBy(lines, i, "lint:allow-simd")) continue;
+    report->findings.push_back(
+        {rel, static_cast<int64_t>(i + 1), "raw-simd",
+         "vendor SIMD intrinsic outside tensor/simd.h; route vector code "
+         "through the dispatch wrappers so every backend shares the "
+         "fixed-lane reduction schedule"});
+  }
+}
+
+// --- rule 5: unguarded-member -----------------------------------------------
 
 struct ClassScope {
   std::string name;
@@ -366,6 +397,7 @@ LintReport RunDeterminismLint(const std::string& src_root) {
     CheckRawSync(rel, lines, &report);
     CheckAmbientRng(rel, lines, &report);
     CheckUnorderedIteration(rel, lines, &report);
+    CheckRawSimd(rel, lines, &report);
     CheckUnguardedMembers(rel, lines, &report);
   }
   return report;

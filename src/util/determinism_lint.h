@@ -13,8 +13,8 @@ struct LintFinding {
   std::string file;
   /// 1-based line number of the offending line.
   int64_t line = 0;
-  /// Rule id: "raw-sync", "ambient-rng", "unordered-iteration", or
-  /// "unguarded-member".
+  /// Rule id: "raw-sync", "ambient-rng", "unordered-iteration",
+  /// "raw-simd", or "unguarded-member".
   std::string rule;
   std::string message;
 };
@@ -31,7 +31,7 @@ struct LintReport {
 };
 
 /// Number of rules applied per file.
-constexpr int64_t kNumLintRules = 4;
+constexpr int64_t kNumLintRules = 5;
 
 /// Scans every `.h`/`.cc` under `src_root` (recursively, in sorted path
 /// order) for compile-time-detectable nondeterminism (see DESIGN.md
@@ -53,6 +53,15 @@ constexpr int64_t kNumLintRules = 4;
 ///                       Suppress a proven-commutative loop with a
 ///                       `// determinism-lint: order-insensitive`
 ///                       comment on the loop header or the line above.
+///   raw-simd            vendor SIMD intrinsics, vector register types,
+///                       or their includes (the immintrin/arm_neon
+///                       headers and their intrinsic families) anywhere
+///                       but tensor/simd.h — hand vectorization outside
+///                       the dispatch header can change reduction
+///                       associativity and break the scalar/SIMD
+///                       bit-exactness contract (DESIGN.md §14).
+///                       Suppress with `// lint:allow-simd` (or the
+///                       generic allow marker below).
 ///   unguarded-member    a member of a class that owns a Mutex, with no
 ///                       MSOPDS_GUARDED_BY token. Members synchronized
 ///                       by other means carry

@@ -1,0 +1,256 @@
+// Compiled-vs-eager parity for the AOT tape compiler (tensor/compile.h,
+// DESIGN.md §14): Compile() plans a slab layout for one tape structure
+// and Replay() re-runs the builder with every allocation served from the
+// plan. The contract under test: replay changes only where buffers live,
+// never a single output bit; structural divergence degrades gracefully
+// to the arena; and the end-to-end users (TrainModel, PdsSurrogate)
+// produce bit-identical results with the compiled path on and off.
+
+#include "tensor/compile.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attack/poison_plan.h"
+#include "core/pds_surrogate.h"
+#include "data/demographics.h"
+#include "data/synthetic.h"
+#include "recsys/matrix_factorization.h"
+#include "recsys/trainer.h"
+#include "tensor/grad.h"
+#include "tensor/ops.h"
+#include "util/arena.h"
+
+namespace msopds {
+namespace {
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  if (!a.SameShape(b)) return false;
+  return a.size() == 0 ||
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(double)) == 0;
+}
+
+// A small loss with a reduction, elementwise chain, and matmul so the
+// tape exercises fusion planning and mixed lifetimes. Leaves are taken
+// by reference: mutating them between replays must flow through.
+struct ToyProblem {
+  Tensor w = Tensor::Full({6, 4}, 0.25);
+  Tensor x = Tensor::Full({4, 3}, -0.5);
+
+  struct Eval {
+    double loss = 0.0;
+    std::vector<Tensor> grads;
+  };
+
+  Eval* out = nullptr;
+
+  Variable Build() {
+    Variable vw = Param(w.Clone());
+    Variable vx = Param(x.Clone());
+    Variable y = MatMul(vw, vx);
+    Variable z = Mul(Add(y, y), ScalarMul(y, 0.75));
+    Variable loss = Sum(Neg(z));
+    if (out != nullptr) {
+      out->loss = loss.value().item();
+      out->grads = GradValues(loss, {vw, vx});
+      for (Tensor& g : out->grads) g = g.Clone();
+    }
+    return loss;
+  }
+};
+
+TEST(CompiledTapeTest, CompilePlansSlabAndValidates) {
+  ToyProblem problem;
+  auto tape = CompiledTape::Compile([&]() { return problem.Build(); });
+  ASSERT_NE(tape, nullptr);
+  const TapeStats& stats = tape->stats();
+  EXPECT_GT(stats.allocations, 0);
+  EXPECT_GT(stats.ops, 0);
+  EXPECT_GT(stats.slab_doubles, 0);
+  // Liveness-based reuse must never plan a slab larger than the sum of
+  // all allocations, and peak-live is a lower bound on the slab.
+  EXPECT_LE(stats.slab_doubles, stats.naive_doubles);
+  EXPECT_LE(stats.peak_live_doubles, stats.slab_doubles);
+  const Status status = tape->Validate();
+  EXPECT_TRUE(status.ok()) << status.message();
+}
+
+TEST(CompiledTapeTest, ReplayIsBitIdenticalToEagerAcrossLeafMutation) {
+  ToyProblem problem;
+  ToyProblem::Eval compiled;
+  problem.out = &compiled;
+  auto tape = CompiledTape::Compile([&]() { return problem.Build(); });
+
+  for (double shift : {0.0, 0.125, -1.5}) {
+    problem.w.data()[3] = 0.25 + shift;
+    problem.x.data()[0] = -0.5 - shift;
+
+    ToyProblem::Eval eager;
+    problem.out = &eager;
+    problem.Build();  // no hook installed: plain arena evaluation
+
+    problem.out = &compiled;
+    tape->Replay([&]() { return problem.Build(); });
+
+    EXPECT_EQ(compiled.loss, eager.loss) << "shift=" << shift;
+    ASSERT_EQ(compiled.grads.size(), eager.grads.size());
+    for (size_t i = 0; i < compiled.grads.size(); ++i) {
+      EXPECT_TRUE(BitIdentical(compiled.grads[i], eager.grads[i]))
+          << "shift=" << shift << " grad " << i;
+    }
+  }
+  EXPECT_EQ(tape->stats().replays, 3);
+  EXPECT_EQ(tape->stats().replay_fallbacks, 0);
+}
+
+TEST(CompiledTapeTest, ReplayServesAllocationsFromTheSlab) {
+  ToyProblem problem;
+  ToyProblem::Eval sink;
+  problem.out = &sink;
+  auto tape = CompiledTape::Compile([&]() { return problem.Build(); });
+  tape->Replay([&]() { return problem.Build(); });  // slab now allocated
+
+  const int64_t before = Arena::Global().stats().alloc_calls;
+  tape->Replay([&]() { return problem.Build(); });
+  const int64_t after = Arena::Global().stats().alloc_calls;
+  EXPECT_EQ(after - before, 0);
+}
+
+TEST(CompiledTapeTest, StructuralDivergenceFallsBackToArena) {
+  ToyProblem problem;
+  ToyProblem::Eval sink;
+  problem.out = &sink;
+  auto tape = CompiledTape::Compile([&]() { return problem.Build(); });
+
+  // A structurally different graph: wider leaves, so the first replayed
+  // allocation's size disagrees with the plan.
+  Tensor wide_w = Tensor::Full({6, 8}, 0.1);
+  Tensor wide_x = Tensor::Full({8, 3}, 0.2);
+  double fallback_loss = 0.0;
+  tape->Replay([&]() {
+    Variable vw = Param(wide_w.Clone());
+    Variable vx = Param(wide_x.Clone());
+    Variable loss = Sum(MatMul(vw, vx));
+    fallback_loss = loss.value().item();
+    return loss;
+  });
+  EXPECT_GE(tape->stats().replay_fallbacks, 1);
+
+  // The fallback still computes the right value: 6*3 inner products of
+  // 8 terms each, every term 0.1 * 0.2.
+  Variable vw = Param(wide_w.Clone());
+  Variable vx = Param(wide_x.Clone());
+  const double eager_loss = Sum(MatMul(vw, vx)).value().item();
+  EXPECT_EQ(fallback_loss, eager_loss);
+}
+
+TEST(CompiledTapeTest, ElementwiseChainsAreFused) {
+  Tensor leaf = Tensor::Full({64}, 0.3);
+  auto tape = CompiledTape::Compile([&]() {
+    Variable v = Param(leaf.Clone());
+    // Four single-consumer same-shape elementwise ops in a row.
+    return Sum(Sqrt(Exp(Neg(ScalarMul(v, 0.5)))));
+  });
+  EXPECT_GE(tape->stats().fusion_chains, 1);
+  EXPECT_GE(tape->stats().fused_ops, 2);
+  const Status status = tape->Validate();
+  EXPECT_TRUE(status.ok()) << status.message();
+}
+
+Dataset SmallWorld(uint64_t seed = 21) {
+  SyntheticConfig config;
+  config.num_users = 60;
+  config.num_items = 80;
+  config.num_ratings = 700;
+  config.num_social_links = 200;
+  Rng rng(seed);
+  return GenerateSynthetic(config, &rng);
+}
+
+TEST(CompiledTapeTest, TrainModelCompiledPathIsBitIdentical) {
+  const Dataset world = SmallWorld();
+  const auto train = [&](bool compile_tape) {
+    Rng rng(7);
+    MatrixFactorization model(world.num_users, world.num_items, MfConfig{},
+                              3.5, &rng);
+    TrainOptions options;
+    options.epochs = 8;
+    options.compile_tape = compile_tape;
+    TrainResult result = TrainModel(&model, world.ratings, options);
+    std::vector<Tensor> params;
+    for (Variable& p : *model.MutableParams()) {
+      params.push_back(p.value().Clone());
+    }
+    return std::make_pair(result, params);
+  };
+
+  const auto eager = train(false);
+  const auto compiled = train(true);
+  ASSERT_EQ(eager.first.loss_history.size(), compiled.first.loss_history.size());
+  for (size_t e = 0; e < eager.first.loss_history.size(); ++e) {
+    EXPECT_EQ(eager.first.loss_history[e], compiled.first.loss_history[e])
+        << "epoch " << e;
+  }
+  ASSERT_EQ(eager.second.size(), compiled.second.size());
+  for (size_t i = 0; i < eager.second.size(); ++i) {
+    EXPECT_TRUE(BitIdentical(eager.second[i], compiled.second[i]))
+        << "param " << i;
+  }
+}
+
+TEST(CompiledTapeTest, PdsCheckpointedGradCompiledPathIsBitIdentical) {
+  SyntheticConfig config;
+  config.num_users = 40;
+  config.num_items = 50;
+  config.num_ratings = 320;
+  config.num_social_links = 120;
+  Rng world_rng(55);
+  Dataset world = GenerateSynthetic(config, &world_rng);
+  const Demographics demo = SampleDemographics(world, 1, &world_rng)[0];
+  const std::vector<int64_t> fakes = AddFakeUsers(&world, 2);
+  for (int64_t fake : fakes) {
+    world.ratings.push_back({fake, demo.target_item, 5.0});
+  }
+  const CapacitySet capacity =
+      CapacitySet::MakeComprehensive(world, demo, fakes, 5.0);
+
+  std::vector<int64_t> users = demo.target_audience;
+  std::vector<int64_t> items(users.size(), demo.target_item);
+
+  const auto run = [&](bool compiled, double xhat_value) {
+    PdsConfig pds;
+    pds.embedding_dim = 4;
+    pds.inner_steps = 3;
+    pds.compile_first_order = compiled;
+    Rng rng(22);
+    const PdsSurrogate surrogate(world, {&capacity}, pds, &rng);
+    Variable xhat = Param(Tensor::Full({capacity.size()}, xhat_value));
+    // Two calls so the compiled variant exercises both Compile (first
+    // call) and Replay (second call, different x-hat values).
+    surrogate.CheckpointedGrad(
+        {xhat}, [&](const PdsSurrogate::Outcome& outcome) {
+          return Neg(Mean(surrogate.Predict(outcome, users, items)));
+        });
+    Variable xhat2 = Param(Tensor::Full({capacity.size()}, xhat_value + 0.25));
+    return surrogate.CheckpointedGrad(
+        {xhat2}, [&](const PdsSurrogate::Outcome& outcome) {
+          return Neg(Mean(surrogate.Predict(outcome, users, items)));
+        });
+  };
+
+  const PdsSurrogate::FirstOrderResult eager = run(false, 0.5);
+  const PdsSurrogate::FirstOrderResult compiled = run(true, 0.5);
+  EXPECT_EQ(eager.loss, compiled.loss);
+  ASSERT_EQ(eager.gradients.size(), compiled.gradients.size());
+  for (size_t i = 0; i < eager.gradients.size(); ++i) {
+    EXPECT_GT(eager.gradients[i].MaxAbs(), 0.0);
+    EXPECT_TRUE(BitIdentical(eager.gradients[i], compiled.gradients[i]))
+        << "gradient " << i;
+  }
+}
+
+}  // namespace
+}  // namespace msopds

@@ -28,7 +28,8 @@ TEST(OpRegistryTest, CoversEveryRecordedPrimitive) {
       "Add",        "Sub",        "Mul",        "Div",
       "Neg",        "ScalarMul",  "AddScalar",  "Exp",
       "Log",        "Sqrt",       "Reshape",    "Where",
-      "MatMul",     "Transpose",  "Sum",        "RowSum",
+      "MatMul",     "MatMulNT",   "MatMulTN",   "Transpose",
+      "Sum",        "RowSum",
       "TileCols",   "ConcatCols", "SliceCols",  "PadCols",
       "Concat1",    "Slice1",     "Pad1",       "GatherRows",
       "ScatterAddRows", "Gather1", "ScatterAdd1", "SpMM",

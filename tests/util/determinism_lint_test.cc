@@ -18,7 +18,12 @@ namespace fs = std::filesystem;
 class DeterminismLintTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    root_ = fs::path(::testing::TempDir()) / "determinism_lint_fixture";
+    // Per-test directory: ctest runs each test as its own process, possibly
+    // in parallel, so a shared fixture path races on remove_all.
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) /
+            (std::string("determinism_lint_fixture_") + info->name());
     fs::remove_all(root_);
     fs::create_directories(root_);
   }
@@ -144,6 +149,63 @@ TEST_F(DeterminismLintTest, UnguardedMemberOfMutexOwnerIsFlagged) {
             "before threads start)\n"
             "};\n");
   EXPECT_TRUE(Lint().ok());
+}
+
+TEST_F(DeterminismLintTest, RawSimdIntrinsicsFlaggedOutsideSimdHeader) {
+  WriteFile("serve/fast_scorer.cc",
+            "#include <immintrin.h>\n"
+            "double DotFast(const double* a, const double* b) {\n"
+            "  __m256d va = _mm256_loadu_pd(a);\n"
+            "  __m256d vb = _mm256_loadu_pd(b);\n"
+            "  __m256d prod = _mm256_mul_pd(va, vb);\n"
+            "  (void)prod;\n"
+            "  return 0.0;\n"
+            "}\n");
+  const LintReport report = Lint();
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.findings.size(), 4u);  // the include and the uses
+  for (const std::string& rule : Rules(report)) {
+    EXPECT_EQ(rule, "raw-simd");
+  }
+}
+
+TEST_F(DeterminismLintTest, NeonIntrinsicsAndLaneTypesFlagged) {
+  WriteFile("core/neon_hack.cc",
+            "#include <arm_neon.h>\n"
+            "double Sum2(const double* a) {\n"
+            "  float64x2_t acc = vld1q_f64(a);\n"
+            "  acc = vaddq_f64(acc, acc);\n"
+            "  return vgetq_lane_f64(acc, 0);\n"
+            "}\n");
+  const LintReport report = Lint();
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.findings.size(), 3u);
+  for (const std::string& rule : Rules(report)) {
+    EXPECT_EQ(rule, "raw-simd");
+  }
+}
+
+TEST_F(DeterminismLintTest, SimdHeaderItselfIsExemptFromRawSimd) {
+  WriteFile("tensor/simd.h",
+            "#include <immintrin.h>\n"
+            "inline __m256d Two(__m256d x) { return _mm256_add_pd(x, x); }\n");
+  EXPECT_TRUE(Lint().ok());
+}
+
+TEST_F(DeterminismLintTest, AllowSimdMarkerSuppressesRawSimd) {
+  WriteFile("bench/lanes.cc",
+            "// lint:allow-simd (measures raw lane throughput, not numerics)\n"
+            "unsigned CacheLine() { return _mm_crc32_u8(0, 1); }\n");
+  EXPECT_TRUE(Lint().ok());
+
+  WriteFile("bench/lanes.cc",
+            "// determinism-lint: allow(raw-simd) (same, generic marker)\n"
+            "unsigned CacheLine() { return _mm_crc32_u8(0, 1); }\n");
+  EXPECT_TRUE(Lint().ok());
+
+  WriteFile("bench/lanes.cc",
+            "unsigned CacheLine() { return _mm_crc32_u8(0, 1); }\n");
+  EXPECT_FALSE(Lint().ok());
 }
 
 TEST_F(DeterminismLintTest, AllowMarkerSuppressesASingleLine) {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Reproducible benchmark snapshot: builds the release tree and runs the
+# scalar-vs-SIMD / eager-vs-compiled-tape A/B bench (bench/simd_bench.cc)
+# at pinned seeds and one kernel thread, writing the committed
+# BENCH_simd.json speedup table at the repo root. Seeds are compiled
+# into the bench; the thread count is pinned here so the table measures
+# kernel speed, not scheduling.
+#
+# Usage:
+#   tools/bench_snapshot.sh           build + run, write BENCH_simd.json
+#   tools/bench_snapshot.sh --quick   fewer repetitions (sanity runs;
+#                                     don't commit the numbers)
+#
+# The JSON records the probed backend and machine facts alongside each
+# pair, so a committed snapshot says what it was measured on. Re-run on
+# the reference machine and commit the diff when the kernels change.
+set -eu
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+MIN_TIME="0.5"
+REPS=3
+for arg in "$@"; do
+  case "$arg" in
+    --quick) MIN_TIME="0.05"; REPS=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j --target simd_bench
+
+# MSOPDS_THREADS pins the kernel pool; the bench also pins it per case.
+# MSOPDS_BENCH_SIMD_JSON places the table at the repo root for commit.
+# The reporter keeps the fastest of $REPS repetitions per case, so the
+# committed ratios don't wobble with background load.
+MSOPDS_THREADS=1 MSOPDS_BENCH_SIMD_JSON="$ROOT/BENCH_simd.json" \
+  ./build/bench/simd_bench --benchmark_min_time="$MIN_TIME" \
+  --benchmark_repetitions="$REPS"
+
+echo
+echo "bench_snapshot: wrote $ROOT/BENCH_simd.json"

@@ -118,6 +118,20 @@ if [ "${STAGE_RESULTS[-1]}" = "PASS" ]; then
     MSOPDS_ARENA=0 ctest --test-dir build --output-on-failure -j
   }
   run_stage "ctest-release-arena-off" ctest_arena_off
+  # Same suite with the vector backends forced off at runtime: the
+  # scalar/SIMD bit-exactness contract (DESIGN.md §14) means every
+  # expectation must hold unchanged on the scalar reference kernels.
+  ctest_simd_off() {
+    MSOPDS_SIMD=0 ctest --test-dir build --output-on-failure -j
+  }
+  run_stage "ctest-release-simd-off" ctest_simd_off
+  # SIMD/compiled-tape parity label on the probed (vector) backend: the
+  # scalar-vs-vector and compiled-vs-eager bit contracts, kept as a
+  # named stage so the gate is visible and runnable on its own.
+  ctest_simd_parity() {
+    ctest --test-dir build -L simd --output-on-failure -j
+  }
+  run_stage "ctest-simd-parity" ctest_simd_parity
   # Serving suite pinned to both thread counts: the engine's lists must
   # be bit-identical to the offline reference at any pool size, so the
   # label runs once serial and once multi-threaded.
@@ -154,10 +168,17 @@ if [ "${STAGE_RESULTS[-1]}" = "PASS" ]; then
   # registered parallel kernel's chunk grid proven disjoint, plus the
   # checker's planted-violation self-test.
   run_stage "overlap-verify" ./build/tools/verify_graph --overlap-only
+  # Compiled-tape planning pass alone (also part of verify-graph above):
+  # every registry example's tape compiled, its arena offsets checked
+  # for lifetime overlap, and one replay bit-compared to an uncompiled
+  # reference run.
+  run_stage "compile-verify" ./build/tools/verify_graph --compile-only
 else
   skip_stage "ctest-release" "build failed"
   skip_stage "ctest-release-mt4" "build failed"
   skip_stage "ctest-release-arena-off" "build failed"
+  skip_stage "ctest-release-simd-off" "build failed"
+  skip_stage "ctest-simd-parity" "build failed"
   skip_stage "ctest-serve-t1" "build failed"
   skip_stage "ctest-serve-t4" "build failed"
   skip_stage "ctest-serve-fault-t1" "build failed"
@@ -220,10 +241,18 @@ if [ $SANITIZERS -eq 1 ]; then
         ctest --test-dir "$dir" -L memory --output-on-failure -j
       }
       run_stage "ctest-$san-memory" ctest_san_memory
+      # SIMD/compiled-tape suite under the sanitizer: intrinsic loads
+      # past a buffer's end and slab-offset bugs in the tape planner are
+      # exactly the class ASan/UBSan catch.
+      ctest_san_simd() {
+        ctest --test-dir "$dir" -L simd --output-on-failure -j
+      }
+      run_stage "ctest-$san-simd" ctest_san_simd
     else
       skip_stage "ctest-$san" "build failed"
       skip_stage "ctest-$san-mt4" "build failed"
       skip_stage "ctest-$san-memory" "build failed"
+      skip_stage "ctest-$san-simd" "build failed"
     fi
   done
   # ThreadSanitizer leg: the serving engine is the repo's first
