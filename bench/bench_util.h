@@ -154,10 +154,15 @@ inline void WriteStaticChecksFields(JsonWriter* json,
 /// Emits the serving engine's robustness counters (plus client-side
 /// retry totals) into the current JSON object, so BENCH_serving.json
 /// rows track the shed/reject/degraded trajectory the same way the perf
-/// tables track latency. Call between Key/Value pairs of an open object.
+/// tables track latency. `precision` is the snapshot storage mode the
+/// run published ("fp64" / "fp16" / "int8"), so quantized rows are
+/// distinguishable from full-precision ones. Call between Key/Value
+/// pairs of an open object.
 inline void WriteRobustnessFields(JsonWriter* json,
                                   const serve::EngineStats& stats,
-                                  int64_t retries) {
+                                  int64_t retries,
+                                  const std::string& precision = "fp64") {
+  json->Key("precision").String(precision);
   json->Key("admitted").Int(stats.admitted);
   json->Key("rejected").Int(stats.rejected);
   json->Key("shed").Int(stats.shed);
@@ -167,6 +172,38 @@ inline void WriteRobustnessFields(JsonWriter* json,
   json->Key("deadline_misses").Int(stats.deadline_misses);
   json->Key("max_queue_depth").Int(stats.max_queue_depth);
   json->Key("publish_failures").Int(stats.publish_failures);
+}
+
+/// Summary of one benchmark cell's repetitions. The committed speedup
+/// tables use the min (least-noise estimate); median and relative
+/// spread ride along so a single noisy repetition is visible in the
+/// JSON instead of silently shifting a claim.
+struct RepStats {
+  double min = 0.0;
+  double median = 0.0;
+  /// (max - min) / min; 0 for a single repetition.
+  double spread = 0.0;
+
+  static RepStats Of(std::vector<double> samples) {
+    RepStats stats;
+    if (samples.empty()) return stats;
+    std::sort(samples.begin(), samples.end());
+    stats.min = samples.front();
+    stats.median = samples[samples.size() / 2];
+    if (stats.min > 0.0) {
+      stats.spread = (samples.back() - samples.front()) / stats.min;
+    }
+    return stats;
+  }
+};
+
+/// Emits one cell's repetition statistics under `prefix` ("<prefix>_ns",
+/// "<prefix>_median_ns", "<prefix>_spread") into the current object.
+inline void WriteRepStatsFields(JsonWriter* json, const std::string& prefix,
+                                const RepStats& stats) {
+  json->Key(prefix + "_ns").Double(stats.min);
+  json->Key(prefix + "_median_ns").Double(stats.median);
+  json->Key(prefix + "_spread").Double(stats.spread);
 }
 
 struct BenchFlags {

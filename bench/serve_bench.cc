@@ -49,6 +49,8 @@
 //   --fault_seed=N --fault_publish=P --fault_score=P
 //   --fault_batch_delay=P --fault_batch_delay_us=N
 //                                 chaos fault plan (all off by default)
+//   --precision=fp64|fp16|int8    snapshot storage precision published to
+//                                 the engine (default fp64); rows record it
 //   --swap_ms=N                   snapshot republish period (default 100;
 //                                 0 disables)
 //   --seed=N                      RNG seed (default 7)
@@ -106,6 +108,7 @@ struct ServeBenchFlags {
   double fault_batch_delay = 0.0;
   int64_t fault_batch_delay_us = 50000;
   int64_t swap_ms = 100;
+  serve::SnapshotPrecision precision = serve::SnapshotPrecision::kFp64;
   uint64_t seed = 7;
   std::string json_out = "BENCH_serving.json";
 
@@ -175,6 +178,11 @@ struct ServeBenchFlags {
         flags.fault_batch_delay_us = std::atoll(v);
       } else if (const char* v = value_of("--swap_ms=")) {
         flags.swap_ms = std::atoll(v);
+      } else if (const char* v = value_of("--precision=")) {
+        if (!serve::ParseSnapshotPrecision(v, &flags.precision)) {
+          std::fprintf(stderr, "bad --precision (fp64|fp16|int8): %s\n", v);
+          std::exit(2);
+        }
       } else if (const char* v = value_of("--seed=")) {
         flags.seed = static_cast<uint64_t>(std::atoll(v));
       } else if (const char* v = value_of("--json_out=")) {
@@ -230,6 +238,7 @@ std::shared_ptr<const serve::ModelSnapshot> MakeSnapshot(
   serve::SnapshotOptions options;
   options.version = version;
   options.source = "mf-bench";
+  options.precision = flags.precision;
   return serve::ModelSnapshot::FromModel(&model, dataset, options);
 }
 
@@ -479,7 +488,8 @@ void WriteTable(const ServeBenchFlags& flags,
     json.Key("batches").Int(row.stats.batches);
     json.Key("mean_batch_size").Double(row.stats.mean_batch_size);
     json.Key("publishes").Int(row.stats.publishes);
-    WriteRobustnessFields(&json, row.stats, row.retries);
+    WriteRobustnessFields(&json, row.stats, row.retries,
+                          serve::SnapshotPrecisionName(flags.precision));
     json.EndObject();
   }
   json.EndArray();

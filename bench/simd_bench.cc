@@ -339,12 +339,11 @@ class AbReporter : public benchmark::ConsoleReporter {
   void ReportRuns(const std::vector<Run>& reports) override {
     for (const Run& run : reports) {
       if (run.run_type != Run::RT_Iteration) continue;
-      // Keep the minimum across --benchmark_repetitions: the fastest
-      // repetition is the least-interfered-with measurement on a
-      // shared machine, so the committed ratios are stable run to run.
-      const double t = run.GetAdjustedRealTime();
-      const auto [it, inserted] = times_.emplace(run.benchmark_name(), t);
-      if (!inserted && t < it->second) it->second = t;
+      // Record every repetition; the table uses the minimum (the
+      // least-interfered-with measurement on a shared machine) for the
+      // committed ratios, and reports the per-cell median and spread
+      // alongside so one noisy repetition is visible in the JSON.
+      samples_[run.benchmark_name()].push_back(run.GetAdjustedRealTime());
     }
     benchmark::ConsoleReporter::ReportRuns(reports);
   }
@@ -362,7 +361,7 @@ class AbReporter : public benchmark::ConsoleReporter {
     WriteStaticChecksFields(&json, StaticCheckStats::Sample());
     json.Key("cases").BeginArray();
     int pairs = 0;
-    for (const auto& [name, baseline_time] : times_) {
+    for (const auto& [name, baseline_samples] : samples_) {
       for (const std::string kind : {"simd", "compiled"}) {
         const std::string suffix = "/" + kind + ":0";
         if (name.size() < suffix.size() ||
@@ -372,19 +371,20 @@ class AbReporter : public benchmark::ConsoleReporter {
         }
         const std::string variant_name =
             name.substr(0, name.size() - 1) + "1";
-        const auto variant = times_.find(variant_name);
-        if (variant == times_.end()) continue;
+        const auto variant = samples_.find(variant_name);
+        if (variant == samples_.end()) continue;
+        const RepStats baseline = RepStats::Of(baseline_samples);
+        const RepStats against = RepStats::Of(variant->second);
         json.BeginObject();
         json.Key("name").String(name.substr(0, name.size() - suffix.size()));
         json.Key("kind").String(kind);
         json.Key("baseline").String(kind == "simd" ? "scalar" : "eager");
         json.Key("variant").String(kind == "simd" ? simd::BackendName()
                                                   : "compiled_tape");
-        json.Key("t_baseline_ns").Double(baseline_time);
-        json.Key("t_variant_ns").Double(variant->second);
-        json.Key("speedup").Double(variant->second > 0.0
-                                       ? baseline_time / variant->second
-                                       : 0.0);
+        WriteRepStatsFields(&json, "t_baseline", baseline);
+        WriteRepStatsFields(&json, "t_variant", against);
+        json.Key("speedup").Double(
+            against.min > 0.0 ? baseline.min / against.min : 0.0);
         json.EndObject();
         ++pairs;
       }
@@ -398,8 +398,8 @@ class AbReporter : public benchmark::ConsoleReporter {
   }
 
  private:
-  // full case name -> adjusted wall time (ns).
-  std::map<std::string, double> times_;
+  // full case name -> adjusted wall time (ns) of every repetition.
+  std::map<std::string, std::vector<double>> samples_;
 };
 
 }  // namespace

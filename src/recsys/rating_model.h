@@ -25,6 +25,12 @@ namespace msopds {
 /// (the graph convolutions are baked in at export time). The Tensors may
 /// alias live training buffers — serving snapshots deep-copy them
 /// (serve/model_snapshot.h).
+///
+/// The export is always full binary64 precision; quantized serving
+/// (fp16/int8 snapshots, serve/quantize.h) rounds *after* this export,
+/// once per publish, so every model feeds the quantizer through this one
+/// interface and the bit-identical-to-PredictPairs recipe above stays
+/// scoped to full-precision snapshots.
 struct ServingParams {
   Tensor user_factors;  // [U, D]
   Tensor item_factors;  // [I, D]

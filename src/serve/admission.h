@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "serve/quantize.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -64,6 +65,10 @@ struct ServeResponse {
   /// degraded responses this is the version of the snapshot whose
   /// popularity list answered.
   uint64_t snapshot_version = 0;
+  /// Storage precision of that snapshot (kFp64 when no snapshot has ever
+  /// served). Paired with snapshot_version so hot-swap observers can
+  /// assert which published mode answered each request.
+  SnapshotPrecision snapshot_precision = SnapshotPrecision::kFp64;
   ServeStatus status = ServeStatus::kOk;
   /// True when the response came from the popularity fallback instead of
   /// the full scoring path. The bit-identical-to-offline guarantee is

@@ -19,11 +19,28 @@ std::shared_ptr<const PopularityCatalog> PopularityCatalog::FromSeen(
   }
   std::vector<ScoredItem> ranked;
   ranked.reserve(static_cast<size_t>(num_items));
+  int64_t positive = 0;
   for (int64_t item = 0; item < num_items; ++item) {
-    ranked.push_back(
-        {item, static_cast<double>(count_of[static_cast<size_t>(item)])});
+    const int64_t count = count_of[static_cast<size_t>(item)];
+    ranked.push_back({item, static_cast<double>(count)});
+    if (count > 0) ++positive;
   }
-  std::sort(ranked.begin(), ranked.end(), RanksBefore);
+  // Only the items with any interactions need comparison sorting: every
+  // positive count ranks before every zero count, and the zero-count
+  // tail under RanksBefore is just ascending item ids, which we can
+  // write directly. partial_sort over the positive prefix is
+  // O(N log P) instead of the full O(N log N) — the publish path
+  // rebuilds this catalog on every hot swap.
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<std::ptrdiff_t>(positive),
+                    ranked.end(), RanksBefore);
+  int64_t tail = positive;
+  for (int64_t item = 0; item < num_items; ++item) {
+    if (count_of[static_cast<size_t>(item)] == 0) {
+      ranked[static_cast<size_t>(tail++)] = {item, 0.0};
+    }
+  }
+  MSOPDS_DCHECK_EQ(tail, num_items);
   auto catalog = std::make_shared<PopularityCatalog>();
   catalog->snapshot_version = snapshot_version;
   catalog->items.reserve(ranked.size());

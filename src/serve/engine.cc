@@ -243,6 +243,7 @@ void ServingEngine::ScoreBatch(std::vector<Pending> batch) {
           response.scores.assign(result.ScoresForUser(local),
                                  result.ScoresForUser(local) + count);
           response.snapshot_version = snapshot->version();
+          response.snapshot_precision = snapshot->precision();
         }
       }
     } catch (const std::exception&) {
@@ -260,6 +261,9 @@ void ServingEngine::ScoreBatch(std::vector<Pending> batch) {
                         snapshot != nullptr ? &snapshot->seen() : nullptr,
                         batch[i].request, responses[i].degraded_reason,
                         &responses[i]);
+    if (snapshot != nullptr) {
+      responses[i].snapshot_precision = snapshot->precision();
+    }
   }
 
   const auto done = std::chrono::steady_clock::now();

@@ -74,12 +74,15 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::FromModel(
   if (params.item_bias.defined()) {
     MSOPDS_CHECK_EQ(params.item_bias.size(), num_items);
   }
-  return std::make_shared<const ModelSnapshot>(
+  auto full = std::make_shared<const ModelSnapshot>(
       num_users, num_items, dim, DetachedCopy(params.user_factors),
       DetachedCopy(params.item_factors), DetachedCopy(params.user_bias),
       DetachedCopy(params.item_bias), params.offset,
       SeenItemsCsr::FromRatings(num_users, num_items, dataset.ratings),
       options);
+  if (options.precision == SnapshotPrecision::kFp64) return full;
+  // Quantize once at export time; the binary64 intermediate is dropped.
+  return QuantizeSnapshot(*full, options.precision);
 }
 
 ModelSnapshot::ModelSnapshot(int64_t num_users, int64_t num_items, int64_t dim,
@@ -113,13 +116,27 @@ ModelSnapshot::ModelSnapshot(int64_t num_users, int64_t num_items, int64_t dim,
   MSOPDS_CHECK_EQ(seen_.num_users(), num_users_);
 }
 
+int64_t ModelSnapshot::FactorPayloadBytes() const {
+  const int64_t f64_bytes = static_cast<int64_t>(sizeof(double)) *
+                            static_cast<int64_t>(user_factors_.size() +
+                                                 item_factors_.size());
+  const int64_t f16_bytes =
+      static_cast<int64_t>(sizeof(uint16_t)) *
+      static_cast<int64_t>(user_half_.size() + item_half_.size());
+  const int64_t q8_bytes = static_cast<int64_t>(
+      user_q8_.size() + item_q8_.size());
+  const int64_t scale_bytes =
+      static_cast<int64_t>(sizeof(float)) *
+      static_cast<int64_t>(user_scale_.size() + item_scale_.size());
+  return f64_bytes + f16_bytes + q8_bytes + scale_bytes;
+}
+
 int64_t ModelSnapshot::PayloadBytes() const {
-  const int64_t doubles = static_cast<int64_t>(
-      user_factors_.size() + item_factors_.size() + user_bias_.size() +
-      item_bias_.size());
+  const int64_t biases =
+      static_cast<int64_t>(user_bias_.size() + item_bias_.size());
   const int64_t indices =
       static_cast<int64_t>(seen_.offsets.size() + seen_.items.size());
-  return static_cast<int64_t>(sizeof(double)) * doubles +
+  return FactorPayloadBytes() + static_cast<int64_t>(sizeof(double)) * biases +
          static_cast<int64_t>(sizeof(int64_t)) * indices;
 }
 

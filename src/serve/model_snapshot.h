@@ -8,6 +8,7 @@
 
 #include "data/dataset.h"
 #include "recsys/rating_model.h"
+#include "serve/quantize.h"
 #include "tensor/simd.h"
 #include "util/logging.h"
 
@@ -51,6 +52,9 @@ struct SnapshotOptions {
   /// Free-form provenance tag, e.g. "mf", "lightgcn", "het_recsys",
   /// "het_recsys+poisoned".
   std::string source;
+  /// Storage precision of the factor blocks. Non-kFp64 exports quantize
+  /// once at FromModel time (serve/quantize.h).
+  SnapshotPrecision precision = SnapshotPrecision::kFp64;
 };
 
 /// Immutable, tape-free, arena-detached export of a trained rating model.
@@ -68,6 +72,18 @@ struct SnapshotOptions {
 /// uses offline, DESIGN.md §14), then `+ user_bias`, `+ item_bias` (each
 /// skipped when the model has none), then `+ offset` — which makes
 /// Score() bit-identical to the model's PredictPairs.
+///
+/// A snapshot may also hold its factor blocks quantized (kFp16 / kInt8,
+/// serve/quantize.h); the width-matched kernel then replaces simd::Dot:
+///   kFp16: simd::DotF16 over the binary16 rows (exact widening, same
+///          4-lane schedule — the only deviation from kFp64 is the
+///          storage rounding applied once at quantize time);
+///   kInt8: ((double)simd::DotI8 * user_scale) * item_scale — the dot is
+///          exact integer arithmetic and the two scale multiplies use a
+///          fixed association, so this too is bit-identical across
+///          threads, SIMD on/off, and runs *within* the int8 snapshot.
+/// Biases and offset stay binary64 in every mode. Cross-precision
+/// fidelity is tolerance-bounded, never bit-scoped (DESIGN.md §15).
 class ModelSnapshot {
  public:
   /// Exports `model` against `dataset` (which provides the seen-item CSR;
@@ -94,27 +110,94 @@ class ModelSnapshot {
   double offset() const { return offset_; }
   bool has_user_bias() const { return !user_bias_.empty(); }
   bool has_item_bias() const { return !item_bias_.empty(); }
+  SnapshotPrecision precision() const { return precision_; }
 
+  /// Full-precision row accessors — kFp64 snapshots only (quantized
+  /// snapshots do not hold binary64 factor blocks).
   const double* UserRow(int64_t user) const {
     MSOPDS_DCHECK_GE(user, 0);
     MSOPDS_DCHECK_LT(user, num_users_);
+    MSOPDS_DCHECK(precision_ == SnapshotPrecision::kFp64);
     return user_factors_.data() + user * dim_;
   }
 
   const double* ItemRow(int64_t item) const {
     MSOPDS_DCHECK_GE(item, 0);
     MSOPDS_DCHECK_LT(item, num_items_);
+    MSOPDS_DCHECK(precision_ == SnapshotPrecision::kFp64);
     return item_factors_.data() + item * dim_;
   }
 
-  /// Predicted rating of (user, item); bit-identical to the exported
-  /// model's PredictPairs (see class comment).
+  /// Precision-erased handle to one user's factor row: exactly one of
+  /// the pointers is set (matching precision()), and `scale` carries the
+  /// user's int8 dequantization scale (0.0 otherwise). The tiled top-K
+  /// kernel resolves the handle once per user and scores whole item
+  /// tiles through it.
+  struct UserRef {
+    const double* f64 = nullptr;
+    const uint16_t* f16 = nullptr;
+    const int8_t* q8 = nullptr;
+    double scale = 0.0;
+  };
+
+  UserRef UserRefFor(int64_t user) const {
+    MSOPDS_DCHECK_GE(user, 0);
+    MSOPDS_DCHECK_LT(user, num_users_);
+    UserRef ref;
+    switch (precision_) {
+      case SnapshotPrecision::kFp64:
+        ref.f64 = user_factors_.data() + user * dim_;
+        break;
+      case SnapshotPrecision::kFp16:
+        ref.f16 = user_half_.data() + user * dim_;
+        break;
+      case SnapshotPrecision::kInt8:
+        ref.q8 = user_q8_.data() + user * dim_;
+        ref.scale =
+            static_cast<double>(user_scale_[static_cast<size_t>(user)]);
+        break;
+    }
+    return ref;
+  }
+
+  /// Predicted rating of (user, item). For kFp64 snapshots this is
+  /// bit-identical to the exported model's PredictPairs (see class
+  /// comment); quantized snapshots score through the width-matched
+  /// kernel and are bit-stable within their own precision.
   double Score(int64_t user, int64_t item) const {
-    return ScoreRow(UserRow(user), user, item);
+    return ScoreRef(UserRefFor(user), user, item);
   }
 
   /// Score() with the user row already resolved — the tiled top-K kernel
-  /// keeps the row pointer across an item tile.
+  /// keeps the handle across an item tile. The precision switch is one
+  /// perfectly-predicted branch per score; the dot itself dominates.
+  double ScoreRef(const UserRef& ref, int64_t user, int64_t item) const {
+    MSOPDS_DCHECK_GE(item, 0);
+    MSOPDS_DCHECK_LT(item, num_items_);
+    double s = 0.0;
+    switch (precision_) {
+      case SnapshotPrecision::kFp64:
+        s = simd::Dot(ref.f64, item_factors_.data() + item * dim_, dim_);
+        break;
+      case SnapshotPrecision::kFp16:
+        s = simd::DotF16(ref.f16, item_half_.data() + item * dim_, dim_);
+        break;
+      case SnapshotPrecision::kInt8:
+        // Fixed association: (dot * user_scale) * item_scale. The int
+        // dot is exact; the two multiplies are the only rounding steps.
+        s = (static_cast<double>(
+                 simd::DotI8(ref.q8, item_q8_.data() + item * dim_, dim_)) *
+             ref.scale) *
+            static_cast<double>(item_scale_[static_cast<size_t>(item)]);
+        break;
+    }
+    if (!user_bias_.empty()) s += user_bias_[static_cast<size_t>(user)];
+    if (!item_bias_.empty()) s += item_bias_[static_cast<size_t>(item)];
+    return s + offset_;
+  }
+
+  /// Score() with the user row already resolved — legacy kFp64-only
+  /// entry point kept for exporters/tests that walk raw rows.
   double ScoreRow(const double* user_row, int64_t user, int64_t item) const {
     const double* item_row = ItemRow(item);
     double s = simd::Dot(user_row, item_row, dim_);
@@ -123,20 +206,40 @@ class ModelSnapshot {
     return s + offset_;
   }
 
-  /// Payload bytes held by this snapshot (embedding blocks + biases +
-  /// CSR), for capacity accounting.
+  /// Payload bytes held by this snapshot (factor blocks at their stored
+  /// precision + int8 scales + biases + CSR), for capacity accounting.
   int64_t PayloadBytes() const;
 
+  /// Bytes of the factor blocks alone (including int8 per-row scales) —
+  /// the part quantization shrinks; BENCH_quant.json reports this per
+  /// user row.
+  int64_t FactorPayloadBytes() const;
+
  private:
+  friend std::shared_ptr<const ModelSnapshot> QuantizeSnapshot(
+      const ModelSnapshot& source, SnapshotPrecision target);
+
+  /// Quantized snapshots are assembled field-by-field by
+  /// QuantizeSnapshot; the public constructor stays kFp64-only.
+  ModelSnapshot() = default;
+
   int64_t num_users_ = 0;
   int64_t num_items_ = 0;
   int64_t dim_ = 0;
-  // Detached flat row-major blocks — never TensorStorage.
-  std::vector<double> user_factors_;  // [U * D]
-  std::vector<double> item_factors_;  // [I * D]
-  std::vector<double> user_bias_;     // [U] or empty
+  // Detached flat row-major blocks — never TensorStorage. Exactly one
+  // factor representation is populated, matching precision_.
+  std::vector<double> user_factors_;  // [U * D] (kFp64)
+  std::vector<double> item_factors_;  // [I * D] (kFp64)
+  std::vector<uint16_t> user_half_;   // [U * D] (kFp16, binary16 bits)
+  std::vector<uint16_t> item_half_;   // [I * D] (kFp16)
+  std::vector<int8_t> user_q8_;       // [U * D] (kInt8 codes)
+  std::vector<int8_t> item_q8_;       // [I * D] (kInt8)
+  std::vector<float> user_scale_;     // [U] per-row scales (kInt8)
+  std::vector<float> item_scale_;     // [I] (kInt8)
+  std::vector<double> user_bias_;     // [U] or empty (always binary64)
   std::vector<double> item_bias_;     // [I] or empty
   double offset_ = 0.0;
+  SnapshotPrecision precision_ = SnapshotPrecision::kFp64;
   SeenItemsCsr seen_;
   uint64_t version_ = 0;
   std::string source_;

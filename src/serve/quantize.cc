@@ -1,0 +1,160 @@
+#include "serve/quantize.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "serve/model_snapshot.h"
+#include "tensor/simd.h"
+#include "util/logging.h"
+
+namespace msopds {
+namespace serve {
+
+const char* SnapshotPrecisionName(SnapshotPrecision precision) {
+  switch (precision) {
+    case SnapshotPrecision::kFp64:
+      return "fp64";
+    case SnapshotPrecision::kFp16:
+      return "fp16";
+    case SnapshotPrecision::kInt8:
+      return "int8";
+  }
+  return "fp64";
+}
+
+bool ParseSnapshotPrecision(const std::string& text, SnapshotPrecision* out) {
+  MSOPDS_CHECK(out != nullptr);
+  if (text == "fp64") {
+    *out = SnapshotPrecision::kFp64;
+  } else if (text == "fp16") {
+    *out = SnapshotPrecision::kFp16;
+  } else if (text == "int8") {
+    *out = SnapshotPrecision::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// binary32 bits → binary16 bits, round-to-nearest-even. The magic-number
+// technique: normal halves round via an integer bias + mantissa-odd
+// nudge; subnormal halves round via one float addition against a
+// denormal magic constant (the float adder performs the RNE shift).
+uint16_t SingleBitsToHalf(uint32_t bits) {
+  const uint32_t kInfBits = 255u << 23;
+  const uint32_t kHalfMaxBits = (127u + 16u) << 23;  // 2^16: overflows half
+  const uint32_t kDenormMagicBits = ((127u - 15u) + (23u - 10u) + 1u) << 23;
+  const uint32_t sign = bits & 0x80000000u;
+  bits ^= sign;
+  uint16_t half;
+  if (bits >= kHalfMaxBits) {
+    // Overflow → ±inf; NaN keeps a quiet payload.
+    half = bits > kInfBits ? 0x7E00u : 0x7C00u;
+  } else if (bits < (113u << 23)) {  // < 2^-14: subnormal half or zero
+    float magic;
+    std::memcpy(&magic, &kDenormMagicBits, sizeof(magic));
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    value += magic;
+    std::memcpy(&bits, &value, sizeof(bits));
+    half = static_cast<uint16_t>(bits - kDenormMagicBits);
+  } else {
+    const uint32_t mantissa_odd = (bits >> 13) & 1u;
+    bits += (static_cast<uint32_t>(15 - 127) << 23) + 0xFFFu;
+    bits += mantissa_odd;
+    half = static_cast<uint16_t>(bits >> 13);
+  }
+  return static_cast<uint16_t>(half | (sign >> 16));
+}
+
+}  // namespace
+
+uint16_t DoubleToHalf(double value) {
+  // binary64 → binary32 is itself RNE; double rounding across the two
+  // steps can differ from direct binary64 → binary16 RNE only in the
+  // last binary16 ulp, which the round-trip tests bound. Factor values
+  // here come out of training at O(1) magnitude, far from both edges.
+  const float single = static_cast<float>(value);
+  uint32_t bits;
+  std::memcpy(&bits, &single, sizeof(bits));
+  return SingleBitsToHalf(bits);
+}
+
+void QuantizeRowsHalf(const double* values, int64_t count,
+                      std::vector<uint16_t>* out) {
+  MSOPDS_CHECK(out != nullptr);
+  MSOPDS_CHECK_GE(count, 0);
+  out->resize(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    (*out)[static_cast<size_t>(i)] = DoubleToHalf(values[i]);
+  }
+}
+
+void QuantizeRowsInt8(const double* rows, int64_t num_rows, int64_t dim,
+                      std::vector<int8_t>* values,
+                      std::vector<float>* scales) {
+  MSOPDS_CHECK(values != nullptr);
+  MSOPDS_CHECK(scales != nullptr);
+  MSOPDS_CHECK_GE(num_rows, 0);
+  MSOPDS_CHECK_GT(dim, 0);
+  values->assign(static_cast<size_t>(num_rows * dim), 0);
+  scales->assign(static_cast<size_t>(num_rows), 0.0f);
+  for (int64_t r = 0; r < num_rows; ++r) {
+    const double* row = rows + r * dim;
+    const double max_abs = simd::MaxAbs(row, dim);
+    if (!(max_abs > 0.0) || !std::isfinite(max_abs)) continue;
+    // Scale is stored in binary32 (the published format); quantize with
+    // the *stored* scale so dequantization q * scale reproduces the
+    // codes' intent exactly.
+    const float scale = static_cast<float>(max_abs / 127.0);
+    (*scales)[static_cast<size_t>(r)] = scale;
+    const double inv_scale = 1.0 / static_cast<double>(scale);
+    int8_t* codes = values->data() + r * dim;
+    for (int64_t d = 0; d < dim; ++d) {
+      long long q = std::llround(row[d] * inv_scale);
+      if (q > 127) q = 127;
+      if (q < -127) q = -127;
+      codes[d] = static_cast<int8_t>(q);
+    }
+  }
+}
+
+std::shared_ptr<const ModelSnapshot> QuantizeSnapshot(
+    const ModelSnapshot& source, SnapshotPrecision target) {
+  MSOPDS_CHECK(source.precision_ == SnapshotPrecision::kFp64);
+  std::shared_ptr<ModelSnapshot> snap(new ModelSnapshot());
+  snap->num_users_ = source.num_users_;
+  snap->num_items_ = source.num_items_;
+  snap->dim_ = source.dim_;
+  snap->user_bias_ = source.user_bias_;
+  snap->item_bias_ = source.item_bias_;
+  snap->offset_ = source.offset_;
+  snap->seen_ = source.seen_;
+  snap->version_ = source.version_;
+  snap->source_ = source.source_;
+  snap->precision_ = target;
+  switch (target) {
+    case SnapshotPrecision::kFp64:
+      snap->user_factors_ = source.user_factors_;
+      snap->item_factors_ = source.item_factors_;
+      break;
+    case SnapshotPrecision::kFp16:
+      QuantizeRowsHalf(source.user_factors_.data(),
+                       source.num_users_ * source.dim_, &snap->user_half_);
+      QuantizeRowsHalf(source.item_factors_.data(),
+                       source.num_items_ * source.dim_, &snap->item_half_);
+      break;
+    case SnapshotPrecision::kInt8:
+      QuantizeRowsInt8(source.user_factors_.data(), source.num_users_,
+                       source.dim_, &snap->user_q8_, &snap->user_scale_);
+      QuantizeRowsInt8(source.item_factors_.data(), source.num_items_,
+                       source.dim_, &snap->item_q8_, &snap->item_scale_);
+      break;
+  }
+  return snap;
+}
+
+}  // namespace serve
+}  // namespace msopds

@@ -58,6 +58,9 @@ void TopKSelector::Offer(int64_t item, double score) {
 std::vector<ScoredItem> TopKSelector::Take() {
   std::vector<ScoredItem> out = std::move(heap_);
   heap_.clear();
+  // The move stole the capacity; re-reserve so a reused selector never
+  // reallocates mid-offer-stream.
+  heap_.reserve(static_cast<size_t>(k_));
   std::sort(out.begin(), out.end(), RanksBefore);
   return out;
 }
@@ -110,7 +113,7 @@ TopKResult TopKForUsers(const ModelSnapshot& snapshot,
         const int64_t width = end - begin;
         std::vector<TopKSelector> selectors;
         selectors.reserve(static_cast<size_t>(width));
-        std::vector<const double*> rows(static_cast<size_t>(width));
+        std::vector<ModelSnapshot::UserRef> rows(static_cast<size_t>(width));
         std::vector<const int64_t*> seen(static_cast<size_t>(width), nullptr);
         std::vector<int64_t> seen_size(static_cast<size_t>(width), 0);
         std::vector<int64_t> seen_cursor(static_cast<size_t>(width), 0);
@@ -120,7 +123,7 @@ TopKResult TopKForUsers(const ModelSnapshot& snapshot,
           MSOPDS_CHECK_LT(user, snapshot.num_users());
           const int64_t local = a - begin;
           selectors.emplace_back(options.k);
-          rows[static_cast<size_t>(local)] = snapshot.UserRow(user);
+          rows[static_cast<size_t>(local)] = snapshot.UserRefFor(user);
           if (options.exclude_seen) {
             seen[static_cast<size_t>(local)] = snapshot.seen().Row(user);
             seen_size[static_cast<size_t>(local)] =
@@ -133,7 +136,8 @@ TopKResult TopKForUsers(const ModelSnapshot& snapshot,
           const int64_t tile_end = std::min(tile + kItemTile, num_items);
           for (int64_t local = 0; local < width; ++local) {
             const int64_t user = users[static_cast<size_t>(begin + local)];
-            const double* row = rows[static_cast<size_t>(local)];
+            const ModelSnapshot::UserRef& row =
+                rows[static_cast<size_t>(local)];
             const int64_t* excluded = seen[static_cast<size_t>(local)];
             const int64_t excluded_size =
                 seen_size[static_cast<size_t>(local)];
@@ -142,7 +146,7 @@ TopKResult TopKForUsers(const ModelSnapshot& snapshot,
             for (int64_t i = tile; i < tile_end; ++i) {
               while (cursor < excluded_size && excluded[cursor] < i) ++cursor;
               if (cursor < excluded_size && excluded[cursor] == i) continue;
-              selector.Offer(i, snapshot.ScoreRow(row, user, i));
+              selector.Offer(i, snapshot.ScoreRef(row, user, i));
             }
           }
         }

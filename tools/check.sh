@@ -2,6 +2,8 @@
 # Repo-wide correctness gate: build + tests (serial and MSOPDS_THREADS=4),
 # graph verifier + registry gradcheck, the serving (`serve`) and
 # overload/chaos (`serve_fault`) suites at 1 and 4 kernel threads,
+# the quantized-serving (`quant`) suite with the vector backends on and
+# forced off plus the quant_check parity CLI (DESIGN.md §15),
 # the determinism linter and the parallel write-overlap sweep
 # (DESIGN.md §13), a Clang -Wthread-safety build of the library,
 # sanitizer matrix (MSOPDS_SANITIZE=address/undefined,
@@ -132,6 +134,21 @@ if [ "${STAGE_RESULTS[-1]}" = "PASS" ]; then
     ctest --test-dir build -L simd --output-on-failure -j
   }
   run_stage "ctest-simd-parity" ctest_simd_parity
+  # Quantized-serving suite on the probed (vector) backend and with the
+  # vector paths forced off: the per-precision bit-identity and ranking
+  # parity bounds (DESIGN.md §15) must hold on both arms.
+  ctest_quant() {
+    ctest --test-dir build -L quant --output-on-failure -j
+  }
+  run_stage "ctest-quant" ctest_quant
+  ctest_quant_simd_off() {
+    MSOPDS_SIMD=0 ctest --test-dir build -L quant --output-on-failure -j
+  }
+  run_stage "ctest-quant-simd-off" ctest_quant_simd_off
+  # Standalone quantization parity CLI: kernel dispatch bit parity over
+  # every vector-tail remainder class, round-trip bounds, and end-to-end
+  # top-K backend/thread parity.
+  run_stage "quant-parity" ./build/tools/quant_check
   # Serving suite pinned to both thread counts: the engine's lists must
   # be bit-identical to the offline reference at any pool size, so the
   # label runs once serial and once multi-threaded.
@@ -179,6 +196,9 @@ else
   skip_stage "ctest-release-arena-off" "build failed"
   skip_stage "ctest-release-simd-off" "build failed"
   skip_stage "ctest-simd-parity" "build failed"
+  skip_stage "ctest-quant" "build failed"
+  skip_stage "ctest-quant-simd-off" "build failed"
+  skip_stage "quant-parity" "build failed"
   skip_stage "ctest-serve-t1" "build failed"
   skip_stage "ctest-serve-t4" "build failed"
   skip_stage "ctest-serve-fault-t1" "build failed"
@@ -248,11 +268,19 @@ if [ $SANITIZERS -eq 1 ]; then
         ctest --test-dir "$dir" -L simd --output-on-failure -j
       }
       run_stage "ctest-$san-simd" ctest_san_simd
+      # Quantized-serving suite under the sanitizer: the int8/fp16 tail
+      # loads and the quantize-time buffer sizing are exactly the class
+      # ASan/UBSan catch (plus UB from any out-of-range rounding).
+      ctest_san_quant() {
+        ctest --test-dir "$dir" -L quant --output-on-failure -j
+      }
+      run_stage "ctest-$san-quant" ctest_san_quant
     else
       skip_stage "ctest-$san" "build failed"
       skip_stage "ctest-$san-mt4" "build failed"
       skip_stage "ctest-$san-memory" "build failed"
       skip_stage "ctest-$san-simd" "build failed"
+      skip_stage "ctest-$san-quant" "build failed"
     fi
   done
   # ThreadSanitizer leg: the serving engine is the repo's first

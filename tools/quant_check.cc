@@ -1,0 +1,288 @@
+// quant_check: quantized-serving parity CLI (DESIGN.md §15).
+//
+// Gates CI (tools/check.sh stage "quant-parity") on three properties of
+// the quantized snapshot path, exiting non-zero on the first violation:
+//
+//   1. Kernel dispatch parity — simd::DotI8 and simd::DotF16 return
+//      bit-identical results from the active vector backend and the
+//      pinned scalar reference, for every length n in [0, 64] (covers
+//      every n mod 16 remainder class the vector tails branch on), over
+//      seeded random inputs including the extreme codes ±127 / half
+//      specials.
+//   2. Round-trip bounds — DoubleToHalf∘HalfToDouble stays within the
+//      binary16 half-ulp bound for normal values (relative error
+//      ≤ 2^-11) and is exact on specials (0, powers of two, inf);
+//      int8 quantize/dequantize stays within scale/2 per element.
+//   3. End-to-end ranking parity — TopKForUsers over fp64/fp16/int8
+//      snapshots of one synthetic MF model returns bit-identical
+//      (item, score) lists with the vector backend active vs forced
+//      scalar, and at 1 vs 4 kernel threads.
+//
+// Flags:
+//   --users=N --items=N --dim=D   synthetic snapshot size (default
+//                                 120 x 300 x 24)
+//   --max_n=N                     kernel length sweep bound (default 64)
+//   --seed=N                      RNG seed (default 11)
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "recsys/matrix_factorization.h"
+#include "serve/model_snapshot.h"
+#include "serve/quantize.h"
+#include "serve/topk.h"
+#include "tensor/simd.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace msopds {
+namespace {
+
+struct Args {
+  int64_t users = 120;
+  int64_t items = 300;
+  int64_t dim = 24;
+  int64_t max_n = 64;
+  uint64_t seed = 11;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--users=", 0) == 0) {
+      args.users = std::atoll(value_of("--users=").c_str());
+    } else if (arg.rfind("--items=", 0) == 0) {
+      args.items = std::atoll(value_of("--items=").c_str());
+    } else if (arg.rfind("--dim=", 0) == 0) {
+      args.dim = std::atoll(value_of("--dim=").c_str());
+    } else if (arg.rfind("--max_n=", 0) == 0) {
+      args.max_n = std::atoll(value_of("--max_n=").c_str());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = static_cast<uint64_t>(std::atoll(value_of("--seed=").c_str()));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+int failures = 0;
+
+void Fail(const char* stage, const std::string& detail) {
+  std::fprintf(stderr, "[FAIL] %s: %s\n", stage, detail.c_str());
+  ++failures;
+}
+
+// --- 1. kernel dispatch parity -------------------------------------------
+
+void CheckKernelParity(const Args& args) {
+  const simd::Backend active = simd::ActiveBackend();
+  if (active == simd::Backend::kScalar) {
+    std::printf("[quant_check] kernel parity: scalar-only build/host, "
+                "dispatch parity is trivial\n");
+  }
+  Rng rng(args.seed);
+  for (int64_t n = 0; n <= args.max_n; ++n) {
+    std::vector<int8_t> qa(static_cast<size_t>(n)),
+        qb(static_cast<size_t>(n));
+    std::vector<uint16_t> ha(static_cast<size_t>(n)),
+        hb(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      // Extreme codes at the ends so saturated rows are covered.
+      qa[i] = static_cast<int8_t>(rng.UniformInt(255) - 127);
+      qb[i] = static_cast<int8_t>(rng.UniformInt(255) - 127);
+      if (i == 0) qa[i] = 127;
+      if (i + 1 == n) qb[i] = -127;
+      ha[i] = serve::DoubleToHalf(rng.Uniform() * 8.0 - 4.0);
+      hb[i] = serve::DoubleToHalf(rng.Uniform() * 8.0 - 4.0);
+    }
+    const int32_t q_vec = simd::DotI8(qa.data(), qb.data(), n);
+    const double h_vec = simd::DotF16(ha.data(), hb.data(), n);
+    const simd::Backend prev =
+        simd::internal::SetBackendForTesting(simd::Backend::kScalar);
+    const int32_t q_ref = simd::DotI8(qa.data(), qb.data(), n);
+    const double h_ref = simd::DotF16(ha.data(), hb.data(), n);
+    simd::internal::SetBackendForTesting(prev);
+    if (q_vec != q_ref) {
+      Fail("DotI8 parity", "n=" + std::to_string(n) + " vector=" +
+                               std::to_string(q_vec) + " scalar=" +
+                               std::to_string(q_ref));
+    }
+    if (std::memcmp(&h_vec, &h_ref, sizeof(double)) != 0) {
+      Fail("DotF16 parity", "n=" + std::to_string(n) + " vector=" +
+                                std::to_string(h_vec) + " scalar=" +
+                                std::to_string(h_ref));
+    }
+  }
+  std::printf("[quant_check] kernel parity: n in [0, %lld] OK (backend %s)\n",
+              static_cast<long long>(args.max_n), simd::BackendName());
+}
+
+// --- 2. round-trip bounds ------------------------------------------------
+
+void CheckRoundTrip(const Args& args) {
+  // Half round trip: relative error within 2^-11 on normals, exact on
+  // representables.
+  Rng rng(args.seed + 1);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = (rng.Uniform() * 2.0 - 1.0) *
+                     std::ldexp(1.0, rng.UniformInt(30) - 14);
+    const double back = simd::HalfToDouble(serve::DoubleToHalf(v));
+    const double err = std::fabs(back - v);
+    const double bound = std::fabs(v) * std::ldexp(1.0, -11) +
+                         std::ldexp(1.0, -24);  // + subnormal half-ulp
+    if (err > bound) {
+      Fail("half round trip",
+           "v=" + std::to_string(v) + " back=" + std::to_string(back));
+    }
+  }
+  const double exact_cases[] = {0.0,   -0.0, 1.0,    -1.0,   2.0,
+                                0.5,   0.25, 1024.0, -512.0, 65504.0};
+  for (const double v : exact_cases) {
+    const double back = simd::HalfToDouble(serve::DoubleToHalf(v));
+    if (back != v) {
+      Fail("half exact case",
+           "v=" + std::to_string(v) + " back=" + std::to_string(back));
+    }
+  }
+  if (!std::isinf(
+          simd::HalfToDouble(serve::DoubleToHalf(1e300)))) {
+    Fail("half overflow", "1e300 must saturate to inf");
+  }
+  if (!std::isnan(simd::HalfToDouble(serve::DoubleToHalf(
+          std::nan(""))))) {
+    Fail("half nan", "NaN must round trip to NaN");
+  }
+
+  // Int8 round trip: |v - q*scale| <= scale/2 per element.
+  const int64_t rows = 64, dim = args.dim;
+  std::vector<double> block(static_cast<size_t>(rows * dim));
+  for (double& v : block) v = rng.Uniform() * 6.0 - 3.0;
+  // Planted all-zero row must dequantize to exact zeros.
+  for (int64_t j = 0; j < dim; ++j) block[static_cast<size_t>(j)] = 0.0;
+  std::vector<int8_t> q;
+  std::vector<float> scales;
+  serve::QuantizeRowsInt8(block.data(), rows, dim, &q, &scales);
+  for (int64_t r = 0; r < rows; ++r) {
+    const double scale = static_cast<double>(scales[static_cast<size_t>(r)]);
+    for (int64_t j = 0; j < dim; ++j) {
+      const double v = block[static_cast<size_t>(r * dim + j)];
+      const double deq =
+          static_cast<double>(q[static_cast<size_t>(r * dim + j)]) * scale;
+      // scale picks up one binary32 rounding; widen the half-step bound
+      // by one ulp's worth to absorb it.
+      const double bound = scale * 0.5 * (1.0 + 1e-6);
+      if (std::fabs(deq - v) > bound) {
+        Fail("int8 round trip", "row=" + std::to_string(r) + " j=" +
+                                    std::to_string(j) + " v=" +
+                                    std::to_string(v) + " deq=" +
+                                    std::to_string(deq));
+      }
+    }
+  }
+  for (int64_t j = 0; j < dim; ++j) {
+    if (q[static_cast<size_t>(j)] != 0) {
+      Fail("int8 zero row", "code " + std::to_string(j) + " not zero");
+    }
+  }
+  std::printf("[quant_check] round-trip bounds OK\n");
+}
+
+// --- 3. end-to-end ranking parity ---------------------------------------
+
+std::shared_ptr<const serve::ModelSnapshot> MakeSnapshot(const Args& args) {
+  Rng rng(args.seed + 2);
+  Dataset dataset;
+  dataset.name = "quant_check";
+  dataset.num_users = args.users;
+  dataset.num_items = args.items;
+  for (int64_t u = 0; u < args.users; ++u) {
+    for (int r = 0; r < 10; ++r) {
+      const int64_t item = rng.UniformInt(args.items);
+      if (!dataset.HasRating(u, item)) {
+        dataset.ratings.push_back({u, item, 5.0});
+      }
+    }
+  }
+  MfConfig config;
+  config.latent_dim = args.dim;
+  MatrixFactorization model(args.users, args.items, config, 3.5, &rng);
+  serve::SnapshotOptions options;
+  options.version = 1;
+  options.source = "mf-quant-check";
+  return serve::ModelSnapshot::FromModel(&model, dataset, options);
+}
+
+bool SameResult(const serve::TopKResult& a, const serve::TopKResult& b) {
+  return a.k == b.k && a.items == b.items && a.counts == b.counts &&
+         std::memcmp(a.scores.data(), b.scores.data(),
+                     a.scores.size() * sizeof(double)) == 0;
+}
+
+void CheckTopKParity(const Args& args) {
+  const auto fp64 = MakeSnapshot(args);
+  std::vector<int64_t> users(static_cast<size_t>(args.users));
+  std::iota(users.begin(), users.end(), 0);
+  serve::TopKOptions options;
+  options.k = 10;
+  for (const serve::SnapshotPrecision precision :
+       {serve::SnapshotPrecision::kFp64, serve::SnapshotPrecision::kFp16,
+        serve::SnapshotPrecision::kInt8}) {
+    const std::shared_ptr<const serve::ModelSnapshot> snapshot =
+        precision == serve::SnapshotPrecision::kFp64
+            ? fp64
+            : serve::QuantizeSnapshot(*fp64, precision);
+    const char* name = serve::SnapshotPrecisionName(precision);
+    ThreadPool::Global().SetNumThreads(1);
+    const serve::TopKResult vec1 =
+        serve::TopKForUsers(*snapshot, users, options);
+    ThreadPool::Global().SetNumThreads(4);
+    const serve::TopKResult vec4 =
+        serve::TopKForUsers(*snapshot, users, options);
+    ThreadPool::Global().SetNumThreads(1);
+    const simd::Backend prev =
+        simd::internal::SetBackendForTesting(simd::Backend::kScalar);
+    const serve::TopKResult scalar1 =
+        serve::TopKForUsers(*snapshot, users, options);
+    simd::internal::SetBackendForTesting(prev);
+    if (!SameResult(vec1, vec4)) {
+      Fail("topk thread parity", std::string(name) + ": threads 1 vs 4");
+    }
+    if (!SameResult(vec1, scalar1)) {
+      Fail("topk backend parity",
+           std::string(name) + ": vector vs scalar backend");
+    }
+  }
+  std::printf("[quant_check] topk parity (backend x threads) OK\n");
+}
+
+int Main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  CheckKernelParity(args);
+  CheckRoundTrip(args);
+  CheckTopKParity(args);
+  if (failures > 0) {
+    std::fprintf(stderr, "[quant_check] FAILED with %d finding(s)\n",
+                 failures);
+    return 1;
+  }
+  std::printf("[quant_check] all quantization parity checks passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace msopds
+
+int main(int argc, char** argv) { return msopds::Main(argc, argv); }
