@@ -71,11 +71,39 @@ inline bool WriteJsonFile(const std::string& path,
   return out.good();
 }
 
-/// Point-in-time memory snapshot: process peak RSS (VmHWM from
-/// /proc/self/status; 0 where procfs is unavailable) plus the tensor
-/// arena's counters. Sample() at the end of a bench to report how much
-/// memory the run actually touched alongside the arena's own accounting
-/// of live / cached / high-water tape bytes.
+/// Process-lifetime peak resident set in bytes (VmHWM from
+/// /proc/self/status, reported by the kernel in kB). Returns 0 where
+/// procfs is unavailable — the portable fallback — so callers must treat
+/// 0 as "unknown", never as "tiny".
+inline int64_t PeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::atoll(line.c_str() + 6) * 1024;
+    }
+  }
+  return 0;
+}
+
+/// Resets the kernel's peak-RSS watermark (Linux: "5" into
+/// /proc/self/clear_refs) so a bench can attribute peaks to phases —
+/// scale_bench splits ingest from training this way. Returns false where
+/// the platform does not support it; callers then report one
+/// whole-process peak instead of per-phase peaks.
+inline bool ResetPeakRss() {
+  std::ofstream clear_refs("/proc/self/clear_refs");
+  if (!clear_refs.is_open()) return false;
+  clear_refs << "5";
+  clear_refs.flush();
+  return clear_refs.good();
+}
+
+/// Point-in-time memory snapshot: process peak RSS (PeakRssBytes; 0
+/// where procfs is unavailable) plus the tensor arena's counters.
+/// Sample() at the end of a bench to report how much memory the run
+/// actually touched alongside the arena's own accounting of live /
+/// cached / high-water tape bytes.
 struct MemStats {
   int64_t peak_rss_kb = 0;
   ArenaStats arena;
@@ -83,17 +111,46 @@ struct MemStats {
   static MemStats Sample() {
     MemStats stats;
     stats.arena = Arena::Global().stats();
-    std::ifstream status("/proc/self/status");
-    std::string line;
-    while (std::getline(status, line)) {
-      if (line.rfind("VmHWM:", 0) == 0) {
-        stats.peak_rss_kb = std::atoll(line.c_str() + 6);
-        break;
-      }
-    }
+    stats.peak_rss_kb = PeakRssBytes() / 1024;
     return stats;
   }
 };
+
+/// One BENCH_scale.json row: synthetic dataset size × storage mode, with
+/// the ingest and training phases' wall time and peak RSS reported
+/// separately (ResetPeakRss between the phases where supported).
+struct ScaleRowStats {
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_ratings = 0;
+  /// "inmem" (whole dataset resident) or "ooc" (shard-at-a-time).
+  std::string mode = "inmem";
+  /// Shard count of the out-of-core arms; 0 for the in-memory arm.
+  int64_t num_shards = 0;
+  double ingest_seconds = 0.0;
+  double train_seconds = 0.0;
+  int64_t ingest_peak_rss_bytes = 0;
+  int64_t train_peak_rss_bytes = 0;
+  /// Largest single shard file; the out-of-core working-set bound.
+  int64_t peak_shard_bytes = 0;
+  double final_loss = 0.0;
+};
+
+/// Emits one scale-trajectory row into the current JSON object. Call
+/// between Key/Value pairs of an open object, like WriteRobustnessFields.
+inline void WriteScaleFields(JsonWriter* json, const ScaleRowStats& row) {
+  json->Key("users").Int(row.num_users);
+  json->Key("items").Int(row.num_items);
+  json->Key("ratings").Int(row.num_ratings);
+  json->Key("mode").String(row.mode);
+  json->Key("shards").Int(row.num_shards);
+  json->Key("ingest_seconds").Double(row.ingest_seconds);
+  json->Key("train_seconds").Double(row.train_seconds);
+  json->Key("ingest_peak_rss_bytes").Int(row.ingest_peak_rss_bytes);
+  json->Key("train_peak_rss_bytes").Int(row.train_peak_rss_bytes);
+  json->Key("peak_shard_bytes").Int(row.peak_shard_bytes);
+  json->Key("final_loss").Double(row.final_loss);
+}
 
 /// Static-analysis posture the bench numbers were produced under: the
 /// determinism linter's counts over the source tree this binary was
@@ -329,11 +386,12 @@ class SweepRunner {
       if (cached->threads != threads_) {
         std::fprintf(stderr,
                      "[checkpoint] %s:%lld: cell '%s' was recorded at %d "
-                     "thread(s) but this run uses %d; rerun with "
-                     "--threads=%d or a fresh --checkpoint file\n",
+                     "thread(s) by worker %d but this run uses %d; rerun "
+                     "with --threads=%d or a fresh --checkpoint file\n",
                      store_.path().c_str(),
                      static_cast<long long>(cached->source_line), key.c_str(),
-                     cached->threads, threads_, cached->threads);
+                     cached->threads, cached->worker_id, threads_,
+                     cached->threads);
         std::exit(2);
       }
       return *cached;
@@ -356,6 +414,7 @@ class SweepRunner {
     record.repeats = outcome.stats.repeats;
     record.unhealthy_repeats = outcome.unhealthy_repeats;
     record.threads = threads_;
+    record.worker_id = worker_id_;
     record.error = outcome.error;
     store_.Append(record);
     return record;
@@ -367,10 +426,15 @@ class SweepRunner {
   /// Kernel thread count this sweep runs (and records) its cells at.
   int threads() const { return threads_; }
 
+  /// Stamps records with a sweep-orchestrator worker id (0, the
+  /// default, is the single-process driver).
+  void set_worker_id(int worker_id) { worker_id_ = worker_id; }
+
  private:
   CheckpointStore store_;
   int executed_cells_ = 0;
   int threads_ = 1;
+  int worker_id_ = 0;
 };
 
 /// Prints one table row: method name then (rbar, hr) pairs per column.

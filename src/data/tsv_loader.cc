@@ -22,30 +22,32 @@ int64_t Intern(std::unordered_map<int64_t, int64_t>* table, int64_t raw) {
 StatusOr<Dataset> LoadTsv(const std::string& ratings_path,
                           const std::string& trust_path,
                           const TsvOptions& options) {
-  auto rating_rows = ReadDelimitedWithLines(ratings_path, options.delimiter);
-  if (!rating_rows.ok()) return rating_rows.status();
-  auto trust_rows = ReadDelimitedWithLines(trust_path, options.delimiter);
-  if (!trust_rows.ok()) return trust_rows.status();
-
+  // Both files are streamed line-at-a-time (ForEachDelimitedRow), so the
+  // loader's peak memory is the interned tables plus one line — it never
+  // materializes a whole file. Errors carry the byte offset of the line
+  // alongside path:line so huge inputs can be seeked directly.
+  //
   // Bad-row tolerance shared across both files: a row that fails to
   // parse is skipped (with its source location logged) until the budget
   // runs out; the row that exhausts it fails the whole load.
   int bad_rows = 0;
-  auto tolerate = [&](const std::string& path, int64_t line,
+  auto tolerate = [&](const std::string& path, int64_t line, int64_t offset,
                       const std::string& reason) {
     ++bad_rows;
     const bool tolerated = bad_rows <= options.max_bad_rows;
     if (tolerated) {
-      MSOPDS_LOG(Warning) << path << ":" << line << ": " << reason
-                          << " (skipped; bad row " << bad_rows << "/"
-                          << options.max_bad_rows << " tolerated)";
+      MSOPDS_LOG(Warning) << path << ":" << line << " (byte " << offset
+                          << "): " << reason << " (skipped; bad row "
+                          << bad_rows << "/" << options.max_bad_rows
+                          << " tolerated)";
     }
     return tolerated;
   };
-  auto located = [](const std::string& path, int64_t line,
+  auto located = [](const std::string& path, int64_t line, int64_t offset,
                     const std::string& reason) {
-    return StrFormat("%s:%lld: %s", path.c_str(),
-                     static_cast<long long>(line), reason.c_str());
+    return StrFormat("%s:%lld (byte %lld): %s", path.c_str(),
+                     static_cast<long long>(line),
+                     static_cast<long long>(offset), reason.c_str());
   };
 
   std::unordered_map<int64_t, int64_t> user_ids;
@@ -54,37 +56,50 @@ StatusOr<Dataset> LoadTsv(const std::string& ratings_path,
   std::unordered_map<uint64_t, double> values;
   std::vector<uint64_t> order;
 
-  for (const auto& row : rating_rows.value()) {
-    if (row.fields.size() < 3) {
-      const std::string reason = "ratings row needs 3 fields";
-      if (tolerate(ratings_path, row.line, reason)) continue;
-      return Status::InvalidArgument(located(ratings_path, row.line, reason));
-    }
-    int64_t raw_user = 0, raw_item = 0;
-    double value = 0.0;
-    if (!ParseInt64(row.fields[0], &raw_user) ||
-        !ParseInt64(row.fields[1], &raw_item) ||
-        !ParseDouble(row.fields[2], &value)) {
-      const std::string reason = "malformed ratings row";
-      if (tolerate(ratings_path, row.line, reason)) continue;
-      return Status::InvalidArgument(located(ratings_path, row.line, reason));
-    }
-    if (value < kMinRating || value > kMaxRating) {
-      const std::string reason =
-          StrFormat("rating %.3f outside [1,5]", value);
-      if (tolerate(ratings_path, row.line, reason)) continue;
-      return Status::OutOfRange(located(ratings_path, row.line, reason));
-    }
-    const int64_t user = Intern(&user_ids, raw_user);
-    const int64_t item = Intern(&item_ids, raw_item);
-    const uint64_t key =
-        (static_cast<uint64_t>(user) << 32) | static_cast<uint64_t>(item);
-    if (values.emplace(key, value).second) {
-      order.push_back(key);
-    } else {
-      values[key] = value;
-    }
-  }
+  Status scan = ForEachDelimitedRow(
+      ratings_path, options.delimiter,
+      [&](const DelimitedRow& row, int64_t offset) {
+        if (row.fields.size() < 3) {
+          const std::string reason = "ratings row needs 3 fields";
+          if (tolerate(ratings_path, row.line, offset, reason)) {
+            return Status::Ok();
+          }
+          return Status::InvalidArgument(
+              located(ratings_path, row.line, offset, reason));
+        }
+        int64_t raw_user = 0, raw_item = 0;
+        double value = 0.0;
+        if (!ParseInt64(row.fields[0], &raw_user) ||
+            !ParseInt64(row.fields[1], &raw_item) ||
+            !ParseDouble(row.fields[2], &value)) {
+          const std::string reason = "malformed ratings row";
+          if (tolerate(ratings_path, row.line, offset, reason)) {
+            return Status::Ok();
+          }
+          return Status::InvalidArgument(
+              located(ratings_path, row.line, offset, reason));
+        }
+        if (value < kMinRating || value > kMaxRating) {
+          const std::string reason =
+              StrFormat("rating %.3f outside [1,5]", value);
+          if (tolerate(ratings_path, row.line, offset, reason)) {
+            return Status::Ok();
+          }
+          return Status::OutOfRange(
+              located(ratings_path, row.line, offset, reason));
+        }
+        const int64_t user = Intern(&user_ids, raw_user);
+        const int64_t item = Intern(&item_ids, raw_item);
+        const uint64_t key =
+            (static_cast<uint64_t>(user) << 32) | static_cast<uint64_t>(item);
+        if (values.emplace(key, value).second) {
+          order.push_back(key);
+        } else {
+          values[key] = value;
+        }
+        return Status::Ok();
+      });
+  if (!scan.ok()) return scan;
 
   Dataset dataset;
   dataset.name = options.name;
@@ -97,25 +112,36 @@ StatusOr<Dataset> LoadTsv(const std::string& ratings_path,
                                values.at(key)});
   }
 
-  for (const auto& row : trust_rows.value()) {
-    if (row.fields.size() < 2) {
-      const std::string reason = "trust row needs 2 fields";
-      if (tolerate(trust_path, row.line, reason)) continue;
-      return Status::InvalidArgument(located(trust_path, row.line, reason));
-    }
-    int64_t raw_a = 0, raw_b = 0;
-    if (!ParseInt64(row.fields[0], &raw_a) ||
-        !ParseInt64(row.fields[1], &raw_b)) {
-      const std::string reason = "malformed trust row";
-      if (tolerate(trust_path, row.line, reason)) continue;
-      return Status::InvalidArgument(located(trust_path, row.line, reason));
-    }
-    // Only keep links between users that appear in the rating records.
-    auto ia = user_ids.find(raw_a);
-    auto ib = user_ids.find(raw_b);
-    if (ia == user_ids.end() || ib == user_ids.end()) continue;
-    dataset.social.AddEdge(ia->second, ib->second);
-  }
+  scan = ForEachDelimitedRow(
+      trust_path, options.delimiter,
+      [&](const DelimitedRow& row, int64_t offset) {
+        if (row.fields.size() < 2) {
+          const std::string reason = "trust row needs 2 fields";
+          if (tolerate(trust_path, row.line, offset, reason)) {
+            return Status::Ok();
+          }
+          return Status::InvalidArgument(
+              located(trust_path, row.line, offset, reason));
+        }
+        int64_t raw_a = 0, raw_b = 0;
+        if (!ParseInt64(row.fields[0], &raw_a) ||
+            !ParseInt64(row.fields[1], &raw_b)) {
+          const std::string reason = "malformed trust row";
+          if (tolerate(trust_path, row.line, offset, reason)) {
+            return Status::Ok();
+          }
+          return Status::InvalidArgument(
+              located(trust_path, row.line, offset, reason));
+        }
+        // Only keep links between users that appear in the rating records.
+        auto ia = user_ids.find(raw_a);
+        auto ib = user_ids.find(raw_b);
+        if (ia != user_ids.end() && ib != user_ids.end()) {
+          dataset.social.AddEdge(ia->second, ib->second);
+        }
+        return Status::Ok();
+      });
+  if (!scan.ok()) return scan;
 
   std::vector<RaterRecord> records;
   records.reserve(dataset.ratings.size());

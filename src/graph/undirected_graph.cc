@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace msopds {
 
@@ -87,6 +88,59 @@ void UndirectedGraph::AddNodes(int64_t count) {
   MSOPDS_CHECK_GE(count, 0);
   num_nodes_ += count;
   adjacency_.resize(static_cast<size_t>(num_nodes_));
+}
+
+StatusOr<UndirectedGraph> UndirectedGraph::FromAdjacency(
+    std::vector<std::vector<int64_t>> adjacency) {
+  const int64_t num_nodes = static_cast<int64_t>(adjacency.size());
+  // Directed occurrences (a -> b), used both for duplicate detection and
+  // for the symmetry check below.
+  std::unordered_set<uint64_t> directed;
+  int64_t total_entries = 0;
+  for (int64_t a = 0; a < num_nodes; ++a) {
+    for (int64_t b : adjacency[static_cast<size_t>(a)]) {
+      if (b < 0 || b >= num_nodes) {
+        return Status::InvalidArgument(StrFormat(
+            "adjacency[%lld] names out-of-range node %lld (num_nodes %lld)",
+            static_cast<long long>(a), static_cast<long long>(b),
+            static_cast<long long>(num_nodes)));
+      }
+      if (b == a) {
+        return Status::InvalidArgument(
+            StrFormat("adjacency[%lld] contains a self-loop",
+                      static_cast<long long>(a)));
+      }
+      const uint64_t key =
+          (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+      if (!directed.insert(key).second) {
+        return Status::InvalidArgument(
+            StrFormat("adjacency[%lld] lists neighbor %lld twice",
+                      static_cast<long long>(a), static_cast<long long>(b)));
+      }
+      ++total_entries;
+    }
+  }
+  UndirectedGraph graph(num_nodes);
+  for (int64_t a = 0; a < num_nodes; ++a) {
+    for (int64_t b : adjacency[static_cast<size_t>(a)]) {
+      const uint64_t mate =
+          (static_cast<uint64_t>(b) << 32) | static_cast<uint64_t>(a);
+      if (directed.count(mate) == 0) {
+        return Status::InvalidArgument(StrFormat(
+            "adjacency is asymmetric: %lld lists %lld but not vice versa",
+            static_cast<long long>(a), static_cast<long long>(b)));
+      }
+      graph.edge_set_.insert(EncodeEdge(a, b));
+    }
+  }
+  graph.adjacency_ = std::move(adjacency);
+  graph.num_edges_ = total_entries / 2;
+  return graph;
+}
+
+bool UndirectedGraph::SameStructure(const UndirectedGraph& other) const {
+  return num_nodes_ == other.num_nodes_ && num_edges_ == other.num_edges_ &&
+         adjacency_ == other.adjacency_;
 }
 
 }  // namespace msopds

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/status.h"
+
 namespace msopds {
 
 /// Simple undirected graph with O(1) edge lookup and adjacency lists,
@@ -45,6 +47,22 @@ class UndirectedGraph {
   /// Grows the node set (new nodes start isolated). Used to append fake
   /// user accounts to the social network.
   void AddNodes(int64_t count);
+
+  /// Reconstructs a graph from explicit per-node adjacency lists,
+  /// preserving each list's order exactly (the shard merge path: shards
+  /// store adjacency slices verbatim, and Neighbors() order is part of
+  /// the bit-identity contract, so the merged graph must not re-insert
+  /// edges through AddEdge). Returns InvalidArgument unless the lists
+  /// describe a valid simple undirected graph: every neighbor in range,
+  /// no self-loops, no duplicate entries, and every a->b mirrored by
+  /// b->a.
+  static StatusOr<UndirectedGraph> FromAdjacency(
+      std::vector<std::vector<int64_t>> adjacency);
+
+  /// True iff both graphs have identical node counts and identical
+  /// adjacency lists element-for-element (stronger than set equality:
+  /// Neighbors() order must match too).
+  bool SameStructure(const UndirectedGraph& other) const;
 
  private:
   static uint64_t EncodeEdge(int64_t a, int64_t b);

@@ -61,6 +61,9 @@ class MatrixFactorization : public RatingModel {
   /// Factor tables, both bias vectors, and the global mean as the offset.
   ServingParams ExportServingParams() override;
 
+  const MfConfig& config() const { return config_; }
+  double global_mean() const { return global_mean_; }
+
  private:
   MfParams Bundle() const;
 

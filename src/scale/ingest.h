@@ -1,0 +1,66 @@
+#ifndef MSOPDS_SCALE_INGEST_H_
+#define MSOPDS_SCALE_INGEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace msopds {
+namespace scale {
+
+/// Options for IngestTsvToShards. Delimiter / name / bad-row tolerance
+/// mirror TsvOptions so the ingester accepts exactly the inputs LoadTsv
+/// accepts.
+struct IngestOptions {
+  char delimiter = '\t';
+  std::string name = "tsv";
+  /// Rows (across both files) that may fail to parse before the ingest
+  /// is abandoned, mirroring TsvOptions::max_bad_rows.
+  int max_bad_rows = 0;
+  int64_t num_shards = 1;
+  /// The item co-rating graph is inherently global (co-rated pairs span
+  /// user shards), so building it costs one O(total ratings) in-memory
+  /// pass — the only stage of the ingest whose memory is not bounded by
+  /// a single shard. Set false for strict per-shard memory; the shards
+  /// then carry an empty item graph (documented in DESIGN.md §17).
+  bool build_item_graph = true;
+};
+
+/// Summary of one ingest run.
+struct IngestStats {
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_ratings = 0;     // after (user, item) de-duplication
+  int64_t rating_rows = 0;     // valid rating rows seen (pre-dedup)
+  int64_t trust_rows = 0;      // valid trust rows seen
+  int64_t bad_rows = 0;        // tolerated parse failures
+  int64_t social_edges = 0;    // undirected, between known users
+  std::vector<std::string> shard_paths;
+};
+
+/// Streams a ratings TSV + trust TSV directly into a sharded dataset
+/// under `shard_dir`, without ever materializing the whole dataset:
+///
+///   pass 1  stream ratings: intern ids, validate, count (one line
+///           resident at a time);
+///   pass 2  stream trust, then re-stream ratings, spilling fixed-width
+///           binary tuples into per-shard spill files (owner routing
+///           needs the final user count, hence the second ratings pass);
+///   finalize  per shard: sort + de-duplicate its spill (last write wins
+///           per (user, item); sequence number = first occurrence) and
+///           write the shard file. Peak memory here is one shard.
+///
+/// The resulting shard set merges (MergeShards) to a dataset bit-identical
+/// to LoadTsv over the same files — same interning order, same rating
+/// order, same social adjacency order — asserted by ctest -L scale.
+StatusOr<IngestStats> IngestTsvToShards(const std::string& ratings_path,
+                                        const std::string& trust_path,
+                                        const std::string& shard_dir,
+                                        const IngestOptions& options);
+
+}  // namespace scale
+}  // namespace msopds
+
+#endif  // MSOPDS_SCALE_INGEST_H_

@@ -156,6 +156,7 @@ std::string CellRecordToJson(const CellRecord& record) {
   json.Key("repeats").Int(record.repeats);
   json.Key("unhealthy_repeats").Int(record.unhealthy_repeats);
   json.Key("threads").Int(record.threads);
+  json.Key("worker").Int(record.worker_id);
   json.Key("error").String(record.error);
   json.EndObject();
   return json.TakeString();
@@ -210,6 +211,12 @@ StatusOr<CellRecord> ParseCellRecordImpl(const std::string& line) {
   double threads = 1.0;
   if (number("threads", &threads)) {
     record.threads = static_cast<int>(threads);
+  }
+  // Absent in records written before the sweep orchestrator: those came
+  // from the single-process driver, worker 0.
+  double worker = 0.0;
+  if (number("worker", &worker)) {
+    record.worker_id = static_cast<int>(worker);
   }
   quoted("error", &record.error);
   return record;

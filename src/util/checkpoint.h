@@ -28,6 +28,11 @@ struct CellRecord {
   /// timings are not, so resumed sweeps refuse to mix thread counts.
   /// Records written before this field existed parse as 1.
   int threads = 1;
+  /// Sweep-orchestrator worker that produced the cell (0 = the
+  /// single-process driver). Diagnostics only — merged sweeps compare
+  /// records modulo this field. Records written before it existed parse
+  /// as 0, mirroring the `threads` precedent above.
+  int worker_id = 0;
   /// Failure description when !ok.
   std::string error;
   /// 1-based line number this record was loaded from (0 for records that
@@ -68,6 +73,10 @@ class CheckpointStore {
 
   /// Record for `key`, or nullptr when the cell has not completed yet.
   const CellRecord* Find(const std::string& key) const;
+
+  /// All records in insertion order (duplicates already collapsed to the
+  /// last write). The orchestrator's segment merge iterates this.
+  const std::vector<CellRecord>& records() const { return records_; }
 
   /// Records one completed cell (and persists it when backed by a file).
   void Append(const CellRecord& record);

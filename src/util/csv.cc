@@ -20,20 +20,40 @@ StatusOr<std::vector<std::vector<std::string>>> ReadDelimited(
 
 StatusOr<std::vector<DelimitedRow>> ReadDelimitedWithLines(
     const std::string& path, char delimiter) {
+  std::vector<DelimitedRow> rows;
+  const Status status = ForEachDelimitedRow(
+      path, delimiter, [&rows](const DelimitedRow& row, int64_t) {
+        rows.push_back(row);
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
+  return rows;
+}
+
+Status ForEachDelimitedRow(
+    const std::string& path, char delimiter,
+    const std::function<Status(const DelimitedRow& row, int64_t byte_offset)>&
+        fn) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::NotFound("cannot open " + path);
   }
-  std::vector<DelimitedRow> rows;
+  DelimitedRow row;
   std::string line;
-  int64_t line_number = 0;
+  int64_t offset = 0;
   while (std::getline(in, line)) {
-    ++line_number;
+    const int64_t line_offset = offset;
+    // +1 for the newline getline consumed; if the final line has no
+    // trailing newline there is no subsequent callback to observe it.
+    offset += static_cast<int64_t>(line.size()) + 1;
+    ++row.line;
     const std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped.front() == '#') continue;
-    rows.push_back({StrSplit(stripped, delimiter), line_number});
+    row.fields = StrSplit(stripped, delimiter);
+    const Status status = fn(row, line_offset);
+    if (!status.ok()) return status;
   }
-  return rows;
+  return Status::Ok();
 }
 
 Status WriteDelimited(const std::string& path,

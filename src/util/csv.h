@@ -1,6 +1,7 @@
 #ifndef MSOPDS_UTIL_CSV_H_
 #define MSOPDS_UTIL_CSV_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,17 @@ struct DelimitedRow {
 /// comment lines still advance the counter).
 StatusOr<std::vector<DelimitedRow>> ReadDelimitedWithLines(
     const std::string& path, char delimiter);
+
+/// Streaming variant: one pass over the file, invoking `fn` for every
+/// non-blank, non-comment row with the parsed row and the byte offset of
+/// the start of its line. The row object (and the line buffer behind it)
+/// is reused between calls — copy out anything that must outlive the
+/// callback. A non-OK status from `fn` aborts the scan and is returned.
+/// Peak memory is one line, independent of file size.
+Status ForEachDelimitedRow(
+    const std::string& path, char delimiter,
+    const std::function<Status(const DelimitedRow& row, int64_t byte_offset)>&
+        fn);
 
 /// Writes rows as a delimiter-separated file (no quoting; fields must not
 /// contain the delimiter or newlines — CHECKed).

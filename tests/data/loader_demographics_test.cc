@@ -80,8 +80,9 @@ TEST(TsvLoaderTest, ErrorsCarryPathAndLineNumber) {
   }
   auto loaded = LoadTsv(ratings_path, trust_path);
   ASSERT_FALSE(loaded.ok());
-  // "path:line: reason" — the bad row sits on line 3 of the file.
-  EXPECT_NE(loaded.status().message().find(ratings_path + ":3:"),
+  // "path:line (byte N): reason" — the bad row sits on line 3 of the
+  // file, 16 bytes in ("# comment\n" + "1\t2\t3\n").
+  EXPECT_NE(loaded.status().message().find(ratings_path + ":3 (byte 16):"),
             std::string::npos)
       << loaded.status().ToString();
   std::remove(ratings_path.c_str());

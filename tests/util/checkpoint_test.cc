@@ -80,6 +80,22 @@ TEST(CellRecordTest, ThreadsRoundTripsAndLegacyRecordsDefaultToOne) {
   EXPECT_EQ(legacy.value().threads, 1);
 }
 
+TEST(CellRecordTest, WorkerIdRoundTripsAndLegacyRecordsDefaultToZero) {
+  CellRecord record = MakeRecord("k", 1.0, 0.5);
+  record.worker_id = 3;
+  auto parsed = ParseCellRecord(CellRecordToJson(record));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().worker_id, 3);
+  // Records written before the sweep orchestrator carry no "worker"
+  // field: those came from the single-process driver, worker 0
+  // (mirroring the `threads` precedent above).
+  auto legacy = ParseCellRecord(
+      "{\"key\":\"k\",\"ok\":true,\"rbar\":1.0,\"hr\":0.5,\"repeats\":3,"
+      "\"unhealthy_repeats\":0,\"threads\":1,\"error\":\"\"}");
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy.value().worker_id, 0);
+}
+
 TEST(CellRecordTest, MalformedLineRejected) {
   EXPECT_FALSE(ParseCellRecord("{\"key\":\"a\",\"ok\":tr").ok());
   EXPECT_FALSE(ParseCellRecord("not json at all").ok());

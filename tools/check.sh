@@ -4,6 +4,8 @@
 # overload/chaos (`serve_fault`) suites at 1 and 4 kernel threads,
 # the quantized-serving (`quant`) suite with the vector backends on and
 # forced off plus the quant_check parity CLI (DESIGN.md §15),
+# the million-user substrate (`scale`) suite plus a real 2-worker
+# sweep_runner smoke sweep (DESIGN.md §17),
 # the determinism linter and the parallel write-overlap sweep
 # (DESIGN.md §13), a Clang -Wthread-safety build of the library,
 # sanitizer matrix (MSOPDS_SANITIZE=address/undefined,
@@ -175,6 +177,28 @@ if [ "${STAGE_RESULTS[-1]}" = "PASS" ]; then
       --output-on-failure -j
   }
   run_stage "ctest-serve-fault-t4" ctest_serve_fault_t4
+  # Million-user substrate suite (DESIGN.md §17): shard-merge and
+  # out-of-core training bit-identity, streaming-ingest equivalence, and
+  # the orchestrator's SIGKILL-a-worker recovery contract.
+  ctest_scale() {
+    ctest --test-dir build -L scale --output-on-failure -j
+  }
+  run_stage "ctest-scale" ctest_scale
+  # Crash-safe sweep smoke: a real 2-worker subprocess sweep over a
+  # 4-cell toy grid, exercising dispatch, segment merge, and clean
+  # shutdown outside the test harness.
+  sweep_smoke() {
+    local dir
+    dir=$(mktemp -d) || return 1
+    ./build/tools/sweep_runner --mode=master --workers=2 \
+      --work_dir="$dir" --cells=4 --users=32 --items=24 --epochs=2
+    local rc=$?
+    [ $rc -eq 0 ] && [ -s "$dir/sweep.ckpt" ]
+    rc=$?
+    rm -rf "$dir"
+    return $rc
+  }
+  run_stage "sweep-smoke" sweep_smoke
   run_stage "verify-graph" ./build/tools/verify_graph
   # Determinism/concurrency linter over the whole source tree: raw sync
   # primitives outside util/sync.h, ambient RNG, unordered iteration
@@ -203,6 +227,8 @@ else
   skip_stage "ctest-serve-t4" "build failed"
   skip_stage "ctest-serve-fault-t1" "build failed"
   skip_stage "ctest-serve-fault-t4" "build failed"
+  skip_stage "ctest-scale" "build failed"
+  skip_stage "sweep-smoke" "build failed"
   skip_stage "verify-graph" "build failed"
   skip_stage "determinism-lint" "build failed"
   skip_stage "overlap-verify" "build failed"
@@ -275,12 +301,20 @@ if [ $SANITIZERS -eq 1 ]; then
         ctest --test-dir "$dir" -L quant --output-on-failure -j
       }
       run_stage "ctest-$san-quant" ctest_san_quant
+      # Scale suite under the sanitizer: mmap'd shard payload reads,
+      # the ingest spill buffers, and the orchestrator's fork/pipe
+      # lifetime handling are exactly the class ASan/UBSan catch.
+      ctest_san_scale() {
+        ctest --test-dir "$dir" -L scale --output-on-failure -j
+      }
+      run_stage "ctest-$san-scale" ctest_san_scale
     else
       skip_stage "ctest-$san" "build failed"
       skip_stage "ctest-$san-mt4" "build failed"
       skip_stage "ctest-$san-memory" "build failed"
       skip_stage "ctest-$san-simd" "build failed"
       skip_stage "ctest-$san-quant" "build failed"
+      skip_stage "ctest-$san-scale" "build failed"
     fi
   done
   # ThreadSanitizer leg: the serving engine is the repo's first

@@ -1,0 +1,276 @@
+// Crash-safe multi-process sweep driver (DESIGN.md §17). One binary,
+// three modes:
+//
+//   --mode=master  (default) farms the cells of a small deterministic MF
+//                  sweep out to --workers=N subprocesses of itself via
+//                  scale::SweepOrchestrator, then merges the per-worker
+//                  segments into <work_dir>/sweep.ckpt;
+//   --mode=worker  the subprocess side: speaks the CELL/DONE stdin/stdout
+//                  protocol and appends finished cells to its --segment;
+//   --mode=inline  single-process reference arm (RunInline, worker 0):
+//                  same cells, same merge, no subprocesses.
+//
+// Fault seeding for the orchestrator tests and check.sh's sweep-smoke
+// stage: --fault_kill_cell=N makes a worker SIGKILL itself before
+// persisting its N-th executed cell — but only the first worker to grab
+// --kill_marker (O_CREAT|O_EXCL), so one run loses exactly one in-flight
+// cell and the respawned replacement does not crash again.
+//
+// Cells are deterministic in their key (synthetic dataset seeded by the
+// cell index, full-batch MF training), so the master and inline arms
+// produce byte-identical merged checkpoints modulo the worker id — the
+// orchestrator's recovery contract, asserted by ctest -L scale.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "recsys/matrix_factorization.h"
+#include "recsys/trainer.h"
+#include "scale/orchestrator.h"
+#include "util/fault.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+namespace msopds {
+namespace {
+
+struct RunnerFlags {
+  std::string mode = "master";
+  int workers = 2;
+  std::string work_dir;
+  int cells = 4;
+  uint64_t seed = 7;
+  int users = 48;
+  int items = 32;
+  int epochs = 4;
+  // Worker-side flags appended by the orchestrator.
+  int worker_id = 0;
+  std::string segment;
+  // Fault seeding.
+  int fault_kill_cell = -1;
+  std::string kill_marker;
+};
+
+RunnerFlags ParseFlags(int argc, char** argv) {
+  RunnerFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const size_t n = std::string(prefix).size();
+      if (arg.rfind(prefix, 0) == 0) return arg.c_str() + n;
+      return nullptr;
+    };
+    if (const char* v = value_of("--mode=")) {
+      flags.mode = v;
+    } else if (const char* v = value_of("--workers=")) {
+      flags.workers = std::atoi(v);
+    } else if (const char* v = value_of("--work_dir=")) {
+      flags.work_dir = v;
+    } else if (const char* v = value_of("--cells=")) {
+      flags.cells = std::atoi(v);
+    } else if (const char* v = value_of("--seed=")) {
+      flags.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value_of("--users=")) {
+      flags.users = std::atoi(v);
+    } else if (const char* v = value_of("--items=")) {
+      flags.items = std::atoi(v);
+    } else if (const char* v = value_of("--epochs=")) {
+      flags.epochs = std::atoi(v);
+    } else if (const char* v = value_of("--worker_id=")) {
+      flags.worker_id = std::atoi(v);
+    } else if (const char* v = value_of("--segment=")) {
+      flags.segment = v;
+    } else if (const char* v = value_of("--fault_kill_cell=")) {
+      flags.fault_kill_cell = std::atoi(v);
+    } else if (const char* v = value_of("--kill_marker=")) {
+      flags.kill_marker = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+std::vector<std::string> SweepKeys(const RunnerFlags& flags) {
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<size_t>(flags.cells));
+  for (int k = 0; k < flags.cells; ++k) {
+    keys.push_back(StrFormat("cell-%03d", k));
+  }
+  return keys;
+}
+
+/// One deterministic sweep cell: a synthetic dataset seeded by the cell
+/// index, full-batch MF training, loss metrics into the record. The
+/// record is a pure function of the key, which is what makes crash
+/// re-dispatch and the master/inline comparison sound. threads is pinned
+/// to 1: the cell runs the serial kernels and must serialize identically
+/// from every worker.
+CellRecord ToyCell(const RunnerFlags& flags, const std::string& key) {
+  int cell_index = 0;
+  std::sscanf(key.c_str(), "cell-%d", &cell_index);
+
+  SyntheticConfig config;
+  config.name = key;
+  config.num_users = flags.users;
+  config.num_items = flags.items;
+  config.num_ratings = flags.users * 6;
+  config.num_social_links = flags.users * 2;
+  Rng rng(flags.seed + static_cast<uint64_t>(cell_index) * 1000003ULL);
+  const Dataset dataset = GenerateSynthetic(config, &rng);
+
+  Rng init_rng(flags.seed ^ 0x5ca1eULL);
+  MatrixFactorization model(dataset.num_users, dataset.num_items, MfConfig(),
+                            3.0, &init_rng);
+  TrainOptions options;
+  options.epochs = flags.epochs;
+  const TrainResult trained = TrainModel(&model, dataset.ratings, options);
+
+  CellRecord record;
+  record.key = key;
+  record.ok = trained.healthy;
+  record.mean_average_rating = trained.final_loss;
+  record.mean_hit_rate =
+      trained.loss_history.empty() ? 0.0 : trained.loss_history.front();
+  record.repeats = 1;
+  record.unhealthy_repeats = trained.healthy ? 0 : 1;
+  record.threads = 1;
+  record.error = trained.failure;
+  return record;
+}
+
+/// SIGKILL seeding: fires before the record is persisted, and only for
+/// the first worker to create the marker file — every worker shares the
+/// same argv, so without the marker each one (and each respawn) would
+/// crash in turn and the run could never finish.
+void MaybeKillSelf(const RunnerFlags& flags, int executed_cell_index) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (!FaultInjector::Global().ShouldCrashAtCell(executed_cell_index)) return;
+  if (!flags.kill_marker.empty()) {
+    const int fd =
+        ::open(flags.kill_marker.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) return;  // another worker already took the crash
+    ::close(fd);
+  }
+  std::fprintf(stderr, "[fault] worker %d SIGKILLing itself before cell %d\n",
+               flags.worker_id, executed_cell_index);
+  ::raise(SIGKILL);
+#else
+  (void)flags;
+  (void)executed_cell_index;
+#endif
+}
+
+int WorkerMain(const RunnerFlags& flags) {
+  if (flags.segment.empty()) {
+    std::fprintf(stderr, "--mode=worker needs --segment\n");
+    return 2;
+  }
+  FaultConfig fault_config;
+  fault_config.crash_at_cell = flags.fault_kill_cell;
+  FaultInjector::Global().Configure(fault_config);
+  CheckpointStore segment(flags.segment);
+  int executed = 0;
+  const scale::CellExecutor executor = [&](const std::string& key) {
+    CellRecord record = ToyCell(flags, key);
+    MaybeKillSelf(flags, executed);
+    ++executed;
+    return record;
+  };
+  // stdout is the protocol channel; all diagnostics go to stderr.
+  return scale::RunWorkerLoop(std::cin, std::cout, &segment, flags.worker_id,
+                              executor);
+}
+
+std::string SelfExecutable(const char* argv0) {
+#if defined(__linux__)
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n > 0) {
+    buffer[n] = '\0';
+    return buffer;
+  }
+#endif
+  return argv0;
+}
+
+int MasterMain(const RunnerFlags& flags, const char* argv0) {
+  if (flags.work_dir.empty()) {
+    std::fprintf(stderr, "--work_dir is required\n");
+    return 2;
+  }
+  scale::OrchestratorOptions options;
+  options.num_workers = flags.workers;
+  options.work_dir = flags.work_dir;
+  options.worker_argv = {
+      SelfExecutable(argv0),
+      "--mode=worker",
+      StrFormat("--cells=%d", flags.cells),
+      StrFormat("--seed=%llu", static_cast<unsigned long long>(flags.seed)),
+      StrFormat("--users=%d", flags.users),
+      StrFormat("--items=%d", flags.items),
+      StrFormat("--epochs=%d", flags.epochs),
+  };
+  if (flags.fault_kill_cell >= 0) {
+    options.worker_argv.push_back(
+        StrFormat("--fault_kill_cell=%d", flags.fault_kill_cell));
+    if (!flags.kill_marker.empty()) {
+      options.worker_argv.push_back("--kill_marker=" + flags.kill_marker);
+    }
+  }
+
+  scale::SweepOrchestrator orchestrator(options);
+  const std::vector<std::string> keys = SweepKeys(flags);
+  auto result = flags.workers > 0
+                    ? orchestrator.Run(keys)
+                    : orchestrator.RunInline(keys, [&](const std::string& k) {
+                        return ToyCell(flags, k);
+                      });
+  if (!result.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const scale::OrchestratorResult& sweep = result.value();
+  std::printf(
+      "sweep done: %lld cells (%lld executed, %lld resumed), "
+      "%lld worker(s) spawned, %lld crash(es), %lld re-dispatched\n",
+      static_cast<long long>(sweep.cells_total),
+      static_cast<long long>(sweep.cells_executed),
+      static_cast<long long>(sweep.cells_resumed),
+      static_cast<long long>(sweep.workers_spawned),
+      static_cast<long long>(sweep.worker_crashes),
+      static_cast<long long>(sweep.cells_redispatched));
+  std::printf("merged checkpoint: %s\n", sweep.merged_path.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const RunnerFlags flags = ParseFlags(argc, argv);
+  if (flags.mode == "worker") return WorkerMain(flags);
+  if (flags.mode == "master") return MasterMain(flags, argv[0]);
+  if (flags.mode == "inline") {
+    RunnerFlags inline_flags = flags;
+    inline_flags.workers = 0;
+    return MasterMain(inline_flags, argv[0]);
+  }
+  std::fprintf(stderr, "unknown --mode=%s (master|worker|inline)\n",
+               flags.mode.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace msopds
+
+int main(int argc, char** argv) { return msopds::Main(argc, argv); }
